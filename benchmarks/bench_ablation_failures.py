@@ -1,0 +1,101 @@
+"""Ablation — future-work failure models (dual-edge, node) on SIEF.
+
+The paper defers dual-edge and node failures to future work (§6).  This
+bench quantifies how far the single-failure index already carries:
+
+* the fraction of dual-failure / node-failure queries whose answer the
+  index determines outright (disconnection certificates + tight lower
+  bounds), and
+* the latency of the oracle versus a from-scratch avoid-set BFS.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.bench.workloads import dual_failure_workload, node_failure_workload
+from repro.failures.dual import DualFailureOracle
+from repro.failures.node import NodeFailureOracle
+from repro.failures.search import bfs_distance_avoiding
+
+DATASETS_USED = ["ca_grqc", "gnutella"]
+QUERIES = 300
+
+
+@pytest.mark.parametrize("name", DATASETS_USED)
+def test_dual_failure_oracle(benchmark, context, name):
+    """Measured operation: 50 dual-failure queries through the oracle."""
+    ctx = context(name)
+    oracle = DualFailureOracle(ctx.graph, ctx.index)
+    workload = dual_failure_workload(ctx.graph, 50)
+
+    def run():
+        for s, t, e1, e2 in workload:
+            oracle.distance(s, t, e1, e2)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_print_failure_ablation(benchmark, context, emit):
+    rows = []
+    for name in DATASETS_USED:
+        ctx = context(name)
+        graph, index = ctx.graph, ctx.index
+
+        dual = DualFailureOracle(graph, index)
+        dual_workload = dual_failure_workload(graph, QUERIES)
+        started = time.perf_counter()
+        for s, t, e1, e2 in dual_workload:
+            dual.distance(s, t, e1, e2)
+        dual_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for s, t, e1, e2 in dual_workload:
+            bfs_distance_avoiding(graph, s, t, avoid_edges=(e1, e2))
+        dual_bfs_seconds = time.perf_counter() - started
+
+        node = NodeFailureOracle(graph, index)
+        node_workload = node_failure_workload(graph, QUERIES)
+        for s, t, w in node_workload:
+            node.distance(s, t, w)
+
+        rows.append(
+            [
+                name,
+                "dual-edge",
+                dual.tightness_rate,
+                dual_seconds / QUERIES * 1e6,
+                dual_bfs_seconds / QUERIES * 1e6,
+            ]
+        )
+        rows.append(
+            [name, "node", node.tightness_rate, None, None]
+        )
+    table = benchmark.pedantic(
+        render_table,
+        args=(
+            "Ablation: future-work failure models over the single-failure "
+            "index",
+            [
+                "dataset",
+                "model",
+                "index-tight rate",
+                "oracle (us/query)",
+                "plain BFS (us/query)",
+            ],
+            rows,
+        ),
+        kwargs={
+            "note": "tight rate = queries whose exact answer the single-"
+            "failure SIEF index certified (disconnect or tight bound)"
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit("ablation_failures", table)
+
+    for row in rows:
+        assert 0.0 <= row[2] <= 1.0

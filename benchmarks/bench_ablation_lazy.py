@@ -1,0 +1,146 @@
+"""Ablation — lazy vs offline SIEF, and incremental vs rebuild labeling.
+
+Two deployment questions the paper's offline design leaves open:
+
+1. If only a fraction of edges ever fail, how much build work does the
+   lazy index (:class:`repro.core.lazy.LazySIEFIndex`) save versus the
+   full offline build?
+2. When the graph *grows*, how does the dynamic-PLL repair
+   (:mod:`repro.labeling.dynamic`) compare to rebuilding the labeling
+   from scratch?
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.core.lazy import LazySIEFIndex
+from repro.labeling.dynamic import insert_edge
+from repro.labeling.pll import build_pll
+
+DATASETS_USED = ["ca_grqc", "oregon"]
+FAILING_FRACTION = 0.05
+INSERTIONS = 25
+
+
+@pytest.mark.parametrize("name", DATASETS_USED)
+def test_lazy_first_queries(benchmark, context, name):
+    """Measured operation: 10 first-touch failure queries on a cold index."""
+    ctx = context(name)
+    edges = random.Random(9).sample(list(ctx.graph.edges()), 10)
+
+    def run():
+        lazy = LazySIEFIndex(ctx.graph.copy(), ctx.labeling)
+        for u, v in edges:
+            lazy.distance(0, 1, (u, v))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_print_lazy_ablation(benchmark, context, emit):
+    rows = []
+    for name in DATASETS_USED:
+        ctx = context(name)
+        graph = ctx.graph
+        m = graph.num_edges
+        failing = random.Random(10).sample(
+            list(graph.edges()), max(1, int(m * FAILING_FRACTION))
+        )
+
+        # Lazy: touch only the failing edges.
+        lazy = LazySIEFIndex(graph.copy(), ctx.labeling)
+        started = time.perf_counter()
+        for u, v in failing:
+            lazy.distance(0, 1, (u, v))
+        lazy_seconds = time.perf_counter() - started
+
+        # Offline: the cached full build's cost.
+        full_seconds = (
+            ctx.report.identify_seconds + ctx.report.relabel_seconds
+        )
+
+        rows.append(
+            [
+                name,
+                len(failing),
+                m,
+                lazy_seconds,
+                full_seconds,
+                full_seconds / lazy_seconds if lazy_seconds else 0.0,
+            ]
+        )
+    table = render_table(
+        "Ablation A: lazy vs offline SIEF "
+        f"({FAILING_FRACTION:.0%} of edges ever fail)",
+        [
+            "dataset",
+            "cases built",
+            "all cases",
+            "lazy (s)",
+            "offline (s)",
+            "saving",
+        ],
+        rows,
+    )
+
+    # Incremental insertion vs rebuild.
+    rows2 = []
+    for name in DATASETS_USED:
+        graph = context(name).graph.copy()
+        labeling = build_pll(graph)
+        rng = random.Random(11)
+        n = graph.num_vertices
+        new_edges = []
+        while len(new_edges) < INSERTIONS:
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b and not graph.has_edge(a, b):
+                new_edges.append((a, b))
+                graph.add_edge(a, b)  # reserve; removed again below
+        for a, b in new_edges:
+            graph.remove_edge(a, b)
+
+        started = time.perf_counter()
+        for a, b in new_edges:
+            insert_edge(graph, labeling, a, b)
+        incremental_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        rebuilt = build_pll(graph)
+        one_rebuild_seconds = time.perf_counter() - started
+
+        rows2.append(
+            [
+                name,
+                INSERTIONS,
+                incremental_seconds / INSERTIONS * 1e3,
+                one_rebuild_seconds * 1e3,
+                one_rebuild_seconds
+                / (incremental_seconds / INSERTIONS),
+            ]
+        )
+    table2 = benchmark.pedantic(
+        render_table,
+        args=(
+            "Ablation B: incremental insertion vs PLL rebuild",
+            [
+                "dataset",
+                "insertions",
+                "per-insert repair (ms)",
+                "one full rebuild (ms)",
+                "repairs per rebuild",
+            ],
+            rows2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ablation_lazy_dynamic", table + "\n\n" + table2)
+
+    for row in rows:
+        assert row[5] > 2.0, f"{row[0]}: lazy saved too little"
+    for row in rows2:
+        assert row[4] > 1.0, f"{row[0]}: repair slower than full rebuild"

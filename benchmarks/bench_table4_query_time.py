@@ -1,0 +1,126 @@
+"""Table 4 — average query time: BFS vs SIEF (µs per query).
+
+Paper reference (Table 4): SIEF answers in 0.45–5 µs, BFS in 140–325 µs —
+40× (Oregon) to 500× (Facebook) speedups.  Absolute numbers here are
+CPython, so both columns are orders of magnitude slower than the paper's
+C++, but the *ratio* is the reproduction target: SIEF must beat per-query
+BFS by a large factor on every dataset.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.datasets import DATASET_ORDER, DATASETS
+from repro.bench.reporting import render_table
+from repro.bench.workloads import table4_workload
+from repro.baselines.bfs_query import BFSQueryBaseline
+from repro.core.query import SIEFQueryEngine
+
+QUERIES = 1000
+_RESULTS = {}
+
+
+def _measure(fn, triples) -> float:
+    """Mean seconds per query over the workload."""
+    started = time.perf_counter()
+    for q in triples:
+        fn(q.s, q.t, q.edge)
+    return (time.perf_counter() - started) / len(triples)
+
+
+@pytest.mark.parametrize("name", DATASET_ORDER)
+def test_sief_query_batch(benchmark, context, name):
+    """Measured operation: 1,000 SIEF queries (whole batch per round)."""
+    ctx = context(name)
+    engine = SIEFQueryEngine(ctx.index)
+    triples = table4_workload(ctx.graph, QUERIES)
+
+    def run():
+        for q in triples:
+            engine.distance(q.s, q.t, q.edge)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _RESULTS.setdefault(name, {})["sief"] = _measure(
+        engine.distance, triples
+    )
+
+
+@pytest.mark.parametrize("name", DATASET_ORDER)
+def test_bfs_query_batch(benchmark, context, name):
+    """Measured operation: the same workload through the BFS baseline."""
+    ctx = context(name)
+    baseline = BFSQueryBaseline(ctx.graph)
+    triples = table4_workload(ctx.graph, QUERIES)[:200]
+
+    def run():
+        for q in triples:
+            baseline.distance(q.s, q.t, q.edge)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS.setdefault(name, {})["bfs"] = _measure(
+        baseline.distance, triples
+    )
+
+
+def test_print_table4(benchmark, context, emit):
+    rows = []
+    for name in DATASET_ORDER:
+        ctx = context(name)
+        measured = _RESULTS.get(name, {})
+        if "sief" not in measured:
+            engine = SIEFQueryEngine(ctx.index)
+            measured["sief"] = _measure(
+                engine.distance, table4_workload(ctx.graph, QUERIES)
+            )
+        if "bfs" not in measured:
+            baseline = BFSQueryBaseline(ctx.graph)
+            measured["bfs"] = _measure(
+                baseline.distance, table4_workload(ctx.graph, QUERIES)[:200]
+            )
+        paper = DATASETS[name].paper
+        speedup = measured["bfs"] / measured["sief"]
+        rows.append(
+            [
+                name,
+                measured["bfs"] * 1e6,
+                measured["sief"] * 1e6,
+                speedup,
+                paper.bfs_query_us,
+                paper.sief_query_us,
+                paper.bfs_query_us / paper.sief_query_us,
+            ]
+        )
+    table = benchmark.pedantic(
+        render_table,
+        args=(
+            "Table 4: average query time (microseconds)",
+            [
+                "dataset",
+                "BFS (us)",
+                "SIEF (us)",
+                "speedup",
+                "paper BFS",
+                "paper SIEF",
+                "paper speedup",
+            ],
+            rows,
+        ),
+        kwargs={
+            "note": "absolute times are CPython; the speedup column is "
+            "the reproduction target (paper: 40-500x)"
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit("table4_query_time", table)
+
+    # Shape assertion: SIEF wins on every dataset.  The paper's 40-500x
+    # margins come from graphs 10-25x larger than our analogues — BFS
+    # query cost grows with graph size while SIEF's stays flat (see
+    # bench_scaling.py for that trend) — so the absolute factor here is
+    # smaller.
+    for row in rows:
+        assert row[3] > 1.5, f"{row[0]}: SIEF speedup {row[3]:.1f}x too low"

@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures.
+
+Every module in this suite regenerates one table or figure of the paper's
+evaluation (§5).  Expensive artifacts (graphs, labelings, full SIEF
+builds) are memoized per process by :mod:`repro.bench.runner`, so the
+whole suite pays one build per dataset regardless of how many benches
+consume it.
+
+Each bench writes its rendered table/figure to
+``benchmarks/results/<name>.txt`` *and* prints it, so results survive
+pytest's output capture.  EXPERIMENTS.md is assembled from these files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.runner import get_context
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Write a rendered report to disk and echo it to stdout."""
+
+    def _emit(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+
+    return _emit
+
+
+@pytest.fixture
+def context():
+    """Dataset-name -> BenchContext accessor (process-cached)."""
+    return get_context

@@ -1,0 +1,117 @@
+"""SIEF: supplemental 2-hop indexes for failure-prone distance queries.
+
+A from-scratch reproduction of *"SIEF: Efficiently Answering Distance
+Queries for Failure Prone Graphs"* (Qin, Sheng, Zhang - EDBT 2015),
+including the Pruned Landmark Labeling substrate, the SIEF supplemental
+index for every single-edge failure case, the paper's baselines, and its
+future-work extensions (weighted graphs, dual/node failures).
+
+Quickstart::
+
+    from repro import Graph, build_pll, SIEFBuilder, SIEFQueryEngine
+
+    g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    index, report = SIEFBuilder(g).build()
+    engine = SIEFQueryEngine(index)
+    engine.distance(0, 2, failed_edge=(1, 2))   # -> 2 (around the ring)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+reproduction of every table and figure in the paper's evaluation.
+"""
+
+from repro.exceptions import (
+    DatasetError,
+    EdgeNotFound,
+    FailureCaseNotIndexed,
+    GraphError,
+    LabelingError,
+    ReproError,
+    SerializationError,
+    VertexNotFound,
+)
+from repro.graph import (
+    CSRGraph,
+    DiGraph,
+    Graph,
+    GraphBuilder,
+    WeightedGraph,
+    bfs_distances,
+    generators,
+)
+from repro.order import VertexOrdering, make_ordering
+from repro.labeling import (
+    INF,
+    Labeling,
+    build_directed_pll,
+    build_pll,
+    build_weighted_pll,
+    dist_query,
+)
+from repro.core import (
+    SIEFBuilder,
+    SIEFIndex,
+    SIEFQueryEngine,
+    identify_affected,
+)
+from repro.core.builder import build_sief
+from repro.baselines import BFSQueryBaseline, NaiveRebuildBaseline
+from repro.failures import (
+    DualFailureOracle,
+    NodeFailureOracle,
+    build_weighted_sief,
+)
+from repro.analysis import (
+    edge_worth,
+    most_vital_arc,
+    resilience_profile,
+    vickrey_prices,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "GraphError",
+    "VertexNotFound",
+    "EdgeNotFound",
+    "LabelingError",
+    "FailureCaseNotIndexed",
+    "SerializationError",
+    "DatasetError",
+    # graphs
+    "Graph",
+    "WeightedGraph",
+    "DiGraph",
+    "CSRGraph",
+    "GraphBuilder",
+    "bfs_distances",
+    "generators",
+    # ordering / labeling
+    "VertexOrdering",
+    "make_ordering",
+    "Labeling",
+    "build_pll",
+    "build_weighted_pll",
+    "build_directed_pll",
+    "dist_query",
+    "INF",
+    # SIEF
+    "SIEFBuilder",
+    "build_sief",
+    "SIEFIndex",
+    "SIEFQueryEngine",
+    "identify_affected",
+    # baselines & extensions
+    "BFSQueryBaseline",
+    "NaiveRebuildBaseline",
+    "DualFailureOracle",
+    "NodeFailureOracle",
+    "build_weighted_sief",
+    # applications
+    "most_vital_arc",
+    "edge_worth",
+    "vickrey_prices",
+    "resilience_profile",
+    "__version__",
+]

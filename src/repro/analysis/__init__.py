@@ -1,0 +1,51 @@
+"""Applications from the paper's introduction (§1, Scenarios 1–3).
+
+* :mod:`repro.analysis.vital_arc` — the most vital arc problem
+  (Scenario 1): which edge's failure lengthens a pair's shortest path the
+  most.
+* :mod:`repro.analysis.vickrey` — Vickrey pricing / edge worth
+  (Scenarios 2–3): the penalty of avoiding an edge, over a traffic
+  demand set.
+* :mod:`repro.analysis.resilience` — distance-based resilience profiles:
+  how pairwise reachability and stretch degrade over failure samples.
+
+All three consume a prebuilt :class:`~repro.core.index.SIEFIndex`, which
+is exactly the paper's pitch: one index, many failure analyses, each
+query in microseconds.
+"""
+
+from repro.analysis.vital_arc import (
+    VitalArcResult,
+    k_most_vital_edges,
+    most_vital_arc,
+    rank_vital_arcs,
+)
+from repro.analysis.vickrey import EdgeWorth, edge_worth, vickrey_prices
+from repro.analysis.centrality import (
+    CentralityShift,
+    centrality_sensitivity,
+    closeness_centrality,
+    closeness_under_failure,
+)
+from repro.analysis.resilience import (
+    ResilienceProfile,
+    resilience_profile,
+    failure_impact_histogram,
+)
+
+__all__ = [
+    "VitalArcResult",
+    "most_vital_arc",
+    "rank_vital_arcs",
+    "k_most_vital_edges",
+    "EdgeWorth",
+    "edge_worth",
+    "vickrey_prices",
+    "ResilienceProfile",
+    "resilience_profile",
+    "failure_impact_histogram",
+    "CentralityShift",
+    "centrality_sensitivity",
+    "closeness_centrality",
+    "closeness_under_failure",
+]

@@ -1,0 +1,120 @@
+"""Closeness centrality and its sensitivity to edge failures.
+
+§1 of the paper: "for online social networks, the shortest path distance
+can be used to measure the closeness centrality between users."  This
+module computes closeness from a 2-hop labeling and, with a SIEF index,
+answers the monitoring question behind it: *how much does a failure move
+the centrality ranking?*
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.index import SIEFIndex
+from repro.core.query import SIEFQueryEngine
+from repro.exceptions import ReproError
+from repro.labeling.label import Labeling
+from repro.labeling.query import INF, dist_query
+
+Edge = Tuple[int, int]
+
+
+def closeness_centrality(
+    labeling: Labeling,
+    vertices: Optional[Sequence[int]] = None,
+    sample: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[int, float]:
+    """Closeness ``(reachable - 1) / sum of distances`` per vertex.
+
+    Computed purely from label queries.  ``vertices`` restricts which
+    vertices get a score; ``sample`` estimates each score from a random
+    target sample instead of all ``n`` targets (the usual trade on large
+    graphs).  Isolated vertices score 0.
+    """
+    n = labeling.num_vertices
+    targets_all = list(range(n))
+    if sample is not None and sample < n:
+        targets_all = random.Random(seed).sample(targets_all, sample)
+    scores: Dict[int, float] = {}
+    for v in vertices if vertices is not None else range(n):
+        total = 0
+        reachable = 0
+        for t in targets_all:
+            if t == v:
+                continue
+            d = dist_query(labeling, v, t)
+            if d != INF:
+                total += d
+                reachable += 1
+        scores[v] = reachable / total if total else 0.0
+    return scores
+
+
+@dataclass(frozen=True)
+class CentralityShift:
+    """How one failure changes one vertex's closeness."""
+
+    vertex: int
+    before: float
+    after: float
+
+    @property
+    def relative_drop(self) -> float:
+        """Fraction of closeness lost (0 = unaffected)."""
+        if self.before == 0.0:
+            return 0.0
+        return max(0.0, (self.before - self.after) / self.before)
+
+
+def closeness_under_failure(
+    index: SIEFIndex,
+    failed_edge: Edge,
+    vertices: Sequence[int],
+) -> Dict[int, float]:
+    """Closeness of ``vertices`` in ``G - failed_edge`` via SIEF queries."""
+    engine = SIEFQueryEngine(index)
+    n = index.labeling.num_vertices
+    scores: Dict[int, float] = {}
+    for v in vertices:
+        total = 0
+        reachable = 0
+        for t in range(n):
+            if t == v:
+                continue
+            d = engine.distance(v, t, failed_edge)
+            if d != INF:
+                total += d
+                reachable += 1
+        scores[v] = reachable / total if total else 0.0
+    return scores
+
+
+def centrality_sensitivity(
+    index: SIEFIndex,
+    failed_edge: Edge,
+    top: int = 10,
+    vertices: Optional[Sequence[int]] = None,
+) -> List[CentralityShift]:
+    """The vertices whose closeness a failure hurts most, worst first.
+
+    By default only the failure's *affected* vertices are scored — the
+    unaffected ones keep every distance, hence their exact closeness,
+    untouched... except for pairs whose partner got disconnected, which
+    is why affected vertices are the interesting set to monitor.
+    """
+    si = index.supplement(*failed_edge)
+    if vertices is None:
+        vertices = list(si.affected.side_u) + list(si.affected.side_v)
+    if not vertices:
+        raise ReproError("no vertices to score")
+    before = closeness_centrality(index.labeling, vertices=vertices)
+    after = closeness_under_failure(index, failed_edge, vertices)
+    shifts = [
+        CentralityShift(v, before[v], after[v]) for v in vertices
+    ]
+    shifts.sort(key=lambda s: (-s.relative_drop, s.vertex))
+    return shifts[:top]

@@ -1,0 +1,122 @@
+"""Distance-based resilience profiles for failure-prone networks.
+
+Given a SIEF index, sample failures and query pairs and summarize how the
+network degrades: what fraction of pairs get disconnected, how much the
+surviving pairs stretch, and which failures hurt most.  This is the
+"unstable networks" monitoring use case the paper's motivation sketches
+(Web of Things devices dropping links, web graphs losing URLs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.index import SIEFIndex
+from repro.core.query import SIEFQueryEngine
+from repro.exceptions import ReproError
+from repro.graph.graph import normalize_edge
+from repro.labeling.query import INF, dist_query
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ResilienceProfile:
+    """Aggregate degradation statistics over a failure/query sample."""
+
+    queries: int
+    unchanged: int
+    stretched: int
+    disconnected: int
+    mean_stretch: float
+    max_stretch: float
+
+    @property
+    def disconnect_rate(self) -> float:
+        """Fraction of sampled (pair, failure) events losing connectivity."""
+        return self.disconnected / self.queries if self.queries else 0.0
+
+    @property
+    def affected_rate(self) -> float:
+        """Fraction of events whose distance changed at all."""
+        if not self.queries:
+            return 0.0
+        return (self.stretched + self.disconnected) / self.queries
+
+
+def resilience_profile(
+    index: SIEFIndex,
+    num_queries: int = 1000,
+    seed: int = 0,
+) -> ResilienceProfile:
+    """Monte-Carlo resilience estimate from uniform pair/failure samples.
+
+    Pairs disconnected *before* the failure are skipped (resampled) — the
+    profile measures degradation, not baseline fragmentation.
+    """
+    labeling = index.labeling
+    engine = SIEFQueryEngine(index)
+    edges = [edge for edge, _ in index.iter_cases()]
+    n = labeling.num_vertices
+    if not edges or n < 2:
+        raise ReproError("index too small for a resilience profile")
+    rng = random.Random(seed)
+
+    unchanged = stretched = disconnected = 0
+    stretch_total = 0.0
+    stretch_max = 0.0
+    done = 0
+    guard = 0
+    while done < num_queries and guard < 50 * num_queries:
+        guard += 1
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        if s == t:
+            continue
+        base = dist_query(labeling, s, t)
+        if base == INF:
+            continue
+        edge = rng.choice(edges)
+        after = engine.distance(s, t, edge)
+        done += 1
+        if after == INF:
+            disconnected += 1
+        elif after == base:
+            unchanged += 1
+        else:
+            stretched += 1
+            stretch = after / base
+            stretch_total += stretch
+            stretch_max = max(stretch_max, stretch)
+    if done < num_queries:
+        raise ReproError(
+            "could not sample enough connected pairs; "
+            "is the graph almost edgeless?"
+        )
+    return ResilienceProfile(
+        queries=done,
+        unchanged=unchanged,
+        stretched=stretched,
+        disconnected=disconnected,
+        mean_stretch=stretch_total / stretched if stretched else 1.0,
+        max_stretch=stretch_max,
+    )
+
+
+def failure_impact_histogram(
+    index: SIEFIndex, top: int = 10
+) -> List[Tuple[Edge, int]]:
+    """Failure cases ranked by affected-vertex count (worst first).
+
+    A zero-query structural view: the per-edge ``|AU|`` the index already
+    stores is itself an impact measure (how many vertices lose some
+    distance), so ranking needs no sampling at all.
+    """
+    impact: Dict[Edge, int] = {
+        normalize_edge(*edge): si.affected.total
+        for edge, si in index.iter_cases()
+    }
+    ranked = sorted(impact.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:top]

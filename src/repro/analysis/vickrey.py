@@ -1,0 +1,100 @@
+"""Vickrey pricing / edge worth (Scenarios 2–3, §1; Hershberger & Suri,
+FOCS 2001).
+
+"How much is an edge worth to a user who wants to send data between two
+nodes along a shortest path?"  For an unweighted graph the natural answer
+is the *detour penalty*: ``d_{G-e}(s, t) - d_G(s, t)`` — zero for edges
+off every shortest path (Lemma 6), positive (possibly infinite) for
+load-bearing ones.  Aggregating penalties over a demand matrix yields
+per-edge prices a road agency (Scenario 2) or bandwidth market
+(Scenario 3) could act on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.core.index import SIEFIndex
+from repro.core.query import SIEFQueryEngine
+from repro.graph.graph import normalize_edge
+from repro.labeling.query import INF, dist_query
+
+Edge = Tuple[int, int]
+Distance = Union[int, float]
+
+Demand = Tuple[int, int, float]
+"""One traffic demand: (source, target, volume)."""
+
+
+@dataclass(frozen=True)
+class EdgeWorth:
+    """Detour penalty of one edge for one pair."""
+
+    edge: Edge
+    s: int
+    t: int
+    base_distance: Distance
+    detour_distance: Distance
+
+    @property
+    def penalty(self) -> Distance:
+        """Extra hops forced by avoiding the edge (0 = edge is free to lose)."""
+        if self.detour_distance == INF:
+            return INF
+        return self.detour_distance - self.base_distance
+
+
+def edge_worth(index: SIEFIndex, edge: Edge, s: int, t: int) -> EdgeWorth:
+    """Worth of ``edge`` to a user routing ``s -> t``."""
+    engine = SIEFQueryEngine(index)
+    base = dist_query(index.labeling, s, t)
+    detour = engine.distance(s, t, edge)
+    return EdgeWorth(
+        edge=normalize_edge(*edge),
+        s=s,
+        t=t,
+        base_distance=base,
+        detour_distance=detour,
+    )
+
+
+def vickrey_prices(
+    index: SIEFIndex,
+    demands: Iterable[Demand],
+    edges: Iterable[Edge],
+    disconnect_penalty: float = float("inf"),
+) -> Dict[Edge, float]:
+    """Volume-weighted total penalty per edge over a demand matrix.
+
+    Parameters
+    ----------
+    index:
+        A SIEF index of the network.
+    demands:
+        ``(s, t, volume)`` triples.
+    edges:
+        The edges to price (e.g. tolled road segments).
+    disconnect_penalty:
+        Charge per unit volume when avoiding the edge disconnects the
+        pair; defaults to infinity, set finite to model "reroute via
+        another network".
+    """
+    engine = SIEFQueryEngine(index)
+    labeling = index.labeling
+    demand_list: List[Demand] = list(demands)
+    prices: Dict[Edge, float] = {}
+    for edge in edges:
+        key = normalize_edge(*edge)
+        total = 0.0
+        for s, t, volume in demand_list:
+            base = dist_query(labeling, s, t)
+            if base == INF:
+                continue  # pair never routable; the edge owes it nothing
+            detour = engine.distance(s, t, key)
+            if detour == INF:
+                total += volume * disconnect_penalty
+            else:
+                total += volume * (detour - base)
+        prices[key] = total
+    return prices

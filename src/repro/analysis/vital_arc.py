@@ -1,0 +1,134 @@
+"""Most vital arc (Scenario 1, §1; Iwano & Katoh, IPL 1993).
+
+The most vital arc of a pair ``(s, t)`` is the edge whose removal
+maximizes the replacement-path length.  Only edges on some shortest
+``s``–``t`` path can change the distance (Lemma 6), so the search space
+is the shortest-path DAG's edges, and each candidate costs one SIEF query
+instead of one BFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.core.index import SIEFIndex
+from repro.core.query import SIEFQueryEngine
+from repro.exceptions import ReproError
+from repro.graph.graph import normalize_edge
+from repro.graph.traversal import UNREACHED, bfs_distances
+from repro.labeling.query import INF, dist_query
+
+Edge = Tuple[int, int]
+Distance = Union[int, float]
+
+
+@dataclass(frozen=True)
+class VitalArcResult:
+    """Outcome of a most-vital-arc search for one pair."""
+
+    s: int
+    t: int
+    base_distance: Distance
+    edge: Edge
+    replacement_distance: Distance
+
+    @property
+    def penalty(self) -> Distance:
+        """Extra distance the failure forces (``inf`` if it cuts the pair)."""
+        if self.replacement_distance == INF:
+            return INF
+        return self.replacement_distance - self.base_distance
+
+
+def shortest_path_dag_edges(graph, s: int, t: int) -> List[Edge]:
+    """Edges lying on at least one shortest ``s``–``t`` path.
+
+    An edge ``(a, b)`` qualifies iff
+    ``d(s,a) + 1 + d(b,t) == d(s,t)`` in either orientation.
+    """
+    from_s = bfs_distances(graph, s)
+    from_t = bfs_distances(graph, t)
+    if from_s[t] == UNREACHED:
+        return []
+    base = from_s[t]
+    edges: List[Edge] = []
+    for a, b in graph.edges():
+        if UNREACHED in (from_s[a], from_s[b], from_t[a], from_t[b]):
+            continue
+        if (
+            from_s[a] + 1 + from_t[b] == base
+            or from_s[b] + 1 + from_t[a] == base
+        ):
+            edges.append((a, b))
+    return edges
+
+
+def rank_vital_arcs(
+    graph, index: SIEFIndex, s: int, t: int
+) -> List[VitalArcResult]:
+    """All candidate arcs for ``(s, t)`` ranked by replacement distance.
+
+    Raises :class:`ReproError` if the pair is disconnected (no shortest
+    path to attack).
+    """
+    base = dist_query(index.labeling, s, t)
+    if base == INF:
+        raise ReproError(f"vertices {s} and {t} are disconnected")
+    engine = SIEFQueryEngine(index)
+    results = [
+        VitalArcResult(
+            s=s,
+            t=t,
+            base_distance=base,
+            edge=normalize_edge(a, b),
+            replacement_distance=engine.distance(s, t, (a, b)),
+        )
+        for a, b in shortest_path_dag_edges(graph, s, t)
+    ]
+    results.sort(key=lambda r: (-(r.replacement_distance), r.edge))
+    return results
+
+
+def most_vital_arc(graph, index: SIEFIndex, s: int, t: int) -> VitalArcResult:
+    """The single edge whose failure hurts the pair ``(s, t)`` most."""
+    ranked = rank_vital_arcs(graph, index, s, t)
+    if not ranked:  # pragma: no cover - connected pairs always have arcs
+        raise ReproError(f"no shortest-path edges between {s} and {t}")
+    return ranked[0]
+
+
+def k_most_vital_edges(graph, s: int, t: int, k: int) -> List[VitalArcResult]:
+    """Greedy ``k``-most-vital-edges for one pair (Bazgan et al. flavor).
+
+    Repeatedly removes the currently most vital arc and re-solves on the
+    shrunk graph.  Exact ``k``-most-vital is NP-hard, so this is the
+    standard greedy heuristic; each step's choice *is* exact (via a SIEF
+    index over just that step's candidate edges, which is cheap because
+    only shortest-path-DAG edges can matter).
+
+    Stops early — returning fewer than ``k`` results — once a removal
+    disconnects the pair (the last result carries the infinite
+    replacement distance).
+
+    The input graph is not modified.
+    """
+    from repro.core.builder import SIEFBuilder
+    from repro.labeling.pll import build_pll
+
+    if k < 1:
+        raise ReproError(f"k must be >= 1, got {k}")
+    work = graph.copy()
+    results: List[VitalArcResult] = []
+    for _ in range(k):
+        candidates = shortest_path_dag_edges(work, s, t)
+        if not candidates:
+            break
+        labeling = build_pll(work)
+        index, _report = SIEFBuilder(work, labeling).build(edges=candidates)
+        result = most_vital_arc(work, index, s, t)
+        results.append(result)
+        work.remove_edge(*result.edge)
+        if result.replacement_distance == INF:
+            break
+    return results

@@ -1,0 +1,24 @@
+"""Baselines the paper compares SIEF against.
+
+* :mod:`repro.baselines.bfs_query` — answer each failure query with a
+  fresh BFS on ``G - e`` (the "BFS Query Time" column of Table 4).
+* :mod:`repro.baselines.naive_rebuild` — rebuild a full PLL index per
+  failure case (the "naive method" Figure 7 estimates; both the estimate
+  and an actual rebuild are provided).
+* :mod:`repro.baselines.dijkstra_query` — the weighted analogue of the
+  BFS baseline, for the weighted extension.
+"""
+
+from repro.baselines.bfs_query import BFSQueryBaseline
+from repro.baselines.naive_rebuild import (
+    NaiveRebuildBaseline,
+    estimate_naive_seconds,
+)
+from repro.baselines.dijkstra_query import DijkstraQueryBaseline
+
+__all__ = [
+    "BFSQueryBaseline",
+    "NaiveRebuildBaseline",
+    "estimate_naive_seconds",
+    "DijkstraQueryBaseline",
+]

@@ -1,0 +1,29 @@
+"""Weighted baseline: Dijkstra on ``G - e`` per query.
+
+The weighted analogue of :class:`repro.baselines.bfs_query.BFSQueryBaseline`,
+used as ground truth and latency baseline for the weighted SIEF extension.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.exceptions import EdgeNotFound
+from repro.graph.traversal import dijkstra_distances
+from repro.graph.weighted import WeightedGraph
+
+
+class DijkstraQueryBaseline:
+    """Answers weighted failure queries by running Dijkstra on demand."""
+
+    __slots__ = ("wgraph",)
+
+    def __init__(self, wgraph: WeightedGraph) -> None:
+        self.wgraph = wgraph
+
+    def distance(self, s: int, t: int, failed_edge: Tuple[int, int]) -> float:
+        """``d_{G - e}(s, t)``; ``inf`` when the failure disconnects them."""
+        u, v = failed_edge
+        if not self.wgraph.has_edge(u, v):
+            raise EdgeNotFound(u, v)
+        return dijkstra_distances(self.wgraph, s, avoid=(u, v))[t]

@@ -1,0 +1,76 @@
+"""The paper's "naive method": one full PLL index per failure case.
+
+Figure 7 uses an *estimate* — original indexing time × number of edges —
+because actually materializing ``m`` complete labelings is exactly the
+blow-up SIEF exists to avoid (105 MB vs 14 MB on Gnutella in §1).  This
+module provides both that estimator and a real (small-graph) rebuild, so
+tests can confirm the estimate's basis and benches can report it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple, Union
+
+from repro.graph.graph import Graph, normalize_edge
+from repro.labeling.label import Labeling
+from repro.labeling.pll import build_pll
+from repro.labeling.query import dist_query
+from repro.order.ordering import VertexOrdering
+
+Edge = Tuple[int, int]
+Distance = Union[int, float]
+
+
+def estimate_naive_seconds(original_indexing_seconds: float, num_edges: int) -> float:
+    """Figure 7's estimator: ``IT × m``.
+
+    "The total labeling time of the naive method can be estimated by
+    multiplying the total edge number ... with the index time of the
+    original graph."
+    """
+    return original_indexing_seconds * num_edges
+
+
+class NaiveRebuildBaseline:
+    """Materializes a complete PLL labeling for each failure case.
+
+    Only sensible on small graphs (storage is ``O(m)`` full labelings);
+    the benchmark suite uses it on truncated edge samples to measure the
+    per-case rebuild time that grounds the Figure 7 estimate.
+    """
+
+    def __init__(self, graph: Graph, ordering: Optional[VertexOrdering] = None) -> None:
+        self.graph = graph
+        self.ordering = ordering
+        self._cases: Dict[Edge, Labeling] = {}
+        self.total_entries = 0
+        self.build_seconds = 0.0
+
+    def build_case(self, u: int, v: int) -> Labeling:
+        """Rebuild (and cache) the full labeling of ``G - (u, v)``."""
+        key = normalize_edge(u, v)
+        labeling = self._cases.get(key)
+        if labeling is None:
+            reduced = self.graph.without_edge(u, v)
+            started = time.perf_counter()
+            labeling = build_pll(reduced, self.ordering)
+            self.build_seconds += time.perf_counter() - started
+            self._cases[key] = labeling
+            self.total_entries += labeling.total_entries()
+        return labeling
+
+    def build_all(self) -> None:
+        """Rebuild every failure case (the naive method in full)."""
+        for u, v in self.graph.edges():
+            self.build_case(u, v)
+
+    @property
+    def num_cases(self) -> int:
+        """Failure cases materialized so far."""
+        return len(self._cases)
+
+    def distance(self, s: int, t: int, failed_edge: Edge) -> Distance:
+        """Query through the per-case labeling (building it if needed)."""
+        labeling = self.build_case(*failed_edge)
+        return dist_query(labeling, s, t)

@@ -1,0 +1,99 @@
+"""Assemble all rendered benchmark results into one report.
+
+``pytest benchmarks/ --benchmark-only`` writes each table/figure to
+``benchmarks/results/<name>.txt``; this module stitches them into a
+single Markdown document so a fresh run's full evidence can be reviewed
+(or diffed against EXPERIMENTS.md) in one place::
+
+    python -m repro.bench.report_all [results_dir] [-o report.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+# Presentation order: the paper's tables/figures first, then our extras.
+SECTION_ORDER = [
+    ("table2_datasets", "Table 2 — datasets and PLL statistics"),
+    ("table3_affected", "Table 3 — affected vertices"),
+    ("table4_query_time", "Table 4 — query time"),
+    ("table5_identification", "Table 5 — identification time"),
+    ("fig5_label_entries", "Figure 5 — SLEN vs OLEN"),
+    ("fig6_index_size", "Figure 6 — index size"),
+    ("fig7_labeling_time", "Figure 7 — relabeling cost"),
+    ("scaling_query_speedup", "Scaling — query speedup vs graph size"),
+    ("ablation_ordering", "Ablation — vertex ordering"),
+    ("ablation_substrate", "Ablation — labeling substrate (PLL vs ISL)"),
+    ("ablation_lazy_dynamic", "Ablation — lazy index & dynamic repair"),
+    ("ablation_extensions", "Ablation — weighted & directed SIEF"),
+    ("ablation_failures", "Ablation — dual-edge & node failure oracles"),
+]
+
+
+def collect_sections(results_dir: Path) -> List[Tuple[str, str]]:
+    """(title, body) pairs for every known result file present, in order,
+    followed by any unknown ``*.txt`` files alphabetically."""
+    sections: List[Tuple[str, str]] = []
+    known = set()
+    for stem, title in SECTION_ORDER:
+        path = results_dir / f"{stem}.txt"
+        known.add(path.name)
+        if path.exists():
+            sections.append((title, path.read_text(encoding="utf-8").strip()))
+    for path in sorted(results_dir.glob("*.txt")):
+        if path.name not in known:
+            sections.append((path.stem, path.read_text(encoding="utf-8").strip()))
+    return sections
+
+
+def build_report(results_dir: Path) -> str:
+    """The assembled Markdown document."""
+    sections = collect_sections(results_dir)
+    lines = [
+        "# SIEF reproduction — benchmark report",
+        "",
+        f"Assembled from `{results_dir}`; regenerate the inputs with "
+        "`pytest benchmarks/ --benchmark-only`.",
+        "",
+    ]
+    if not sections:
+        lines.append(
+            "*No results found — run the benchmark suite first.*"
+        )
+    for title, body in sections:
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(body)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.report_all",
+        description="assemble benchmarks/results/*.txt into one report",
+    )
+    default_dir = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    parser.add_argument(
+        "results_dir", nargs="?", default=str(default_dir),
+        help=f"directory of rendered results (default: {default_dir})",
+    )
+    parser.add_argument("--output", "-o", default="-",
+                        help="output file ('-' = stdout)")
+    args = parser.parse_args(argv)
+    report = build_report(Path(args.results_dir))
+    if args.output == "-":
+        print(report)
+    else:
+        Path(args.output).write_text(report, encoding="utf-8")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

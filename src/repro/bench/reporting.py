@@ -1,0 +1,113 @@
+"""Text renderers for the reproduced tables and figures.
+
+The paper's figures are bar charts; in a terminal we render them as
+fixed-width tables plus log-scale ASCII bars, keeping the same series
+names and dataset order so EXPERIMENTS.md reads against the paper
+directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value != 0 and (abs(value) >= 100_000 or abs(value) < 0.001):
+            return f"{value:.3e}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    note: Optional[str] = None,
+) -> str:
+    """A fixed-width table with a title rule, ready to print."""
+    cells = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"=== {title} ==="]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_grouped_bars(
+    title: str,
+    groups: Sequence[str],
+    series: Sequence[str],
+    values: Sequence[Sequence[float]],
+    log_scale: bool = False,
+    width: int = 46,
+    unit: str = "",
+) -> str:
+    """ASCII grouped bar chart: one block of bars per group (dataset).
+
+    ``values[g][s]`` is the bar for series ``s`` in group ``g``.  With
+    ``log_scale`` bars are proportional to ``log10`` of the value, which
+    is how the paper draws Figure 7.
+    """
+    flat = [v for group in values for v in group if v > 0]
+    if not flat:
+        return f"=== {title} ===\n(no data)"
+    vmax = max(flat)
+    vmin = min(flat)
+
+    def bar_len(v: float) -> int:
+        if v <= 0:
+            return 0
+        if log_scale:
+            lo = math.log10(vmin) - 0.5
+            hi = math.log10(vmax)
+            if hi <= lo:
+                return width
+            return max(1, round(width * (math.log10(v) - lo) / (hi - lo)))
+        return max(1, round(width * v / vmax))
+
+    label_w = max(len(s) for s in series)
+    lines = [f"=== {title} ==={' (log scale)' if log_scale else ''}"]
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for si, name in enumerate(series):
+            v = values[gi][si]
+            bar = "#" * bar_len(v)
+            lines.append(
+                f"  {name.ljust(label_w)} |{bar} {_format_cell(v)}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def render_ratio_line(label: str, ours: float, paper: float) -> str:
+    """One "measured vs paper" comparison line for EXPERIMENTS.md."""
+    if paper == 0:
+        return f"{label}: measured {_format_cell(ours)} (paper: 0)"
+    return (
+        f"{label}: measured {_format_cell(ours)} "
+        f"vs paper {_format_cell(paper)} "
+        f"(x{ours / paper:.2f})"
+    )

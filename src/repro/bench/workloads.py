@@ -1,0 +1,67 @@
+"""Benchmark workload construction.
+
+Thin, seeded wrappers over :mod:`repro.failures.model` with the
+evaluation's fixed shapes: Table 4 measures average latency over random
+``(s, t, failed edge)`` triples; the ablations additionally use
+cross-side (Case 4) stress triples and dual-failure pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.core.index import SIEFIndex
+from repro.failures.model import (
+    QueryTriple,
+    cross_side_query_triples,
+    random_query_triples,
+)
+from repro.graph.graph import Graph
+
+Edge = Tuple[int, int]
+
+DEFAULT_QUERY_COUNT = 1000
+"""Queries per dataset for the Table 4 latency comparison."""
+
+
+def table4_workload(graph: Graph, count: int = DEFAULT_QUERY_COUNT) -> List[QueryTriple]:
+    """The uniform random workload Table 4's averages are taken over."""
+    return random_query_triples(graph, count, seed=42)
+
+
+def case4_workload(index: SIEFIndex, count: int = DEFAULT_QUERY_COUNT) -> List[QueryTriple]:
+    """Cross-side triples: every query must consult supplemental labels."""
+    return cross_side_query_triples(index, count, seed=43)
+
+
+def dual_failure_workload(
+    graph: Graph, count: int, seed: int = 44
+) -> List[Tuple[int, int, Edge, Edge]]:
+    """``(s, t, e1, e2)`` tuples with two distinct failed edges."""
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    n = graph.num_vertices
+    out = []
+    for _ in range(count):
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        while t == s:
+            t = rng.randrange(n)
+        e1, e2 = rng.sample(edges, 2)
+        out.append((s, t, e1, e2))
+    return out
+
+
+def node_failure_workload(
+    graph: Graph, count: int, seed: int = 45
+) -> List[Tuple[int, int, int]]:
+    """``(s, t, failed vertex)`` triples with the vertex distinct from both."""
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    out = []
+    while len(out) < count:
+        s, t, w = rng.randrange(n), rng.randrange(n), rng.randrange(n)
+        if len({s, t, w}) == 3:
+            out.append((s, t, w))
+    return out

@@ -1,0 +1,280 @@
+"""Command-line interface: build, query and inspect SIEF indexes.
+
+Installed as ``sief`` (see pyproject) and runnable as ``python -m repro``.
+
+Examples::
+
+    sief generate --dataset gnutella -o gnutella.txt
+    sief build gnutella.txt -o gnutella.sief --algorithm bfs_all
+    sief query gnutella.sief --fail 3 17 --pair 0 42
+    sief path gnutella.txt gnutella.sief --fail 3 17 --pair 0 42
+    sief impact gnutella.txt gnutella.sief --top 10
+    sief stats gnutella.sief
+    sief validate gnutella.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.exceptions import ReproError
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.bench.datasets import DATASETS, load_dataset
+    from repro.graph.io import write_edge_list
+
+    if args.list:
+        for name, spec in DATASETS.items():
+            print(f"{name:12s} {spec.domain}")
+        return 0
+    graph = load_dataset(args.dataset)
+    write_edge_list(graph, args.output, header=f"repro dataset: {args.dataset}")
+    print(
+        f"wrote {args.dataset} (n={graph.num_vertices}, m={graph.num_edges}) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.core.builder import SIEFBuilder
+    from repro.core.serialize import save_index
+    from repro.graph.io import read_edge_list
+    from repro.labeling.pll import build_pll
+    from repro.order.strategies import make_ordering
+
+    graph, _names = read_edge_list(args.graph)
+    print(f"loaded graph: n={graph.num_vertices}, m={graph.num_edges}")
+    started = time.perf_counter()
+    labeling = build_pll(graph, make_ordering(graph, args.ordering))
+    print(
+        f"PLL labeling: {labeling.total_entries()} entries "
+        f"in {time.perf_counter() - started:.2f}s"
+    )
+    builder = SIEFBuilder(graph, labeling, algorithm=args.algorithm)
+    index, report = builder.build()
+    print(
+        f"SIEF ({args.algorithm}): {index.num_cases} failure cases, "
+        f"{index.total_supplemental_entries()} supplemental entries; "
+        f"identify {report.identify_seconds:.2f}s, "
+        f"relabel {report.relabel_seconds:.2f}s"
+    )
+    save_index(index, args.output)
+    print(f"index written to {args.output}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.core.query import SIEFQueryEngine
+    from repro.core.serialize import load_index
+    from repro.labeling.query import INF
+
+    index = load_index(args.index)
+    engine = SIEFQueryEngine(index)
+    u, v = args.fail
+    s, t = args.pair
+    distance, case = engine.distance_with_case(s, t, (u, v))
+    shown = "inf" if distance == INF else str(distance)
+    print(f"d(G - ({u},{v}); {s}, {t}) = {shown}   [case {case.value}]")
+    return 0
+
+
+def _cmd_path(args: argparse.Namespace) -> int:
+    from repro.core.query import SIEFQueryEngine
+    from repro.core.serialize import load_index
+    from repro.graph.io import read_edge_list
+    from repro.labeling.paths import failure_shortest_path
+
+    graph, _names = read_edge_list(args.graph)
+    engine = SIEFQueryEngine(load_index(args.index))
+    u, v = args.fail
+    s, t = args.pair
+    path = failure_shortest_path(graph, engine, s, t, (u, v))
+    if path is None:
+        print(f"no path: failing ({u},{v}) disconnects {s} from {t}")
+        return 1
+    print(" -> ".join(map(str, path)))
+    print(f"length {len(path) - 1}, avoiding edge ({u},{v})")
+    return 0
+
+
+def _cmd_impact(args: argparse.Namespace) -> int:
+    from repro.analysis.resilience import (
+        failure_impact_histogram,
+        resilience_profile,
+    )
+    from repro.core.serialize import load_index
+
+    index = load_index(args.index)
+    print(f"worst {args.top} failure cases by affected vertices:")
+    for edge, impact in failure_impact_histogram(index, top=args.top):
+        print(f"  edge {edge}: {impact} affected")
+    profile = resilience_profile(
+        index, num_queries=args.queries, seed=args.seed
+    )
+    print(
+        f"\nresilience over {profile.queries} random (pair, failure) "
+        "samples:"
+    )
+    print(f"  unchanged:    {profile.unchanged}")
+    print(
+        f"  stretched:    {profile.stretched} "
+        f"(mean {profile.mean_stretch:.2f}x, max {profile.max_stretch:.2f}x)"
+    )
+    print(
+        f"  disconnected: {profile.disconnected} "
+        f"({profile.disconnect_rate:.1%})"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.core.serialize import load_index
+    from repro.core.stats import sief_stats
+    from repro.labeling.stats import labeling_stats
+
+    index = load_index(args.index)
+    original = labeling_stats(index.labeling)
+    stats = sief_stats(index)
+    print(f"vertices:               {stats.num_vertices}")
+    print(f"failure cases:          {stats.num_cases}")
+    print(f"original label entries: {stats.original_entries}")
+    print(f"  avg per vertex (LN):  {original.avg_entries:.3f}")
+    print(f"supplemental entries:   {stats.supplemental_entries}")
+    print(f"  SLEN / OLEN:          {stats.slen_over_olen:.3f}")
+    print(f"original index size:    {stats.original_megabytes:.3f} MB")
+    print(f"supplemental size:      {stats.supplemental_megabytes:.3f} MB")
+    print(f"avg affected / case:    {stats.avg_affected_per_case:.2f}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.core.serialize import load_index
+    from repro.core.verify import verify_index
+    from repro.graph.io import read_edge_list
+
+    graph, _names = read_edge_list(args.graph)
+    index = load_index(args.index)
+    problems = verify_index(
+        index, graph, sample_cases=args.sample, seed=args.seed
+    )
+    if problems:
+        for p in problems:
+            print(f"PROBLEM: {p}")
+        return 1
+    print(
+        f"ok: index consistent with graph "
+        f"({index.num_cases} cases, sampled {args.sample})"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.graph.io import read_edge_list
+    from repro.graph.validation import validate_graph
+
+    graph, _names = read_edge_list(args.graph)
+    problems = validate_graph(graph)
+    if problems:
+        for p in problems:
+            print(f"INVALID: {p}")
+        return 1
+    print(
+        f"ok: n={graph.num_vertices}, m={graph.num_edges}, "
+        "all structural invariants hold"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="sief",
+        description="SIEF: distance queries on graphs with edge failures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="emit a benchmark dataset edge list")
+    gen.add_argument("--dataset", default="gnutella")
+    gen.add_argument("--output", "-o", default="graph.txt")
+    gen.add_argument("--list", action="store_true", help="list dataset names")
+    gen.set_defaults(func=_cmd_generate)
+
+    build = sub.add_parser("build", help="build a SIEF index from an edge list")
+    build.add_argument("graph")
+    build.add_argument("--output", "-o", default="index.sief")
+    build.add_argument(
+        "--algorithm", choices=["bfs_aff", "bfs_all"], default="bfs_all"
+    )
+    build.add_argument("--ordering", default="degree")
+    build.set_defaults(func=_cmd_build)
+
+    query = sub.add_parser("query", help="answer one failure query")
+    query.add_argument("index")
+    query.add_argument(
+        "--fail", nargs=2, type=int, required=True, metavar=("U", "V")
+    )
+    query.add_argument(
+        "--pair", nargs=2, type=int, required=True, metavar=("S", "T")
+    )
+    query.set_defaults(func=_cmd_query)
+
+    path = sub.add_parser(
+        "path", help="print one replacement path avoiding a failed edge"
+    )
+    path.add_argument("graph")
+    path.add_argument("index")
+    path.add_argument(
+        "--fail", nargs=2, type=int, required=True, metavar=("U", "V")
+    )
+    path.add_argument(
+        "--pair", nargs=2, type=int, required=True, metavar=("S", "T")
+    )
+    path.set_defaults(func=_cmd_path)
+
+    impact = sub.add_parser(
+        "impact", help="rank failures by impact and profile resilience"
+    )
+    impact.add_argument("index")
+    impact.add_argument("--top", type=int, default=10)
+    impact.add_argument("--queries", type=int, default=500)
+    impact.add_argument("--seed", type=int, default=0)
+    impact.set_defaults(func=_cmd_impact)
+
+    stats = sub.add_parser("stats", help="print index statistics")
+    stats.add_argument("index")
+    stats.set_defaults(func=_cmd_stats)
+
+    check = sub.add_parser(
+        "check", help="verify a SIEF index against its graph"
+    )
+    check.add_argument("graph")
+    check.add_argument("index")
+    check.add_argument("--sample", type=int, default=25)
+    check.add_argument("--seed", type=int, default=0)
+    check.set_defaults(func=_cmd_check)
+
+    validate = sub.add_parser("validate", help="check an edge-list file")
+    validate.add_argument("graph")
+    validate.set_defaults(func=_cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

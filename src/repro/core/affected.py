@@ -1,0 +1,176 @@
+"""IDENTIFY stage: affected vertices of a single-edge failure (Algorithm 1).
+
+For a failed edge ``(u, v)``, a vertex is *affected* iff its distance to
+some other vertex changes in ``G' = G - (u, v)`` (Definition 2).  §4.2
+proves the affected set splits into two disjoint sides:
+
+* ``AV(u)`` — vertices whose distance **to v** changed (their shortest
+  paths to ``v`` all crossed the failed edge, ending at the ``u`` side);
+* ``AV(v)`` — symmetrically, vertices whose distance **to u** changed.
+
+Lemma 7 gives the membership test ``d_G(w, v) == d_G(w, u) + 1`` combined
+with "distance to ``v`` actually changed", and Lemma 8 shows each side is
+reachable from its root through affected vertices only — so one BFS from
+``u`` (resp. ``v``) restricted to vertices passing the test finds the
+whole side.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import EdgeNotFound
+from repro.graph.traversal import (
+    UNREACHED,
+    bfs_distances,
+    bfs_distances_avoiding_edge,
+)
+
+
+@dataclass(frozen=True)
+class AffectedVertices:
+    """The two affected sides of one failed edge, each sorted ascending.
+
+    ``side_u``/``side_v`` are the paper's ``AV(u,v)(u)`` and
+    ``AV(u,v)(v)``.  The sets are disjoint (proved after Lemma 8); both
+    always contain their own root.
+
+    ``disconnected`` is True when the failed edge is a *bridge*: ``G'``
+    separates the two sides, every cross-side distance is infinite, and
+    the supplemental index is empty by construction — the relabel
+    algorithms skip all search work for such cases instead of running
+    one doomed BFS per affected root.
+    """
+
+    u: int
+    v: int
+    side_u: Tuple[int, ...]
+    side_v: Tuple[int, ...]
+    disconnected: bool = False
+
+    @property
+    def total(self) -> int:
+        """``|AV(u) ∪ AV(v)|`` — the paper's ``|AU|`` statistic."""
+        return len(self.side_u) + len(self.side_v)
+
+    def contains(self, vertex: int) -> Optional[str]:
+        """Which side holds ``vertex``: ``'u'``, ``'v'``, or ``None``.
+
+        Binary search on the sorted sides, exactly the membership test the
+        paper's query evaluation describes (§5.2.4).
+        """
+        if _sorted_member(self.side_u, vertex):
+            return "u"
+        if _sorted_member(self.side_v, vertex):
+            return "v"
+        return None
+
+
+def _sorted_member(arr: Sequence[int], x: int) -> bool:
+    i = bisect.bisect_left(arr, x)
+    return i < len(arr) and arr[i] == x
+
+
+def _grow_side(
+    adj,
+    root: int,
+    d_near: List[int],
+    d_far: List[int],
+    d_far_new: List[int],
+) -> List[int]:
+    """BFS over ``G`` from ``root`` collecting one affected side.
+
+    ``d_near`` holds distances (in ``G``) to the root's endpoint,
+    ``d_far`` to the opposite endpoint, ``d_far_new`` the same in ``G'``.
+    A neighbor ``r`` joins iff Lemma 7's equation holds **and** its
+    distance to the far endpoint changed:
+
+    ``d_far[r] == d_near[r] + 1  and  d_far_new[r] != d_near[r] + 1``
+    """
+    member = [False] * len(adj)
+    member[root] = True
+    side = [root]
+    queue = deque((root,))
+    while queue:
+        t = queue.popleft()
+        for r in adj[t]:
+            if member[r]:
+                continue
+            near = d_near[r]
+            if near == UNREACHED:
+                continue
+            if d_far[r] == near + 1 and d_far_new[r] != near + 1:
+                member[r] = True
+                side.append(r)
+                queue.append(r)
+    side.sort()
+    return side
+
+
+def identify_affected(
+    graph,
+    u: int,
+    v: int,
+    dist_u: Optional[List[int]] = None,
+    dist_v: Optional[List[int]] = None,
+) -> AffectedVertices:
+    """Algorithm 1: compute ``AV(u)`` and ``AV(v)`` for failed edge ``(u, v)``.
+
+    Parameters
+    ----------
+    graph:
+        The original graph ``G``; must contain the edge.
+    u, v:
+        The failed edge's endpoints.
+    dist_u, dist_v:
+        Optional precomputed BFS distance vectors from ``u`` and ``v`` on
+        ``G`` — the builder reuses ``dist_u`` across all edges incident to
+        ``u`` ("we will fix an end point of failed edges", §4.2).
+
+    Notes
+    -----
+    Four BFS passes at most: ``du``, ``dv`` on ``G`` and ``d'u``, ``d'v``
+    on ``G'``.  ``G'`` is never materialized — the failed edge is skipped
+    inline.
+    """
+    if not graph.has_edge(u, v):
+        raise EdgeNotFound(u, v)
+    adj = graph.adjacency()
+    du = dist_u if dist_u is not None else bfs_distances(graph, u)
+    dv = dist_v if dist_v is not None else bfs_distances(graph, v)
+    du_new = bfs_distances_avoiding_edge(graph, u, (u, v))
+    dv_new = bfs_distances_avoiding_edge(graph, v, (u, v))
+
+    side_u = _grow_side(adj, u, du, dv, dv_new)
+    side_v = _grow_side(adj, v, dv, du, du_new)
+    return AffectedVertices(
+        u=u,
+        v=v,
+        side_u=tuple(side_u),
+        side_v=tuple(side_v),
+        disconnected=du_new[v] == UNREACHED,
+    )
+
+
+def affected_by_definition(graph, u: int, v: int) -> Tuple[List[int], List[int]]:
+    """Brute-force affected sides straight from Definition 2 (test oracle).
+
+    Compares all-pairs distances of ``G`` and ``G'`` (``O(n·m)``); returns
+    the vertices whose distance *to v* (resp. *to u*) changed — which §4.2
+    shows is exactly the ``AV(u)`` / ``AV(v)`` split.
+    """
+    side_u: List[int] = []
+    side_v: List[int] = []
+    dv_old = bfs_distances(graph, v)
+    dv_new = bfs_distances_avoiding_edge(graph, v, (u, v))
+    du_old = bfs_distances(graph, u)
+    du_new = bfs_distances_avoiding_edge(graph, u, (u, v))
+    for w in range(graph.num_vertices):
+        if dv_old[w] != dv_new[w]:
+            side_u.append(w)
+        if du_old[w] != du_new[w]:
+            side_v.append(w)
+    return side_u, side_v

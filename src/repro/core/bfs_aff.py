@@ -1,0 +1,111 @@
+"""BFS AFF — Algorithm 2: relabeling with the *late* pruning strategy.
+
+For every affected root ``r`` (ascending rank, per side) run a **plain**
+BFS on ``G' = G - (u, v)``, stopping as soon as every cross-side target
+ranked above ``r`` has been assigned a distance (the paper's "the BFS
+process ... will stop at distance 2"), then apply the late redundancy
+test before appending each ``(r, d_{G'}(r, t))`` entry to ``SL(t)``.
+
+Memory-lean (no temporary labels) but a full unpruned search per root
+makes it the slower strategy when affected sets are large and spread out
+— the trade-off the paper's Figure 7 measures.
+
+Distances are kept in a per-root dict rather than a length-``n`` array:
+early termination keeps the explored ball small, and skipping the
+``O(n)`` array reset per root dominates everything else in CPython.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from repro.core._relabel import is_redundant, order_side_by_rank
+from repro.core.affected import AffectedVertices
+from repro.core.supplemental import SupplementalIndex
+from repro.labeling.label import Labeling
+
+
+def _relabel_side(
+    adj,
+    failed: tuple,
+    labeling: Labeling,
+    roots: Sequence[int],
+    targets_by_rank: List[int],
+    si: SupplementalIndex,
+) -> None:
+    """One direction of Algorithm 2 (roots from side A, targets side B)."""
+    rank = labeling.ordering.rank
+    a, b = failed
+    expanded = 0
+    for r in roots:
+        r_rank = rank(r)
+        # Targets ranked above the root, ascending, so SL appends stay sorted.
+        targets = [t for t in targets_by_rank if rank(t) > r_rank]
+        if not targets:
+            continue
+        remaining = len(targets)
+        target_set = set(targets)
+        via_cache: dict = {}
+
+        dist: Dict[int, int] = {r: 0}
+        if r in target_set:  # cannot happen (sides disjoint), stay safe
+            remaining -= 1
+        queue = deque((r,))
+        while queue and remaining:
+            v = queue.popleft()
+            expanded += 1
+            d = dist[v] + 1
+            for w in adj[v]:
+                if w in dist or (v == a and w == b) or (v == b and w == a):
+                    continue
+                dist[w] = d
+                queue.append(w)
+                if w in target_set:
+                    remaining -= 1
+                    if not remaining:
+                        break
+
+        for t in targets:
+            d = dist.get(t)
+            if d is None:
+                continue  # failure disconnected r from t: nothing to store
+            sl = si.label_of(t)
+            if not is_redundant(labeling, sl.ranks, sl.dists, r, d, via_cache):
+                sl.append(r_rank, d)
+    si.search_expanded += expanded
+
+
+def build_supplemental_bfs_aff(
+    graph,
+    labeling: Labeling,
+    affected: AffectedVertices,
+    dist_buf: Optional[List[int]] = None,
+) -> SupplementalIndex:
+    """Algorithm 2: build ``SI(u,v)`` with plain BFS + late pruning.
+
+    Parameters
+    ----------
+    graph:
+        The original graph ``G`` (the failed edge is skipped inline).
+    labeling:
+        The original well-ordered 2-hop cover ``L``.
+    affected:
+        Output of :func:`repro.core.affected.identify_affected`.
+    dist_buf:
+        Accepted for interface compatibility with the builder; unused
+        (the search keeps per-root dict frontiers).
+    """
+    del dist_buf
+    adj = graph.adjacency()
+    si = SupplementalIndex(affected)
+    if affected.disconnected:
+        # Bridge failure: no cross-side path survives, SI stays empty.
+        return si
+    side_u = order_side_by_rank(affected.side_u, labeling)
+    side_v = order_side_by_rank(affected.side_v, labeling)
+    failed = (affected.u, affected.v)
+    _relabel_side(adj, failed, labeling, side_u, side_v, si)
+    _relabel_side(adj, failed, labeling, side_v, side_u, si)
+    si.drop_empty()
+    return si

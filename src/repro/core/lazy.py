@@ -1,0 +1,143 @@
+"""On-demand SIEF: build failure cases lazily, track graph growth.
+
+The paper's offline build covers *all* ``m`` failure cases up front —
+right for a read-only index, wasteful when only a few edges ever fail or
+when the graph keeps evolving.  :class:`LazySIEFIndex` combines the
+pieces this library already has into the deployment-shaped object:
+
+* supplements are built on the **first query naming an edge** and cached
+  (amortizing the paper's per-case IDENTIFY + RELABEL cost);
+* **edge insertions** are absorbed in place via the dynamic-PLL repair
+  (:mod:`repro.labeling.dynamic`), which keeps the labeling an exact
+  cover — cached supplements are invalidated, because an insertion can
+  change both affected sets and replacement distances;
+* a **permanent deletion** (`commit_failure`) turns a failure case into
+  the new baseline: the library rebuilds the labeling for the shrunk
+  graph (decremental 2-hop maintenance is exactly what the paper proves
+  impractical, so honesty demands a rebuild) and drops all supplements.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.builder import RELABEL_ALGORITHMS
+from repro.core.affected import identify_affected
+from repro.core.index import SIEFIndex
+from repro.core.query import SIEFQueryEngine
+from repro.exceptions import EdgeNotFound, IndexError_
+from repro.graph.graph import Graph, normalize_edge
+from repro.labeling.dynamic import insert_edge as _dynamic_insert
+from repro.labeling.pll import build_pll
+from repro.labeling.label import Labeling
+
+Edge = Tuple[int, int]
+Distance = Union[int, float]
+
+
+class LazySIEFIndex:
+    """A SIEF index that materializes failure cases on first use.
+
+    Parameters
+    ----------
+    graph:
+        The (mutable, owned) graph; use :meth:`insert_edge` /
+        :meth:`commit_failure` to change it, not direct mutation —
+        the index must see every change.
+    labeling:
+        Optional prebuilt labeling; built with PLL otherwise.
+    algorithm:
+        Relabel strategy for on-demand builds (default ``bfs_all``).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        labeling: Optional[Labeling] = None,
+        algorithm: str = "bfs_all",
+    ) -> None:
+        if algorithm not in RELABEL_ALGORITHMS:
+            raise IndexError_(
+                f"unknown relabel algorithm {algorithm!r}; "
+                f"choose from {sorted(RELABEL_ALGORITHMS)}"
+            )
+        self.graph = graph
+        self.algorithm = algorithm
+        self._relabel = RELABEL_ALGORITHMS[algorithm]
+        self._index = SIEFIndex(
+            labeling if labeling is not None else build_pll(graph)
+        )
+        self._engine = SIEFQueryEngine(self._index)
+        self.build_seconds = 0.0
+        self.cases_built = 0
+        self.cache_hits = 0
+
+    @property
+    def labeling(self) -> Labeling:
+        """The current (exact) 2-hop labeling."""
+        return self._index.labeling
+
+    # -- queries -------------------------------------------------------------
+
+    def distance(self, s: int, t: int, failed_edge: Edge) -> Distance:
+        """``d_{G - e}(s, t)``, building the case for ``e`` if needed."""
+        self._ensure_case(*failed_edge)
+        return self._engine.distance(s, t, failed_edge)
+
+    def _ensure_case(self, u: int, v: int) -> None:
+        if self._index.has_case(u, v):
+            self.cache_hits += 1
+            return
+        if not self.graph.has_edge(u, v):
+            raise EdgeNotFound(u, v)
+        started = time.perf_counter()
+        affected = identify_affected(self.graph, u, v)
+        si = self._relabel(self.graph, self._index.labeling, affected)
+        self.build_seconds += time.perf_counter() - started
+        self._index.add_supplement((u, v), si)
+        self.cases_built += 1
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert_edge(self, a: int, b: int) -> None:
+        """Grow the graph; repair the labeling; invalidate cached cases.
+
+        Invalidation is wholesale: a new edge can shrink replacement
+        distances (stale supplements would *overestimate*) and reshape
+        affected sets (stale membership would route queries through the
+        wrong §4.4 case), so per-case salvage is unsafe.
+        """
+        _dynamic_insert(self.graph, self._index.labeling, a, b)
+        self._invalidate()
+
+    def commit_failure(self, u: int, v: int) -> None:
+        """Make a failure permanent: remove the edge and re-baseline.
+
+        The old labeling cannot be repaired for deletions (the gap SIEF
+        exists to cover at query time); committing rebuilds PLL on the
+        shrunk graph with the same ordering strategy.
+        """
+        self.graph.remove_edge(u, v)
+        started = time.perf_counter()
+        self._index = SIEFIndex(build_pll(self.graph))
+        self._engine = SIEFQueryEngine(self._index)
+        self.build_seconds += time.perf_counter() - started
+        self.cases_built = 0
+
+    def _invalidate(self) -> None:
+        self._index.supplements.clear()
+        self.cases_built = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def cached_cases(self) -> Dict[Edge, object]:
+        """The currently materialized failure cases (read-only view)."""
+        return dict(self._index.supplements)
+
+    def __repr__(self) -> str:
+        return (
+            f"LazySIEFIndex(n={self.graph.num_vertices}, "
+            f"m={self.graph.num_edges}, cached={self.cases_built})"
+        )

@@ -1,0 +1,96 @@
+"""SIEF index persistence.
+
+Binary layout after the 8-byte magic reuses the labeling blob
+(:mod:`repro.labeling.serialize`) followed by a JSON-encoded supplement
+section — supplements are ragged, per-edge, and comparatively small, so
+a self-describing encoding beats a hand-rolled one; the original labeling
+(the bulk of the bytes) stays in the compact numpy form.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Union
+
+from repro.core.affected import AffectedVertices
+from repro.core.index import SIEFIndex
+from repro.core.supplemental import SupplementalIndex, SupplementalLabels
+from repro.exceptions import SerializationError
+from repro.labeling.serialize import labeling_from_bytes, labeling_to_bytes
+
+MAGIC = b"SIEFIDX1"
+PathLike = Union[str, Path]
+
+
+def index_to_bytes(index: SIEFIndex) -> bytes:
+    """Serialize a full SIEF index."""
+    label_blob = labeling_to_bytes(index.labeling)
+    cases = []
+    for (u, v), si in index.iter_cases():
+        cases.append(
+            {
+                "e": [u, v],
+                "au": list(si.affected.side_u),
+                "av": list(si.affected.side_v),
+                "disc": si.affected.disconnected,
+                "sl": {
+                    str(w): [sl.ranks, sl.dists]
+                    for w, sl in si.iter_labels()
+                },
+            }
+        )
+    sup_blob = json.dumps({"cases": cases}, separators=(",", ":")).encode("utf-8")
+    return (
+        MAGIC
+        + struct.pack("<qq", len(label_blob), len(sup_blob))
+        + label_blob
+        + sup_blob
+    )
+
+
+def index_from_bytes(data: bytes) -> SIEFIndex:
+    """Inverse of :func:`index_to_bytes`."""
+    if data[: len(MAGIC)] != MAGIC:
+        raise SerializationError("bad magic: not a SIEF index blob")
+    header_end = len(MAGIC) + 16
+    try:
+        label_len, sup_len = struct.unpack(
+            "<qq", data[len(MAGIC) : header_end]
+        )
+        label_blob = data[header_end : header_end + label_len]
+        sup_blob = data[header_end + label_len : header_end + label_len + sup_len]
+        if len(label_blob) != label_len or len(sup_blob) != sup_len:
+            raise SerializationError("truncated SIEF index blob")
+        labeling = labeling_from_bytes(bytes(label_blob))
+        doc = json.loads(sup_blob.decode("utf-8"))
+        index = SIEFIndex(labeling)
+        for case in doc["cases"]:
+            u, v = case["e"]
+            affected = AffectedVertices(
+                u=u,
+                v=v,
+                side_u=tuple(case["au"]),
+                side_v=tuple(case["av"]),
+                disconnected=bool(case.get("disc", False)),
+            )
+            si = SupplementalIndex(affected)
+            for key, (ranks, dists) in case["sl"].items():
+                si.labels[int(key)] = SupplementalLabels(
+                    [int(r) for r in ranks], [int(d) for d in dists]
+                )
+            index.add_supplement((u, v), si)
+    except (KeyError, TypeError, ValueError, struct.error) as exc:
+        raise SerializationError(f"bad SIEF index blob: {exc}") from exc
+    return index
+
+
+def save_index(index: SIEFIndex, path: PathLike) -> None:
+    """Write the binary format to ``path``."""
+    Path(path).write_bytes(index_to_bytes(index))
+
+
+def load_index(path: PathLike) -> SIEFIndex:
+    """Read an index written by :func:`save_index`."""
+    return index_from_bytes(Path(path).read_bytes())

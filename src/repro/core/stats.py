@@ -1,0 +1,111 @@
+"""SIEF index statistics — the quantities Tables 3/5 and Figures 5/6 plot.
+
+Reuses the byte model of :mod:`repro.labeling.stats` (8 B per entry) for
+supplemental entries, plus per-case overhead for the two sorted
+affected-vertex arrays (4 B per member) that the query engine binary
+searches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.builder import BuildReport
+from repro.core.index import SIEFIndex
+from repro.labeling.stats import (
+    BYTES_PER_ENTRY,
+    labeling_bytes,
+    labeling_stats,
+)
+
+BYTES_PER_AFFECTED_VERTEX = 4
+"""Modelled bytes per member of a stored affected-side array."""
+
+
+@dataclass(frozen=True)
+class SIEFStats:
+    """Size/shape summary of one SIEF index (plus its original labeling)."""
+
+    num_vertices: int
+    num_cases: int
+    original_entries: int
+    supplemental_entries: int
+    affected_members: int
+    original_bytes: int
+    supplemental_bytes: int
+    avg_affected_per_case: float
+    avg_supplemental_entries_per_case: float
+
+    @property
+    def total_bytes(self) -> int:
+        """Original + supplemental modelled bytes (Figure 6's stacked bar)."""
+        return self.original_bytes + self.supplemental_bytes
+
+    @property
+    def slen_over_olen(self) -> float:
+        """Figure 5's headline ratio: supplemental over original entries."""
+        if not self.original_entries:
+            return 0.0
+        return self.supplemental_entries / self.original_entries
+
+    @property
+    def original_megabytes(self) -> float:
+        """Original index size in MB (10^6 bytes)."""
+        return self.original_bytes / 1_000_000
+
+    @property
+    def supplemental_megabytes(self) -> float:
+        """Supplemental index size in MB (10^6 bytes)."""
+        return self.supplemental_bytes / 1_000_000
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for table rendering."""
+        return {
+            "num_vertices": self.num_vertices,
+            "num_cases": self.num_cases,
+            "original_entries": self.original_entries,
+            "supplemental_entries": self.supplemental_entries,
+            "slen_over_olen": self.slen_over_olen,
+            "original_bytes": self.original_bytes,
+            "supplemental_bytes": self.supplemental_bytes,
+            "total_bytes": self.total_bytes,
+            "avg_affected_per_case": self.avg_affected_per_case,
+            "avg_supplemental_entries_per_case": (
+                self.avg_supplemental_entries_per_case
+            ),
+        }
+
+
+def supplemental_bytes(index: SIEFIndex) -> int:
+    """Modelled byte size of all supplements (entries + affected arrays)."""
+    entries = index.total_supplemental_entries()
+    members = sum(si.affected.total for si in index.supplements.values())
+    return entries * BYTES_PER_ENTRY + members * BYTES_PER_AFFECTED_VERTEX
+
+
+def sief_stats(index: SIEFIndex, report: Optional[BuildReport] = None) -> SIEFStats:
+    """Compute :class:`SIEFStats`; pass the build report for per-case averages."""
+    original = labeling_stats(index.labeling)
+    members = sum(si.affected.total for si in index.supplements.values())
+    cases = index.num_cases
+    supplemental_entries = index.total_supplemental_entries()
+    if report is not None:
+        avg_affected = report.avg_affected
+        avg_entries = report.avg_supplemental_entries
+    else:
+        avg_affected = members / cases if cases else 0.0
+        avg_entries = supplemental_entries / cases if cases else 0.0
+    return SIEFStats(
+        num_vertices=index.labeling.num_vertices,
+        num_cases=cases,
+        original_entries=original.total_entries,
+        supplemental_entries=supplemental_entries,
+        affected_members=members,
+        original_bytes=labeling_bytes(
+            original.total_entries, original.num_vertices
+        ),
+        supplemental_bytes=supplemental_bytes(index),
+        avg_affected_per_case=avg_affected,
+        avg_supplemental_entries_per_case=avg_entries,
+    )

@@ -1,0 +1,120 @@
+"""RELABEL stage output: supplemental label structures.
+
+For a failed edge ``(u, v)`` the supplemental index ``SI(u,v)`` maps an
+affected vertex ``t`` to its *supplemental label* ``SL(t)``: pairs
+``(h, δ)`` where ``h`` is an affected vertex **on the opposite side**
+with ``σ[h] < σ[t]`` and ``δ = d_{G'}(h, t)``.  Only distances the
+original index can no longer answer (the cross-side Case 4 pairs) are
+stored, which is what makes SIEF compact.
+
+As in :mod:`repro.labeling.label`, hubs are stored as ordering ranks in
+strictly ascending order, so Case-4 evaluation is a merge against the
+querying vertex's original label-distance function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.core.affected import AffectedVertices
+from repro.exceptions import IndexError_
+
+
+@dataclass
+class SupplementalLabels:
+    """Mutable per-vertex supplemental label: parallel rank/dist lists."""
+
+    ranks: List[int]
+    dists: List[int]
+
+    def __len__(self) -> int:
+        return len(self.ranks)
+
+    def append(self, rank: int, dist: int) -> None:
+        """Append an entry, enforcing ascending rank order."""
+        if self.ranks and rank <= self.ranks[-1]:
+            raise IndexError_(
+                f"supplemental entries must arrive in ascending rank order "
+                f"(got {rank} after {self.ranks[-1]})"
+            )
+        self.ranks.append(rank)
+        self.dists.append(dist)
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """``(rank, dist)`` tuples."""
+        return list(zip(self.ranks, self.dists))
+
+
+class SupplementalIndex:
+    """``SI(u,v)`` — affected sides plus supplemental labels for one edge.
+
+    Attributes
+    ----------
+    affected:
+        The :class:`AffectedVertices` split this index was built from.
+    labels:
+        Mapping of affected vertex id -> :class:`SupplementalLabels`.
+        Vertices whose supplemental label came out empty after pruning
+        are not stored.
+    """
+
+    __slots__ = ("affected", "labels", "search_expanded")
+
+    def __init__(self, affected: AffectedVertices) -> None:
+        self.affected = affected
+        self.labels: Dict[int, SupplementalLabels] = {}
+        # Vertices the RELABEL stage's searches expanded while building
+        # this index — a machine-independent cost measure the Figure 7
+        # bench reports alongside wall-clock.  Not part of equality.
+        self.search_expanded = 0
+
+    @property
+    def edge(self) -> Tuple[int, int]:
+        """The failed edge ``(u, v)`` this index covers."""
+        return (self.affected.u, self.affected.v)
+
+    def label_of(self, vertex: int) -> SupplementalLabels:
+        """Get-or-create the supplemental label of ``vertex``."""
+        label = self.labels.get(vertex)
+        if label is None:
+            label = SupplementalLabels([], [])
+            self.labels[vertex] = label
+        return label
+
+    def get(self, vertex: int) -> SupplementalLabels:
+        """Supplemental label of ``vertex`` (empty label if none stored)."""
+        return self.labels.get(vertex, _EMPTY)
+
+    def drop_empty(self) -> None:
+        """Remove vertices whose label stayed empty (storage hygiene)."""
+        self.labels = {v: sl for v, sl in self.labels.items() if len(sl)}
+
+    def total_entries(self) -> int:
+        """Supplemental label entry count — the per-edge SLEN statistic."""
+        return sum(len(sl) for sl in self.labels.values())
+
+    def iter_labels(self) -> Iterator[Tuple[int, SupplementalLabels]]:
+        """Iterate stored ``(vertex, label)`` pairs in vertex order."""
+        for v in sorted(self.labels):
+            yield v, self.labels[v]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SupplementalIndex):
+            return NotImplemented
+        if self.affected != other.affected:
+            return False
+        mine = {v: (sl.ranks, sl.dists) for v, sl in self.labels.items() if len(sl)}
+        theirs = {
+            v: (sl.ranks, sl.dists) for v, sl in other.labels.items() if len(sl)
+        }
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        return (
+            f"SupplementalIndex(edge={self.edge}, "
+            f"affected={self.affected.total}, entries={self.total_entries()})"
+        )
+
+
+_EMPTY = SupplementalLabels([], [])

@@ -1,0 +1,57 @@
+"""Failure models and the paper's future-work extensions.
+
+* :mod:`repro.failures.model` — failure scenarios and seeded workload
+  generators (random failed edges, random query triples) shared by tests
+  and benchmarks.
+* :mod:`repro.failures.search` — traversals avoiding arbitrary edge/vertex
+  sets (the exact fallback the extensions rest on).
+* :mod:`repro.failures.dual` — dual-edge failures (§6 future work):
+  index-derived lower bounds plus an exact fallback.
+* :mod:`repro.failures.node` — node failures (§6 future work): exact
+  fallback via vertex-avoiding BFS.
+* :mod:`repro.failures.weighted` — the weighted-graph SIEF variant
+  (Dijkstra-based identify + relabel) backing the paper's "can be
+  extended to weighted graphs" claim.
+"""
+
+from repro.failures.model import (
+    FailureScenario,
+    QueryTriple,
+    random_failed_edges,
+    random_query_triples,
+    cross_side_query_triples,
+)
+from repro.failures.search import (
+    bfs_avoiding,
+    bfs_distance_avoiding,
+)
+from repro.failures.dual import DualFailureOracle
+from repro.failures.node import NodeFailureOracle
+from repro.failures.weighted import (
+    WeightedSIEFIndex,
+    build_weighted_sief,
+    identify_affected_weighted,
+)
+from repro.failures.directed import (
+    DirectedSIEFIndex,
+    build_directed_sief,
+    identify_affected_directed,
+)
+
+__all__ = [
+    "FailureScenario",
+    "QueryTriple",
+    "random_failed_edges",
+    "random_query_triples",
+    "cross_side_query_triples",
+    "bfs_avoiding",
+    "bfs_distance_avoiding",
+    "DualFailureOracle",
+    "NodeFailureOracle",
+    "WeightedSIEFIndex",
+    "build_weighted_sief",
+    "identify_affected_weighted",
+    "DirectedSIEFIndex",
+    "build_directed_sief",
+    "identify_affected_directed",
+]

@@ -1,0 +1,119 @@
+"""Failure scenarios and seeded workload generation.
+
+Benchmarks and tests need reproducible streams of "fail this edge, query
+that pair" events; these helpers centralize the sampling so every bench
+draws from the same distributions the paper's evaluation implies (uniform
+random failed edge, uniform random vertex pair).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+from repro.graph.graph import Graph, normalize_edge
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """One failure event: the edges (and/or vertices) currently down."""
+
+    failed_edges: Tuple[Edge, ...] = ()
+    failed_vertices: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "failed_edges",
+            tuple(normalize_edge(*e) for e in self.failed_edges),
+        )
+
+    @property
+    def is_single_edge(self) -> bool:
+        """Whether this is the paper's single-edge failure model."""
+        return len(self.failed_edges) == 1 and not self.failed_vertices
+
+
+@dataclass(frozen=True)
+class QueryTriple:
+    """One benchmark query: source, target, failed edge."""
+
+    s: int
+    t: int
+    edge: Edge
+
+
+def random_failed_edges(
+    graph: Graph, count: int, seed: int = 0, distinct: bool = False
+) -> List[Edge]:
+    """Sample ``count`` failed edges uniformly from the graph.
+
+    ``distinct=True`` samples without replacement (requires
+    ``count <= m``).
+    """
+    edges = list(graph.edges())
+    if not edges:
+        raise ReproError("cannot sample failures from an edgeless graph")
+    rng = random.Random(seed)
+    if distinct:
+        if count > len(edges):
+            raise ReproError(
+                f"asked for {count} distinct edges, graph has {len(edges)}"
+            )
+        return rng.sample(edges, count)
+    return [rng.choice(edges) for _ in range(count)]
+
+
+def random_query_triples(
+    graph: Graph, count: int, seed: int = 0
+) -> List[QueryTriple]:
+    """Uniform random ``(s, t, failed edge)`` workload (Table 4's shape)."""
+    edges = list(graph.edges())
+    if not edges or graph.num_vertices < 2:
+        raise ReproError("graph too small to generate query triples")
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    triples = []
+    for _ in range(count):
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        while t == s:
+            t = rng.randrange(n)
+        triples.append(QueryTriple(s, t, rng.choice(edges)))
+    return triples
+
+
+def cross_side_query_triples(
+    index, count: int, seed: int = 0
+) -> List[QueryTriple]:
+    """Query triples guaranteed to hit Case 4 (both endpoints affected,
+    opposite sides) — the stress workload where supplemental labels are
+    actually consulted.
+
+    ``index`` is a :class:`repro.core.index.SIEFIndex`; edges whose
+    failure affects a single vertex per side still qualify (the endpoints
+    themselves).
+    """
+    rng = random.Random(seed)
+    cases = [(edge, si) for edge, si in index.iter_cases()]
+    if not cases:
+        raise ReproError("index holds no failure cases")
+    triples: List[QueryTriple] = []
+    guard = 0
+    while len(triples) < count and guard < 100 * count:
+        guard += 1
+        edge, si = rng.choice(cases)
+        side_u = si.affected.side_u
+        side_v = si.affected.side_v
+        if not side_u or not side_v:
+            continue
+        s = rng.choice(side_u)
+        t = rng.choice(side_v)
+        triples.append(QueryTriple(s, t, edge))
+    if len(triples) < count:
+        raise ReproError("could not generate enough cross-side triples")
+    return triples

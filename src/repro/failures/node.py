@@ -1,0 +1,73 @@
+"""Node failures — the paper's last future-work item (§6).
+
+Removing a vertex removes *all* its incident edges at once, which the
+paper notes is "even more challenging than edge failures".  As with the
+dual case, the single-failure SIEF index supplies a certified lower bound
+(the failure of any one incident edge), and an avoid-vertex BFS supplies
+exactness.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.core.index import SIEFIndex
+from repro.core.query import SIEFQueryEngine
+from repro.exceptions import ReproError
+from repro.failures.search import bfs_distance_avoiding
+from repro.labeling.query import INF
+
+Distance = Union[int, float]
+
+
+class NodeFailureOracle:
+    """Answers ``d_{G - w}(s, t)`` for a failed vertex ``w``."""
+
+    def __init__(self, graph, index: SIEFIndex) -> None:
+        self.graph = graph
+        self.engine = SIEFQueryEngine(index)
+        self.calls = 0
+        self.tight_bounds = 0
+
+    def lower_bound(self, s: int, t: int, failed_vertex: int) -> Distance:
+        """Max over incident edges of the single-failure distance.
+
+        ``G - w`` is a subgraph of ``G - e`` for every edge ``e`` incident
+        to ``w``, so each single-failure distance lower-bounds the node-
+        failure distance; isolated vertices contribute the original
+        distance.
+        """
+        incident = list(self.graph.neighbors(failed_vertex))
+        if not incident:
+            from repro.labeling.query import dist_query
+
+            return dist_query(self.engine.index.labeling, s, t)
+        return max(
+            self.engine.distance(s, t, (failed_vertex, nbr))
+            for nbr in incident
+        )
+
+    def distance(self, s: int, t: int, failed_vertex: int) -> Distance:
+        """Exact node-failure distance via avoid-vertex BFS.
+
+        Querying an endpoint of the failed vertex itself is rejected —
+        the distance "from a removed vertex" is undefined.
+        """
+        if failed_vertex in (s, t):
+            raise ReproError(
+                f"query endpoint {failed_vertex} is the failed vertex"
+            )
+        self.calls += 1
+        exact = bfs_distance_avoiding(
+            self.graph, s, t, avoid_vertices=(failed_vertex,)
+        )
+        if exact != INF and exact == self.lower_bound(s, t, failed_vertex):
+            self.tight_bounds += 1
+        return exact
+
+    @property
+    def tightness_rate(self) -> float:
+        """Fraction of calls where the edge-failure bound was exact."""
+        if not self.calls:
+            return 0.0
+        return self.tight_bounds / self.calls

@@ -1,0 +1,91 @@
+"""Traversals that avoid arbitrary edge and vertex sets.
+
+The exact fallback behind the dual-edge and node failure oracles.  Kept
+separate from :mod:`repro.graph.traversal` because the single-edge hot
+loops there must stay branch-minimal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.graph.graph import normalize_edge
+from repro.graph.traversal import UNREACHED, _adjacency
+from repro.labeling.query import INF
+
+Edge = Tuple[int, int]
+Distance = Union[int, float]
+
+
+def _edge_set(edges: Iterable[Edge]) -> FrozenSet[Edge]:
+    return frozenset(normalize_edge(*e) for e in edges)
+
+
+def bfs_avoiding(
+    graph,
+    source: int,
+    avoid_edges: Iterable[Edge] = (),
+    avoid_vertices: Iterable[int] = (),
+) -> List[int]:
+    """BFS distances skipping the given edges and vertices entirely.
+
+    A source inside ``avoid_vertices`` yields an all-unreached vector.
+    """
+    adj = _adjacency(graph)
+    n = len(adj)
+    bad_edges = _edge_set(avoid_edges)
+    bad_vertices: Set[int] = set(avoid_vertices)
+    dist = [UNREACHED] * n
+    if source in bad_vertices:
+        return dist
+    dist[source] = 0
+    queue = deque((source,))
+    while queue:
+        v = queue.popleft()
+        d = dist[v] + 1
+        for w in adj[v]:
+            if w in bad_vertices or dist[w] != UNREACHED:
+                continue
+            if bad_edges and normalize_edge(v, w) in bad_edges:
+                continue
+            dist[w] = d
+            queue.append(w)
+    return dist
+
+
+def bfs_distance_avoiding(
+    graph,
+    source: int,
+    target: int,
+    avoid_edges: Iterable[Edge] = (),
+    avoid_vertices: Iterable[int] = (),
+) -> Distance:
+    """Point-to-point distance under the avoid sets (:data:`INF` if cut).
+
+    Early-exits once the target is settled.
+    """
+    bad_vertices: Set[int] = set(avoid_vertices)
+    if source == target:
+        return INF if source in bad_vertices else 0
+    adj = _adjacency(graph)
+    n = len(adj)
+    bad_edges = _edge_set(avoid_edges)
+    if source in bad_vertices or target in bad_vertices:
+        return INF
+    dist = [UNREACHED] * n
+    dist[source] = 0
+    queue = deque((source,))
+    while queue:
+        v = queue.popleft()
+        d = dist[v] + 1
+        for w in adj[v]:
+            if w in bad_vertices or dist[w] != UNREACHED:
+                continue
+            if bad_edges and normalize_edge(v, w) in bad_edges:
+                continue
+            if w == target:
+                return d
+            dist[w] = d
+            queue.append(w)
+    return INF

@@ -1,0 +1,218 @@
+"""Weighted-graph SIEF — the paper's "can be extended to weighted graphs".
+
+Everything in §4 generalizes once BFS becomes Dijkstra and the unit edge
+length becomes the failed edge's weight ``c``:
+
+* Lemma 7's membership test becomes ``d(w, v) == d(w, u) + c``;
+* Lemma 8's tree-growth argument is verbatim (an affected vertex's
+  shortest path toward the root consists of affected, pairwise-adjacent
+  vertices), so the same restricted flood finds each side;
+* relabeling runs a (plain, late-pruned) Dijkstra per affected root, with
+  the identical ``<=`` redundancy test against the weighted labeling.
+
+Float arithmetic replaces the exact integer comparisons, so every
+equality is evaluated under a relative tolerance (:data:`EPS`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.affected import AffectedVertices
+from repro.core.supplemental import SupplementalIndex, SupplementalLabels
+from repro.exceptions import EdgeNotFound, FailureCaseNotIndexed
+from repro.graph.graph import normalize_edge
+from repro.graph.weighted import WeightedGraph
+from repro.labeling.pll_weighted import WeightedLabeling, build_weighted_pll
+from repro.labeling.query import INF, dist_query
+
+Edge = Tuple[int, int]
+Distance = Union[int, float]
+
+EPS = 1e-9
+"""Relative tolerance for weighted distance comparisons."""
+
+
+def close(a: float, b: float) -> bool:
+    """Tolerant float equality (also true for two infinities)."""
+    if a == b:
+        return True
+    if math.isinf(a) or math.isinf(b):
+        return False
+    return abs(a - b) <= EPS * max(1.0, abs(a), abs(b))
+
+
+def _dijkstra(wgraph: WeightedGraph, source: int, avoid: Optional[Edge]) -> List[float]:
+    a, b = avoid if avoid is not None else (-1, -1)
+    dist = [INF] * wgraph.num_vertices
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        for w, weight in wgraph.neighbors(v):
+            if (v == a and w == b) or (v == b and w == a):
+                continue
+            nd = d + weight
+            if nd < dist[w]:
+                dist[w] = nd
+                heapq.heappush(heap, (nd, w))
+    return dist
+
+
+def identify_affected_weighted(
+    wgraph: WeightedGraph, u: int, v: int
+) -> AffectedVertices:
+    """Weighted Algorithm 1: affected sides of failed edge ``(u, v)``."""
+    if not wgraph.has_edge(u, v):
+        raise EdgeNotFound(u, v)
+    c = wgraph.weight(u, v)
+    du = _dijkstra(wgraph, u, avoid=None)
+    dv = _dijkstra(wgraph, v, avoid=None)
+    du_new = _dijkstra(wgraph, u, avoid=(u, v))
+    dv_new = _dijkstra(wgraph, v, avoid=(u, v))
+
+    def grow(root: int, d_near: List[float], d_far: List[float], d_far_new: List[float]) -> Tuple[int, ...]:
+        # Unlike the unweighted case, a weighted edge heavier than the
+        # best detour lies on no shortest path at all: then not even the
+        # endpoints are affected and the side is empty.
+        if close(d_far[root], d_far_new[root]):
+            return ()
+        member = [False] * wgraph.num_vertices
+        member[root] = True
+        side = [root]
+        queue = deque((root,))
+        while queue:
+            t = queue.popleft()
+            for r, _w in wgraph.neighbors(t):
+                if member[r] or math.isinf(d_near[r]):
+                    continue
+                through = d_near[r] + c
+                if close(d_far[r], through) and not close(d_far_new[r], through):
+                    member[r] = True
+                    side.append(r)
+                    queue.append(r)
+        return tuple(sorted(side))
+
+    return AffectedVertices(
+        u=u,
+        v=v,
+        side_u=grow(u, du, dv, dv_new),
+        side_v=grow(v, dv, du, du_new),
+        disconnected=math.isinf(du_new[v]),
+    )
+
+
+def _relabel_side_weighted(
+    wgraph: WeightedGraph,
+    failed: Edge,
+    labeling: WeightedLabeling,
+    roots: List[int],
+    targets: List[int],
+    si: SupplementalIndex,
+) -> None:
+    """Late-pruned Dijkstra relabeling (the weighted BFS AFF analogue)."""
+    rank = labeling.ordering.rank
+    vertex = labeling.ordering.vertex
+    for r in sorted(roots, key=rank):
+        r_rank = rank(r)
+        wanted = [t for t in targets if rank(t) > r_rank]
+        if not wanted:
+            continue
+        dist = _dijkstra(wgraph, r, avoid=failed)
+        via_cache: Dict[int, float] = {}
+        for t in sorted(wanted, key=rank):
+            d = dist[t]
+            if math.isinf(d):
+                continue
+            sl = si.label_of(t)
+            redundant = False
+            for h_rank, delta in zip(sl.ranks, sl.dists):
+                via = via_cache.get(h_rank)
+                if via is None:
+                    via = dist_query(labeling, r, vertex(h_rank))
+                    via_cache[h_rank] = via
+                if via + delta <= d + EPS * max(1.0, d):
+                    redundant = True
+                    break
+            if not redundant:
+                sl.append(r_rank, d)
+
+
+def build_supplemental_weighted(
+    wgraph: WeightedGraph,
+    labeling: WeightedLabeling,
+    affected: AffectedVertices,
+) -> SupplementalIndex:
+    """Build ``SI(u,v)`` for one weighted failure case."""
+    si = SupplementalIndex(affected)
+    if affected.disconnected:
+        return si
+    failed = (affected.u, affected.v)
+    _relabel_side_weighted(
+        wgraph, failed, labeling, list(affected.side_u), list(affected.side_v), si
+    )
+    _relabel_side_weighted(
+        wgraph, failed, labeling, list(affected.side_v), list(affected.side_u), si
+    )
+    si.drop_empty()
+    return si
+
+
+class WeightedSIEFIndex:
+    """Weighted labeling plus per-edge supplements, with Case 1–4 queries."""
+
+    def __init__(self, labeling: WeightedLabeling) -> None:
+        self.labeling = labeling
+        self.supplements: Dict[Edge, SupplementalIndex] = {}
+
+    def add_supplement(self, edge: Edge, si: SupplementalIndex) -> None:
+        """Register one failure case."""
+        self.supplements[normalize_edge(*edge)] = si
+
+    def supplement(self, u: int, v: int) -> SupplementalIndex:
+        """The case for failed edge ``(u, v)``; raises if unindexed."""
+        try:
+            return self.supplements[normalize_edge(u, v)]
+        except KeyError:
+            raise FailureCaseNotIndexed(u, v) from None
+
+    def distance(self, s: int, t: int, failed_edge: Edge) -> float:
+        """``d_{G - e}(s, t)`` on the weighted graph."""
+        si = self.supplement(*failed_edge)
+        side_s = si.affected.contains(s)
+        side_t = si.affected.contains(t)
+        if side_s is None or side_t is None or side_s == side_t:
+            return dist_query(self.labeling, s, t)
+        if s == t:
+            return 0.0
+        if self.labeling.ordering.precedes(s, t):
+            low, high = s, t
+        else:
+            low, high = t, s
+        sl: SupplementalLabels = si.get(high)
+        vertex = self.labeling.ordering.vertex
+        best = INF
+        for h_rank, delta in zip(sl.ranks, sl.dists):
+            total = dist_query(self.labeling, low, vertex(h_rank)) + delta
+            if total < best:
+                best = total
+        return best
+
+
+def build_weighted_sief(
+    wgraph: WeightedGraph, labeling: Optional[WeightedLabeling] = None
+) -> WeightedSIEFIndex:
+    """Weighted PLL (if needed) + supplements for every edge."""
+    if labeling is None:
+        labeling = build_weighted_pll(wgraph)
+    index = WeightedSIEFIndex(labeling)
+    for u, v, _w in wgraph.edges():
+        affected = identify_affected_weighted(wgraph, u, v)
+        si = build_supplemental_weighted(wgraph, labeling, affected)
+        index.add_supplement((u, v), si)
+    return index

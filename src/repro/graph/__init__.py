@@ -1,0 +1,47 @@
+"""Graph substrate: graph types, construction, I/O, generators, traversal.
+
+This subpackage is the foundation everything else builds on.  The central
+type is :class:`~repro.graph.graph.Graph`, a simple undirected, unweighted
+graph over contiguous integer vertex ids ``0..n-1`` stored as adjacency
+lists.  Weighted and directed variants live alongside it, together with a
+compact CSR view, deterministic synthetic generators used by the benchmark
+suite, and the traversal primitives (BFS, Dijkstra) that both the PLL
+labeling and the SIEF construction algorithms rely on.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.weighted import WeightedGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_distances_avoiding_edge,
+    bfs_distance_between,
+    bidirectional_bfs,
+    dijkstra_distances,
+)
+from repro.graph.components import connected_components, is_connected, bridges
+from repro.graph import generators
+from repro.graph import io
+from repro.graph.stats import GraphStats, compute_stats
+
+__all__ = [
+    "Graph",
+    "WeightedGraph",
+    "DiGraph",
+    "GraphBuilder",
+    "CSRGraph",
+    "bfs_distances",
+    "bfs_distances_avoiding_edge",
+    "bfs_distance_between",
+    "bidirectional_bfs",
+    "dijkstra_distances",
+    "connected_components",
+    "is_connected",
+    "bridges",
+    "generators",
+    "io",
+    "GraphStats",
+    "compute_stats",
+]

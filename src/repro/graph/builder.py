@@ -1,0 +1,102 @@
+"""Incremental graph construction with duplicate tolerance and relabeling.
+
+Real edge lists (SNAP-style files, scraped data) contain duplicate edges,
+self loops, and sparse vertex ids.  :class:`GraphBuilder` absorbs all of
+that: feed it raw pairs, then materialize a clean :class:`Graph` with dense
+ids, keeping the id mapping for round trips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+from repro.graph.weighted import WeightedGraph
+
+
+class GraphBuilder:
+    """Accumulates edges over arbitrary hashable vertex names.
+
+    Unlike :class:`Graph`, the builder silently drops self loops and
+    duplicate edges (counting them), which is the behaviour you want when
+    ingesting messy real-world edge lists.
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self._names: List[Hashable] = []
+        self._edges: Set[Tuple[int, int]] = set()
+        self._weights: Dict[Tuple[int, int], float] = {}
+        self.self_loops_dropped = 0
+        self.duplicates_dropped = 0
+
+    def vertex_id(self, name: Hashable) -> int:
+        """Dense id for ``name``, allocating one if unseen."""
+        vid = self._ids.get(name)
+        if vid is None:
+            vid = len(self._names)
+            self._ids[name] = vid
+            self._names.append(name)
+        return vid
+
+    def add_vertex(self, name: Hashable) -> int:
+        """Ensure ``name`` exists as an (possibly isolated) vertex."""
+        return self.vertex_id(name)
+
+    def add_edge(self, a: Hashable, b: Hashable, weight: Optional[float] = None) -> None:
+        """Record an undirected edge between two named vertices.
+
+        Self loops and repeated edges are dropped (counted, not raised).
+        For weighted use, the *first* weight seen for an edge wins.
+        """
+        u = self.vertex_id(a)
+        v = self.vertex_id(b)
+        if u == v:
+            self.self_loops_dropped += 1
+            return
+        key = (u, v) if u < v else (v, u)
+        if key in self._edges:
+            self.duplicates_dropped += 1
+            return
+        self._edges.add(key)
+        if weight is not None:
+            if weight <= 0:
+                raise GraphError(f"edge weight must be > 0, got {weight}")
+            self._weights[key] = weight
+
+    def add_edges(self, pairs: Iterable[Tuple[Hashable, Hashable]]) -> None:
+        """Bulk :meth:`add_edge` over unweighted pairs."""
+        for a, b in pairs:
+            self.add_edge(a, b)
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices allocated so far."""
+        return len(self._names)
+
+    @property
+    def num_edges(self) -> int:
+        """Distinct edges recorded so far."""
+        return len(self._edges)
+
+    def names(self) -> List[Hashable]:
+        """Dense-id -> original-name mapping (index = id)."""
+        return list(self._names)
+
+    def build(self) -> Graph:
+        """Materialize an unweighted :class:`Graph`."""
+        g = Graph(len(self._names))
+        for u, v in sorted(self._edges):
+            g.add_edge(u, v)
+        return g
+
+    def build_weighted(self, default_weight: float = 1.0) -> WeightedGraph:
+        """Materialize a :class:`WeightedGraph`.
+
+        Edges recorded without a weight get ``default_weight``.
+        """
+        g = WeightedGraph(len(self._names))
+        for u, v in sorted(self._edges):
+            g.add_edge(u, v, self._weights.get((u, v), default_weight))
+        return g

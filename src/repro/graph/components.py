@@ -1,0 +1,134 @@
+"""Connectivity: components and bridges.
+
+Bridges matter to SIEF specifically: a failed edge that is a *bridge*
+disconnects the graph, and the paper's Case-4 query must then return
+infinity.  Tarjan's bridge algorithm lets tests and benchmarks construct
+both bridge and non-bridge failure cases deliberately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Set, Tuple
+
+from repro.graph.traversal import _adjacency
+
+
+def connected_components(graph) -> List[List[int]]:
+    """Vertex lists of each connected component, ordered by smallest member."""
+    adj = _adjacency(graph)
+    n = len(adj)
+    comp = [-1] * n
+    components: List[List[int]] = []
+    for start in range(n):
+        if comp[start] != -1:
+            continue
+        cid = len(components)
+        members = [start]
+        comp[start] = cid
+        queue = deque((start,))
+        while queue:
+            v = queue.popleft()
+            for w in adj[v]:
+                if comp[w] == -1:
+                    comp[w] = cid
+                    members.append(w)
+                    queue.append(w)
+        components.append(sorted(members))
+    return components
+
+
+def component_ids(graph) -> List[int]:
+    """Per-vertex component id (components numbered by smallest member)."""
+    ids = [-1] * len(_adjacency(graph))
+    for cid, members in enumerate(connected_components(graph)):
+        for v in members:
+            ids[v] = cid
+    return ids
+
+
+def is_connected(graph) -> bool:
+    """Whether the graph has exactly one connected component.
+
+    The empty graph is considered connected (vacuously).
+    """
+    adj = _adjacency(graph)
+    n = len(adj)
+    if n == 0:
+        return True
+    seen = [False] * n
+    seen[0] = True
+    count = 1
+    queue = deque((0,))
+    while queue:
+        v = queue.popleft()
+        for w in adj[v]:
+            if not seen[w]:
+                seen[w] = True
+                count += 1
+                queue.append(w)
+    return count == n
+
+
+def largest_component_subgraph(graph):
+    """Induced subgraph of the largest component plus the id mapping.
+
+    Benchmark datasets are restricted to their giant component, mirroring
+    the paper's use of connected SNAP snapshots.
+    """
+    components = connected_components(graph)
+    biggest = max(components, key=len)
+    return graph.subgraph(biggest)
+
+
+def bridges(graph) -> Set[Tuple[int, int]]:
+    """All bridge edges as canonical ``(u, v)`` with ``u < v``.
+
+    Iterative Tarjan low-link computation (recursion-free so large graphs
+    don't hit Python's recursion limit).
+    """
+    adj = _adjacency(graph)
+    n = len(adj)
+    disc = [-1] * n
+    low = [0] * n
+    result: Set[Tuple[int, int]] = set()
+    timer = 0
+    for root in range(n):
+        if disc[root] != -1:
+            continue
+        # Each stack frame: (vertex, parent, iterator index, parent_edge_used)
+        stack = [(root, -1, 0, False)]
+        while stack:
+            v, parent, i, skipped_parent = stack.pop()
+            if i == 0:
+                disc[v] = low[v] = timer
+                timer += 1
+            nbrs = adj[v]
+            advanced = False
+            while i < len(nbrs):
+                w = nbrs[i]
+                i += 1
+                if w == parent and not skipped_parent:
+                    # Skip exactly one parent occurrence (parallel edges are
+                    # impossible in Graph, but keep the guard explicit).
+                    skipped_parent = True
+                    continue
+                if disc[w] == -1:
+                    stack.append((v, parent, i, skipped_parent))
+                    stack.append((w, v, 0, False))
+                    advanced = True
+                    break
+                low[v] = min(low[v], disc[w])
+            if not advanced and i >= len(nbrs):
+                # Post-order: propagate low-link to parent, decide bridge.
+                if parent != -1:
+                    low[parent] = min(low[parent], low[v])
+                    if low[v] > disc[parent]:
+                        result.add((parent, v) if parent < v else (v, parent))
+    return result
+
+
+def is_bridge(graph, u: int, v: int) -> bool:
+    """Whether removing edge ``(u, v)`` disconnects its component."""
+    key = (u, v) if u < v else (v, u)
+    return key in bridges(graph)

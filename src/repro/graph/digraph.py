@@ -1,0 +1,135 @@
+"""Directed, unweighted simple graph.
+
+Supports the directed extension of PLL (:mod:`repro.labeling.pll_directed`)
+where each vertex gets an *in* label and an *out* label.  The SIEF paper
+evaluates undirected graphs only, so this type exists for the documented
+"can be extended to directed graphs" claim, not for the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import EdgeNotFound, GraphError, VertexNotFound
+
+Arc = Tuple[int, int]
+
+
+class DiGraph:
+    """A simple directed, unweighted graph on vertices ``0..n-1``.
+
+    Both out-adjacency and in-adjacency are maintained (sorted), because
+    directed 2-hop labeling needs forward *and* backward BFS.
+    """
+
+    __slots__ = ("_out", "_in", "_num_arcs")
+
+    def __init__(self, num_vertices: int, arcs: Iterable[Arc] = ()) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._out: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._in: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._num_arcs = 0
+        for u, v in arcs:
+            self.add_arc(u, v)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._out)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs."""
+        return self._num_arcs
+
+    def vertices(self) -> range:
+        """All vertex ids as a range."""
+        return range(len(self._out))
+
+    def successors(self, v: int) -> Sequence[int]:
+        """Sorted out-neighbors of ``v``."""
+        self._check_vertex(v)
+        return self._out[v]
+
+    def predecessors(self, v: int) -> Sequence[int]:
+        """Sorted in-neighbors of ``v``."""
+        self._check_vertex(v)
+        return self._in[v]
+
+    def out_degree(self, v: int) -> int:
+        """Number of arcs leaving ``v``."""
+        self._check_vertex(v)
+        return len(self._out[v])
+
+    def in_degree(self, v: int) -> int:
+        """Number of arcs entering ``v``."""
+        self._check_vertex(v)
+        return len(self._in[v])
+
+    def arcs(self) -> Iterator[Arc]:
+        """Iterate all arcs as ``(tail, head)``."""
+        for u, heads in enumerate(self._out):
+            for v in heads:
+                yield (u, v)
+
+    def has_arc(self, u: int, v: int) -> bool:
+        """Whether arc ``u -> v`` exists."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return _sorted_contains(self._out[u], v)
+
+    def add_arc(self, u: int, v: int) -> None:
+        """Insert arc ``u -> v``; rejects self loops and duplicates."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise GraphError(f"self loop ({u}, {u}) not allowed")
+        if self.has_arc(u, v):
+            raise GraphError(f"duplicate arc ({u}, {v})")
+        _sorted_insert(self._out[u], v)
+        _sorted_insert(self._in[v], u)
+        self._num_arcs += 1
+
+    def remove_arc(self, u: int, v: int) -> None:
+        """Delete arc ``u -> v``; raises :class:`EdgeNotFound` if absent."""
+        if not self.has_arc(u, v):
+            raise EdgeNotFound(u, v)
+        self._out[u].remove(v)
+        self._in[v].remove(u)
+        self._num_arcs -= 1
+
+    def reverse(self) -> "DiGraph":
+        """Graph with every arc flipped."""
+        g = DiGraph(self.num_vertices)
+        g._out = [list(x) for x in self._in]
+        g._in = [list(x) for x in self._out]
+        g._num_arcs = self._num_arcs
+        return g
+
+    def to_undirected(self):
+        """Forget directions (arcs in both directions collapse to one edge)."""
+        from repro.graph.graph import Graph
+
+        g = Graph(self.num_vertices)
+        for u, v in self.arcs():
+            if not g.has_edge(u, v):
+                g.add_edge(u, v)
+        return g
+
+    def __repr__(self) -> str:
+        return f"DiGraph(n={self.num_vertices}, arcs={self.num_arcs})"
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self._out):
+            raise VertexNotFound(v, len(self._out))
+
+
+def _sorted_contains(lst: List[int], x: int) -> bool:
+    i = bisect.bisect_left(lst, x)
+    return i < len(lst) and lst[i] == x
+
+
+def _sorted_insert(lst: List[int], x: int) -> None:
+    bisect.insort(lst, x)

@@ -1,0 +1,317 @@
+"""Deterministic synthetic graph generators.
+
+These substitute for the paper's six SNAP datasets (no network access in
+this environment) — see DESIGN.md §2 for the mapping.  Every generator
+takes an explicit ``seed`` and uses its own :class:`random.Random`
+instance, so dataset generation is reproducible across runs and platforms.
+
+All generators return simple undirected :class:`~repro.graph.graph.Graph`
+objects (no self loops, no parallel edges).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+# ---------------------------------------------------------------------------
+# Classic families
+# ---------------------------------------------------------------------------
+
+
+def path_graph(n: int) -> Graph:
+    """Path ``0 - 1 - ... - n-1``."""
+    return Graph(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise GraphError(f"cycle needs n >= 3, got {n}")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star_graph(n: int) -> Graph:
+    """Star with center 0 and ``n - 1`` leaves."""
+    return Graph(n, ((0, i) for i in range(1, n)))
+
+
+def complete_graph(n: int) -> Graph:
+    """Clique on ``n`` vertices."""
+    return Graph(n, ((i, j) for i in range(n) for j in range(i + 1, n)))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """``rows x cols`` 4-neighbor grid (vertex ``r * cols + c``)."""
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+def random_tree(n: int, seed: Optional[int] = None) -> Graph:
+    """Uniform-attachment random tree on ``n`` vertices."""
+    rng = _rng(seed)
+    g = Graph(n)
+    for v in range(1, n):
+        g.add_edge(v, rng.randrange(v))
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Random-graph families used by the dataset registry
+# ---------------------------------------------------------------------------
+
+
+def erdos_renyi_gnm(n: int, m: int, seed: Optional[int] = None) -> Graph:
+    """Uniform random graph with exactly ``m`` distinct edges (G(n, m))."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"G(n={n}) has at most {max_edges} edges, asked for {m}")
+    rng = _rng(seed)
+    g = Graph(n)
+    seen: Set[Tuple[int, int]] = set()
+    while len(seen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        g.add_edge(*key)
+    return g
+
+
+def barabasi_albert(n: int, m: int, seed: Optional[int] = None) -> Graph:
+    """Preferential-attachment graph: each new vertex attaches ``m`` edges.
+
+    Implements the standard repeated-endpoint sampling scheme: targets are
+    drawn from a list holding every edge endpoint, so a vertex's selection
+    probability is proportional to its degree.
+    """
+    if m < 1 or m >= n:
+        raise GraphError(f"need 1 <= m < n, got m={m}, n={n}")
+    rng = _rng(seed)
+    g = Graph(n)
+    # Seed clique of m+1 vertices so early degrees are nonzero.
+    repeated: List[int] = []
+    for i in range(m + 1):
+        for j in range(i + 1, m + 1):
+            g.add_edge(i, j)
+            repeated.extend((i, j))
+    for v in range(m + 1, n):
+        targets: Set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for t in targets:
+            g.add_edge(v, t)
+            repeated.extend((v, t))
+    return g
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed: Optional[int] = None) -> Graph:
+    """Small-world ring lattice with rewiring probability ``beta``.
+
+    ``k`` (even) is the lattice degree; each "forward" lattice edge is
+    rewired to a uniform non-duplicate endpoint with probability ``beta``.
+    """
+    if k % 2 or k < 2 or k >= n:
+        raise GraphError(f"need even 2 <= k < n, got k={k}, n={n}")
+    if not 0.0 <= beta <= 1.0:
+        raise GraphError(f"beta must be in [0, 1], got {beta}")
+    rng = _rng(seed)
+    g = Graph(n)
+    for v in range(n):
+        for step in range(1, k // 2 + 1):
+            w = (v + step) % n
+            if not g.has_edge(v, w):
+                g.add_edge(v, w)
+    for v in range(n):
+        for step in range(1, k // 2 + 1):
+            w = (v + step) % n
+            if rng.random() < beta and g.has_edge(v, w):
+                candidates = [
+                    x for x in range(n) if x != v and not g.has_edge(v, x)
+                ]
+                if candidates:
+                    g.remove_edge(v, w)
+                    g.add_edge(v, rng.choice(candidates))
+    return g
+
+
+def powerlaw_cluster(n: int, m: int, p: float, seed: Optional[int] = None) -> Graph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Like :func:`barabasi_albert` but after each preferential attachment,
+    with probability ``p`` the next link closes a triangle with a random
+    neighbor of the previous target — producing the high clustering of
+    social graphs (the Facebook analogue).
+    """
+    if m < 1 or m >= n:
+        raise GraphError(f"need 1 <= m < n, got m={m}, n={n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"p must be in [0, 1], got {p}")
+    rng = _rng(seed)
+    g = Graph(n)
+    repeated: List[int] = []
+    for i in range(m + 1):
+        for j in range(i + 1, m + 1):
+            g.add_edge(i, j)
+            repeated.extend((i, j))
+    for v in range(m + 1, n):
+        added = 0
+        last_target: Optional[int] = None
+        guard = 0
+        while added < m and guard < 50 * m:
+            guard += 1
+            target: Optional[int] = None
+            if last_target is not None and rng.random() < p:
+                # Triangle step: link to a neighbor of the previous target.
+                nbrs = [w for w in g.neighbors(last_target) if w != v and not g.has_edge(v, w)]
+                if nbrs:
+                    target = rng.choice(nbrs)
+            if target is None:
+                cand = rng.choice(repeated)
+                if cand == v or g.has_edge(v, cand):
+                    continue
+                target = cand
+            g.add_edge(v, target)
+            repeated.extend((v, target))
+            last_target = target
+            added += 1
+    return g
+
+
+def planted_partition(
+    n: int,
+    communities: int,
+    p_in: float,
+    p_out: float,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Community-structured random graph (collaboration-network analogue).
+
+    Vertices are split round-robin into ``communities`` groups; each
+    intra-group pair is linked with probability ``p_in`` and each
+    inter-group pair with ``p_out``.
+    """
+    if communities < 1:
+        raise GraphError(f"need communities >= 1, got {communities}")
+    for name, p in (("p_in", p_in), ("p_out", p_out)):
+        if not 0.0 <= p <= 1.0:
+            raise GraphError(f"{name} must be in [0, 1], got {p}")
+    rng = _rng(seed)
+    group = [v % communities for v in range(n)]
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            p = p_in if group[u] == group[v] else p_out
+            if p > 0 and rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def preferential_rewired(
+    n: int,
+    m: int,
+    rewire_fraction: float = 0.15,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Erdős–Rényi base with a fraction of edges re-aimed at hubs.
+
+    The Gnutella/P2P analogue: mostly random sparse topology with a light
+    hub bias (supernodes).  ``rewire_fraction`` of edges get one endpoint
+    replaced by a degree-proportional pick.
+    """
+    rng = _rng(seed)
+    g = erdos_renyi_gnm(n, m, seed=rng.randrange(2**31))
+    edges = list(g.edges())
+    rng.shuffle(edges)
+    to_rewire = edges[: int(len(edges) * rewire_fraction)]
+    repeated = [v for u_v in g.edges() for v in u_v]
+    for u, v in to_rewire:
+        hub = rng.choice(repeated)
+        if hub in (u, v) or g.has_edge(u, hub):
+            continue
+        g.remove_edge(u, v)
+        g.add_edge(u, hub)
+        repeated.extend((u, hub))
+    return g
+
+
+def attach_tail(graph: Graph, extra: int, seed: Optional[int] = None) -> Graph:
+    """Append ``extra`` degree-1 vertices hanging off random old vertices.
+
+    Used to give the Oregon/AS analogue its star-heavy fringe of stub
+    autonomous systems.
+    """
+    rng = _rng(seed)
+    old_n = graph.num_vertices
+    g = Graph(old_n + extra)
+    for u, v in graph.edges():
+        g.add_edge(u, v)
+    for v in range(old_n, old_n + extra):
+        g.add_edge(v, rng.randrange(old_n))
+    return g
+
+
+def random_geometric(
+    n: int, radius: float, seed: Optional[int] = None
+) -> Graph:
+    """Random geometric graph on the unit square (road-network-like).
+
+    Vertices get uniform positions; two are linked when within
+    ``radius``.  A grid hash keeps construction near-linear.  Useful for
+    the transportation scenarios (§1 Scenario 2) where distances are
+    spatially local and failures force genuine detours.
+    """
+    if radius <= 0:
+        raise GraphError(f"radius must be > 0, got {radius}")
+    rng = _rng(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    cell = radius
+    buckets: dict = {}
+    for i, (x, y) in enumerate(points):
+        buckets.setdefault((int(x / cell), int(y / cell)), []).append(i)
+    g = Graph(n)
+    r2 = radius * radius
+    for i, (x, y) in enumerate(points):
+        cx, cy = int(x / cell), int(y / cell)
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for j in buckets.get((cx + dx, cy + dy), ()):
+                    if j <= i:
+                        continue
+                    px, py = points[j]
+                    if (x - px) ** 2 + (y - py) ** 2 <= r2:
+                        g.add_edge(i, j)
+    return g
+
+
+def compose_disjoint(graphs: Sequence[Graph]) -> Graph:
+    """Disjoint union of graphs (ids shifted), for multi-component tests."""
+    total = sum(g.num_vertices for g in graphs)
+    out = Graph(total)
+    offset = 0
+    for g in graphs:
+        for u, v in g.edges():
+            out.add_edge(u + offset, v + offset)
+        offset += g.num_vertices
+    return out

@@ -1,0 +1,206 @@
+"""Undirected, unweighted simple graph over integer vertex ids.
+
+The paper (and PLL before it) works on unweighted, undirected graphs with
+vertices identified by dense integers, so that is what :class:`Graph`
+models: adjacency lists indexed by vertex id, no self loops, no parallel
+edges.  The class is deliberately small — algorithms live in sibling
+modules (:mod:`repro.graph.traversal`, :mod:`repro.graph.components`) and
+operate on any object exposing ``num_vertices`` and ``neighbors``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import EdgeNotFound, GraphError, VertexNotFound
+
+Edge = Tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical ``(min, max)`` form of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """A simple undirected, unweighted graph on vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertex ids are ``0..num_vertices-1``.
+    edges:
+        Optional iterable of ``(u, v)`` pairs to add on construction.
+
+    Notes
+    -----
+    Self loops and duplicate edges are rejected at insertion time, keeping
+    the invariant that adjacency lists contain each neighbor exactly once.
+    Adjacency lists are kept **sorted** so traversal order — and therefore
+    every labeling built on top — is deterministic.
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._adj: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._num_edges = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        """All vertex ids as a range."""
+        return range(len(self._adj))
+
+    def neighbors(self, v: int) -> Sequence[int]:
+        """Sorted neighbor list of ``v`` (do not mutate)."""
+        self._check_vertex(v)
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Number of edges incident to ``v``."""
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def adjacency(self) -> List[List[int]]:
+        """The raw adjacency structure (``adjacency()[v]`` is sorted).
+
+        Exposed for traversal/labeling hot loops that iterate millions of
+        neighbor lists; treat the returned lists as read-only.
+        """
+        return self._adj
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u, nbrs in enumerate(self._adj):
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            return False
+        a, b = (u, v) if len(self._adj[u]) <= len(self._adj[v]) else (v, u)
+        return _sorted_contains(self._adj[a], b)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert the undirected edge ``(u, v)``.
+
+        Raises
+        ------
+        GraphError
+            If the edge is a self loop or already present.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise GraphError(f"self loop ({u}, {u}) not allowed")
+        if self.has_edge(u, v):
+            raise GraphError(f"duplicate edge ({u}, {v})")
+        _sorted_insert(self._adj[u], v)
+        _sorted_insert(self._adj[v], u)
+        self._num_edges += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the undirected edge ``(u, v)``.
+
+        Raises
+        ------
+        EdgeNotFound
+            If the edge is not in the graph.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v or not self.has_edge(u, v):
+            raise EdgeNotFound(u, v)
+        _sorted_remove(self._adj[u], v)
+        _sorted_remove(self._adj[v], u)
+        self._num_edges -= 1
+
+    # -- derived views ----------------------------------------------------
+
+    def copy(self) -> "Graph":
+        """Deep copy of this graph."""
+        g = Graph(self.num_vertices)
+        g._adj = [list(nbrs) for nbrs in self._adj]
+        g._num_edges = self._num_edges
+        return g
+
+    def without_edge(self, u: int, v: int) -> "Graph":
+        """Copy of the graph with edge ``(u, v)`` removed (``G - (u,v)``)."""
+        g = self.copy()
+        g.remove_edge(u, v)
+        return g
+
+    def subgraph(self, keep: Iterable[int]) -> Tuple["Graph", List[int]]:
+        """Induced subgraph on ``keep``.
+
+        Returns the subgraph with vertices relabeled to ``0..k-1`` plus the
+        list mapping new ids back to original ids.
+        """
+        old_ids = sorted(set(keep))
+        for v in old_ids:
+            self._check_vertex(v)
+        new_id = {old: new for new, old in enumerate(old_ids)}
+        g = Graph(len(old_ids))
+        for old in old_ids:
+            for w in self._adj[old]:
+                if w in new_id and old < w:
+                    g.add_edge(new_id[old], new_id[w])
+        return g, old_ids
+
+    # -- dunder -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __hash__(self) -> int:  # graphs are mutable
+        raise TypeError("Graph is unhashable")
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self._adj):
+            raise VertexNotFound(v, len(self._adj))
+
+
+def _sorted_contains(lst: List[int], x: int) -> bool:
+    i = bisect.bisect_left(lst, x)
+    return i < len(lst) and lst[i] == x
+
+
+def _sorted_insert(lst: List[int], x: int) -> None:
+    bisect.insort(lst, x)
+
+
+def _sorted_remove(lst: List[int], x: int) -> None:
+    i = bisect.bisect_left(lst, x)
+    if i < len(lst) and lst[i] == x:
+        del lst[i]
+    else:  # pragma: no cover - guarded by has_edge in callers
+        raise ValueError(f"{x} not in list")

@@ -1,0 +1,123 @@
+"""Descriptive graph statistics (Table 2 columns |V| and |E| plus context).
+
+The summary object also carries the structural quantities DESIGN.md's
+shape targets reason about — density, degree distribution, clustering,
+component structure — so EXPERIMENTS.md can document *why* each synthetic
+analogue behaves like its SNAP original.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.graph.components import connected_components
+from repro.graph.traversal import UNREACHED, bfs_distances
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Immutable bundle of descriptive statistics for one graph."""
+
+    num_vertices: int
+    num_edges: int
+    min_degree: int
+    max_degree: int
+    avg_degree: float
+    num_components: int
+    largest_component_size: int
+    clustering_coefficient: float
+    diameter_estimate: int
+    degree_histogram: Dict[int, int] = field(default_factory=dict, repr=False)
+
+    @property
+    def density(self) -> float:
+        """Edges over possible edges ``m / (n choose 2)``."""
+        n = self.num_vertices
+        possible = n * (n - 1) / 2
+        return self.num_edges / possible if possible else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for table rendering."""
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "avg_degree": self.avg_degree,
+            "density": self.density,
+            "num_components": self.num_components,
+            "largest_component_size": self.largest_component_size,
+            "clustering_coefficient": self.clustering_coefficient,
+            "diameter_estimate": self.diameter_estimate,
+        }
+
+
+def average_clustering(graph, sample: Optional[int] = None, seed: int = 0) -> float:
+    """Average local clustering coefficient (optionally vertex-sampled)."""
+    n = graph.num_vertices
+    if n == 0:
+        return 0.0
+    vertices: List[int] = list(range(n))
+    if sample is not None and sample < n:
+        vertices = random.Random(seed).sample(vertices, sample)
+    total = 0.0
+    for v in vertices:
+        nbrs = list(graph.neighbors(v))
+        k = len(nbrs)
+        if k < 2:
+            continue
+        nbr_set = set(nbrs)
+        links = sum(
+            1
+            for i, a in enumerate(nbrs)
+            for b in nbrs[i + 1 :]
+            if b in set(graph.neighbors(a)) & nbr_set
+        )
+        total += 2.0 * links / (k * (k - 1))
+    return total / len(vertices) if vertices else 0.0
+
+
+def estimate_diameter(graph, probes: int = 8, seed: int = 0) -> int:
+    """Lower-bound diameter via repeated double-sweep BFS."""
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    rng = random.Random(seed)
+    best = 0
+    start = rng.randrange(n)
+    for _ in range(probes):
+        dist = bfs_distances(graph, start)
+        far, far_d = start, 0
+        for v, d in enumerate(dist):
+            if d != UNREACHED and d > far_d:
+                far, far_d = v, d
+        best = max(best, far_d)
+        if far == start:
+            start = rng.randrange(n)
+        else:
+            start = far
+    return best
+
+
+def compute_stats(graph, clustering_sample: Optional[int] = 400) -> GraphStats:
+    """Compute a :class:`GraphStats` summary for ``graph``."""
+    n = graph.num_vertices
+    degrees = [graph.degree(v) for v in range(n)]
+    histogram: Dict[int, int] = {}
+    for d in degrees:
+        histogram[d] = histogram.get(d, 0) + 1
+    components = connected_components(graph)
+    return GraphStats(
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        min_degree=min(degrees) if degrees else 0,
+        max_degree=max(degrees) if degrees else 0,
+        avg_degree=(2.0 * graph.num_edges / n) if n else 0.0,
+        num_components=len(components),
+        largest_component_size=max((len(c) for c in components), default=0),
+        clustering_coefficient=average_clustering(graph, sample=clustering_sample),
+        diameter_estimate=estimate_diameter(graph),
+        degree_histogram=histogram,
+    )

@@ -1,0 +1,50 @@
+"""Structural invariant checks for graph objects.
+
+Used by tests and by the CLI's ``validate`` command; cheap enough to run
+on every benchmark dataset before indexing, so a corrupt generator or a
+bad edge-list file fails loudly instead of producing a silently wrong
+labeling.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.graph import Graph
+
+
+def validate_graph(graph: Graph) -> List[str]:
+    """Return a list of invariant violations (empty == healthy).
+
+    Checks symmetry of the adjacency structure, sortedness, absence of
+    self loops and duplicates, and the edge-count bookkeeping.
+    """
+    problems: List[str] = []
+    adj = graph.adjacency()
+    n = len(adj)
+    half_edges = 0
+    for v in range(n):
+        nbrs = adj[v]
+        half_edges += len(nbrs)
+        if any(nbrs[i] >= nbrs[i + 1] for i in range(len(nbrs) - 1)):
+            problems.append(f"adjacency of {v} not strictly sorted: {nbrs}")
+        if v in nbrs:
+            problems.append(f"self loop at {v}")
+        for w in nbrs:
+            if not 0 <= w < n:
+                problems.append(f"neighbor {w} of {v} out of range")
+            elif v not in adj[w]:
+                problems.append(f"asymmetric edge ({v}, {w})")
+    if half_edges != 2 * graph.num_edges:
+        problems.append(
+            f"edge count mismatch: {half_edges} adjacency entries "
+            f"vs num_edges={graph.num_edges}"
+        )
+    return problems
+
+
+def assert_valid(graph: Graph) -> None:
+    """Raise ``AssertionError`` with all violations if the graph is broken."""
+    problems = validate_graph(graph)
+    if problems:
+        raise AssertionError("invalid graph:\n  " + "\n  ".join(problems))

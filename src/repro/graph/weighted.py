@@ -1,0 +1,148 @@
+"""Undirected graph with positive edge weights.
+
+Used by the weighted extension of PLL (pruned Dijkstra) and the weighted
+SIEF variant.  Weights must be strictly positive — shortest-path labelings
+are undefined with zero or negative weights.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import EdgeNotFound, GraphError, VertexNotFound
+from repro.graph.graph import normalize_edge
+
+WeightedEdge = Tuple[int, int, float]
+
+
+class WeightedGraph:
+    """A simple undirected graph with positive real edge weights.
+
+    The adjacency structure stores ``(neighbor, weight)`` pairs sorted by
+    neighbor id, mirroring :class:`repro.graph.graph.Graph` so traversal
+    code can treat both uniformly where weights are irrelevant.
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, num_vertices: int, edges: Iterable[WeightedEdge] = ()) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._adj: List[List[Tuple[int, float]]] = [[] for _ in range(num_vertices)]
+        self._num_edges = 0
+        for u, v, w in edges:
+            self.add_edge(u, v, w)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        """All vertex ids as a range."""
+        return range(len(self._adj))
+
+    def neighbors(self, v: int) -> Sequence[Tuple[int, float]]:
+        """Sorted ``(neighbor, weight)`` pairs of ``v`` (do not mutate)."""
+        self._check_vertex(v)
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Number of edges incident to ``v``."""
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """Iterate each edge once as ``(u, v, weight)`` with ``u < v``."""
+        for u, nbrs in enumerate(self._adj):
+            for v, w in nbrs:
+                if u < v:
+                    yield (u, v, w)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return any(nbr == v for nbr, _ in self._adj[u])
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)``; raises :class:`EdgeNotFound` if absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        for nbr, w in self._adj[u]:
+            if nbr == v:
+                return w
+        raise EdgeNotFound(u, v)
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Insert edge ``(u, v)`` with the given positive weight."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise GraphError(f"self loop ({u}, {u}) not allowed")
+        if weight <= 0:
+            raise GraphError(f"edge weight must be > 0, got {weight}")
+        if self.has_edge(u, v):
+            raise GraphError(f"duplicate edge ({u}, {v})")
+        _insert_pair(self._adj[u], (v, weight))
+        _insert_pair(self._adj[v], (u, weight))
+        self._num_edges += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge ``(u, v)``; raises :class:`EdgeNotFound` if absent."""
+        if not self.has_edge(u, v):
+            raise EdgeNotFound(u, v)
+        self._adj[u] = [(n, w) for n, w in self._adj[u] if n != v]
+        self._adj[v] = [(n, w) for n, w in self._adj[v] if n != u]
+        self._num_edges -= 1
+
+    def copy(self) -> "WeightedGraph":
+        """Deep copy of this graph."""
+        g = WeightedGraph(self.num_vertices)
+        g._adj = [list(nbrs) for nbrs in self._adj]
+        g._num_edges = self._num_edges
+        return g
+
+    def without_edge(self, u: int, v: int) -> "WeightedGraph":
+        """Copy with edge ``(u, v)`` removed."""
+        g = self.copy()
+        g.remove_edge(u, v)
+        return g
+
+    def to_unweighted(self):
+        """Drop weights, returning a plain :class:`~repro.graph.graph.Graph`."""
+        from repro.graph.graph import Graph
+
+        g = Graph(self.num_vertices)
+        for u, v, _ in self.edges():
+            g.add_edge(u, v)
+        return g
+
+    @classmethod
+    def from_unweighted(cls, graph, weight: float = 1.0) -> "WeightedGraph":
+        """Lift an unweighted graph to uniform weights."""
+        g = cls(graph.num_vertices)
+        for u, v in graph.edges():
+            g.add_edge(u, v, weight)
+        return g
+
+    def edge_weights(self) -> Dict[Tuple[int, int], float]:
+        """Mapping of canonical edges to weights."""
+        return {normalize_edge(u, v): w for u, v, w in self.edges()}
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph(n={self.num_vertices}, m={self.num_edges})"
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self._adj):
+            raise VertexNotFound(v, len(self._adj))
+
+
+def _insert_pair(lst: List[Tuple[int, float]], pair: Tuple[int, float]) -> None:
+    bisect.insort(lst, pair)

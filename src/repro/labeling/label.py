@@ -1,0 +1,142 @@
+"""Label data structures for 2-hop distance labelings.
+
+Internally hubs are stored as **ranks** (positions in the vertex
+ordering), not vertex ids: every algorithm in the paper compares hubs by
+``σ``, and rank-keyed labels make the well-ordering property a simple
+"sorted, all entries < my own rank" invariant and distance queries a merge
+join of two ascending arrays.  The public accessors translate back to
+vertex ids for display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.exceptions import LabelingError
+from repro.order.ordering import VertexOrdering
+
+
+@dataclass(frozen=True)
+class LabelEntry:
+    """One ``(hub vertex, distance)`` pair as presented to users."""
+
+    hub: int
+    distance: int
+
+
+class Labeling:
+    """A 2-hop distance labeling bound to a vertex ordering.
+
+    Per vertex ``v`` the labeling keeps two parallel lists:
+    ``hub_ranks[v]`` (strictly ascending ranks) and ``hub_dists[v]``.
+    Construction code appends entries in ascending-rank rounds, so the
+    invariant holds for free; :meth:`validate` re-checks it.
+    """
+
+    __slots__ = ("ordering", "hub_ranks", "hub_dists")
+
+    def __init__(
+        self,
+        ordering: VertexOrdering,
+        hub_ranks: Sequence[List[int]],
+        hub_dists: Sequence[List[int]],
+    ) -> None:
+        if len(hub_ranks) != len(ordering) or len(hub_dists) != len(ordering):
+            raise LabelingError(
+                f"label arrays cover {len(hub_ranks)}/{len(hub_dists)} vertices, "
+                f"ordering has {len(ordering)}"
+            )
+        self.ordering = ordering
+        self.hub_ranks: List[List[int]] = list(hub_ranks)
+        self.hub_dists: List[List[int]] = list(hub_dists)
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def empty(cls, ordering: VertexOrdering) -> "Labeling":
+        """A labeling with no entries (used by builders)."""
+        n = len(ordering)
+        return cls(ordering, [[] for _ in range(n)], [[] for _ in range(n)])
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of labeled vertices."""
+        return len(self.hub_ranks)
+
+    def label_size(self, v: int) -> int:
+        """Number of entries in ``L(v)``."""
+        return len(self.hub_ranks[v])
+
+    def total_entries(self) -> int:
+        """Total label entries over all vertices."""
+        return sum(len(ranks) for ranks in self.hub_ranks)
+
+    def entries(self, v: int) -> List[LabelEntry]:
+        """``L(v)`` as user-facing ``(hub vertex id, distance)`` pairs."""
+        vertex = self.ordering.vertex
+        return [
+            LabelEntry(vertex(r), d)
+            for r, d in zip(self.hub_ranks[v], self.hub_dists[v])
+        ]
+
+    def hubs(self, v: int) -> List[int]:
+        """Hub vertex ids of ``L(v)``, ascending by rank."""
+        vertex = self.ordering.vertex
+        return [vertex(r) for r in self.hub_ranks[v]]
+
+    def iter_raw(self) -> Iterator[Tuple[int, List[int], List[int]]]:
+        """Yield ``(vertex, hub_ranks, hub_dists)`` triples (internal form)."""
+        for v, (ranks, dists) in enumerate(zip(self.hub_ranks, self.hub_dists)):
+            yield v, ranks, dists
+
+    # -- invariants -----------------------------------------------------------
+
+    def validate(self) -> List[str]:
+        """Check structural invariants; returns violations (empty == ok)."""
+        problems: List[str] = []
+        n = self.num_vertices
+        for v in range(n):
+            ranks = self.hub_ranks[v]
+            dists = self.hub_dists[v]
+            if len(ranks) != len(dists):
+                problems.append(f"L({v}): rank/dist length mismatch")
+                continue
+            own = self.ordering.rank(v)
+            for i, (r, d) in enumerate(zip(ranks, dists)):
+                if not 0 <= r < n:
+                    problems.append(f"L({v})[{i}]: hub rank {r} out of range")
+                if d < 0:
+                    problems.append(f"L({v})[{i}]: negative distance {d}")
+                if r > own:
+                    problems.append(
+                        f"L({v})[{i}]: hub rank {r} exceeds own rank {own} "
+                        "(well-ordering violated)"
+                    )
+            if any(ranks[i] >= ranks[i + 1] for i in range(len(ranks) - 1)):
+                problems.append(f"L({v}): hub ranks not strictly ascending")
+        return problems
+
+    def copy(self) -> "Labeling":
+        """Deep copy (same ordering object)."""
+        return Labeling(
+            self.ordering,
+            [list(r) for r in self.hub_ranks],
+            [list(d) for d in self.hub_dists],
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Labeling):
+            return NotImplemented
+        return (
+            self.ordering == other.ordering
+            and self.hub_ranks == other.hub_ranks
+            and self.hub_dists == other.hub_dists
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Labeling(n={self.num_vertices}, entries={self.total_entries()})"
+        )

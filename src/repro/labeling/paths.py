@@ -1,0 +1,119 @@
+"""Shortest-*path* (not just distance) retrieval from 2-hop labelings.
+
+2-hop labels store distances only, but paths fall out of them by the
+standard neighbor-stepping argument: from ``s``, some neighbor ``w``
+satisfies ``d(w, t) == d(s, t) - 1`` (the next vertex of a shortest
+path), and each step costs one label query per neighbor.  Total cost
+``O(path length × max degree × label size)`` — microseconds on the
+graphs this library targets, with no extra index state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.labeling.label import Labeling
+from repro.labeling.query import INF, dist_query
+
+Distance = Union[int, float]
+
+
+def _walk(
+    adjacency,
+    distance_to_target: Callable[[int], Distance],
+    s: int,
+    t: int,
+    total: Distance,
+) -> Optional[List[int]]:
+    """Greedy descent along strictly decreasing distance-to-target."""
+    path = [s]
+    current = s
+    remaining = total
+    while current != t:
+        for w in adjacency(current):
+            if distance_to_target(w) == remaining - 1:
+                path.append(w)
+                current = w
+                remaining -= 1
+                break
+        else:  # pragma: no cover - impossible for exact distance functions
+            return None
+    return path
+
+
+def shortest_path_via_labeling(
+    graph, labeling: Labeling, s: int, t: int
+) -> Optional[List[int]]:
+    """One shortest ``s``–``t`` path using only label queries.
+
+    Returns ``None`` when the vertices are disconnected.  The returned
+    path's length always equals ``dist_query(labeling, s, t)``.
+    """
+    total = dist_query(labeling, s, t)
+    if total == INF:
+        return None
+    return _walk(
+        graph.neighbors, lambda w: dist_query(labeling, w, t), s, t, total
+    )
+
+
+def failure_shortest_path(
+    graph, engine, s: int, t: int, failed_edge: Tuple[int, int]
+) -> Optional[List[int]]:
+    """One shortest path in ``G - failed_edge`` via SIEF queries.
+
+    ``engine`` is a :class:`repro.core.query.SIEFQueryEngine`.  The walk
+    never traverses the failed edge (a neighbor reached through it cannot
+    satisfy the distance-decrease test, but the edge is also skipped
+    explicitly for clarity).  Returns ``None`` when the failure
+    disconnects the pair.
+    """
+    total = engine.distance(s, t, failed_edge)
+    if total == INF:
+        return None
+    a, b = failed_edge
+
+    def neighbors(v: int):
+        for w in graph.neighbors(v):
+            if (v == a and w == b) or (v == b and w == a):
+                continue
+            yield w
+
+    return _walk(
+        neighbors,
+        lambda w: engine.distance(w, t, failed_edge),
+        s,
+        t,
+        total,
+    )
+
+
+def hub_of_pair(labeling: Labeling, s: int, t: int) -> Optional[int]:
+    """The hub vertex achieving ``dist(s, t, L)`` (lowest rank on ties).
+
+    ``None`` when the pair shares no hub (different components).  By
+    Lemma 2 the returned vertex lies on some shortest ``s``–``t`` path.
+    """
+    best: Distance = INF
+    best_rank: Optional[int] = None
+    ranks_s = labeling.hub_ranks[s]
+    dists_s = labeling.hub_dists[s]
+    ranks_t = labeling.hub_ranks[t]
+    dists_t = labeling.hub_dists[t]
+    i = j = 0
+    while i < len(ranks_s) and j < len(ranks_t):
+        rs, rt = ranks_s[i], ranks_t[j]
+        if rs == rt:
+            total = dists_s[i] + dists_t[j]
+            if total < best:
+                best = total
+                best_rank = rs
+            i += 1
+            j += 1
+        elif rs < rt:
+            i += 1
+        else:
+            j += 1
+    if best_rank is None:
+        return None
+    return labeling.ordering.vertex(best_rank)

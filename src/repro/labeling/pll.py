@@ -1,0 +1,102 @@
+"""Pruned Landmark Labeling (Akiba, Iwata, Yoshida — SIGMOD 2013).
+
+PLL performs one BFS per vertex, in ascending order rank, and *prunes* any
+visited vertex whose distance is already covered by previously created
+labels.  The result is a well-ordered 2-hop distance cover (Definition 1),
+the exact input SIEF's supplemental construction assumes.
+
+The implementation uses the standard constant-time-amortized prune test:
+before the BFS from root ``r`` we scatter ``L(r)`` into a rank-indexed
+array, so testing "is ``dist(r, w, L) <= d``" is one pass over ``L(w)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.exceptions import LabelingError
+from repro.graph.graph import Graph
+from repro.labeling.label import Labeling
+from repro.order.ordering import VertexOrdering
+from repro.order.strategies import by_degree
+
+_UNSET = -1
+
+
+def build_pll(graph: Graph, ordering: Optional[VertexOrdering] = None) -> Labeling:
+    """Build a well-ordered 2-hop distance cover of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Undirected, unweighted graph.
+    ordering:
+        Vertex ordering ``σ``; defaults to degree-descending, the
+        paper-standard choice.  The labeling is well-ordered w.r.t. this
+        ordering.
+
+    Returns
+    -------
+    Labeling
+        For every pair, ``dist_query(labeling, s, t)`` equals the true
+        BFS distance (``INF`` across components).
+    """
+    if ordering is None:
+        ordering = by_degree(graph)
+    if len(ordering) != graph.num_vertices:
+        raise LabelingError(
+            f"ordering covers {len(ordering)} vertices, "
+            f"graph has {graph.num_vertices}"
+        )
+    n = graph.num_vertices
+    adj = graph.adjacency()
+    labeling = Labeling.empty(ordering)
+    hub_ranks = labeling.hub_ranks
+    hub_dists = labeling.hub_dists
+
+    # Scratch buffers reused across rounds.
+    root_cover = [_UNSET] * n      # rank-indexed: distances in L(root)
+    dist = [_UNSET] * n            # BFS distances of the current round
+    touched: List[int] = []        # vertices whose `dist` needs resetting
+
+    for rank, root in enumerate(ordering):
+        ranks_root = hub_ranks[root]
+        dists_root = hub_dists[root]
+        for r, d in zip(ranks_root, dists_root):
+            root_cover[r] = d
+
+        dist[root] = 0
+        touched.append(root)
+        queue = deque((root,))
+        while queue:
+            v = queue.popleft()
+            d = dist[v]
+            # Prune test: dist(root, v, L) <= d using existing labels.
+            covered = False
+            ranks_v = hub_ranks[v]
+            dists_v = hub_dists[v]
+            for i in range(len(ranks_v)):
+                rc = root_cover[ranks_v[i]]
+                if rc != _UNSET and rc + dists_v[i] <= d:
+                    covered = True
+                    break
+            if covered:
+                continue
+            ranks_v.append(rank)
+            dists_v.append(d)
+            nd = d + 1
+            for w in adj[v]:
+                if dist[w] == _UNSET:
+                    dist[w] = nd
+                    touched.append(w)
+                    queue.append(w)
+
+        for r in ranks_root:
+            root_cover[r] = _UNSET
+        root_cover[rank] = _UNSET  # root labeled itself this round
+        for v in touched:
+            dist[v] = _UNSET
+        touched.clear()
+
+    return labeling

@@ -1,0 +1,74 @@
+"""Distance query evaluation over 2-hop labelings (Equation 1).
+
+``dist(s, t, L) = min { δ(h,s) + δ(h,t) : h ∈ hubs(s) ∩ hubs(t) }`` — a
+merge join of two ascending rank arrays.  Returns :data:`INF` when the
+labels share no hub, which for a distance cover means "different
+components" (§3.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+INF = float("inf")
+"""Distance reported for disconnected pairs."""
+
+Distance = Union[int, float]
+
+
+def merge_min_sum(
+    ranks_a: List[int],
+    dists_a: List[Distance],
+    ranks_b: List[int],
+    dists_b: List[Distance],
+) -> Distance:
+    """Minimum ``dists_a[i] + dists_b[j]`` over positions with equal ranks.
+
+    Both rank arrays must be strictly ascending (the labeling invariant).
+    """
+    best: Distance = INF
+    i = j = 0
+    len_a = len(ranks_a)
+    len_b = len(ranks_b)
+    while i < len_a and j < len_b:
+        ra = ranks_a[i]
+        rb = ranks_b[j]
+        if ra == rb:
+            total = dists_a[i] + dists_b[j]
+            if total < best:
+                best = total
+            i += 1
+            j += 1
+        elif ra < rb:
+            i += 1
+        else:
+            j += 1
+    return best
+
+
+def dist_query(labeling, s: int, t: int) -> Distance:
+    """``dist(s, t, L)`` for an undirected labeling.
+
+    For a verified 2-hop distance cover this equals the true graph
+    distance ``d_G(s, t)`` (or :data:`INF` across components).
+    """
+    if s == t:
+        return 0
+    return merge_min_sum(
+        labeling.hub_ranks[s],
+        labeling.hub_dists[s],
+        labeling.hub_ranks[t],
+        labeling.hub_dists[t],
+    )
+
+
+def dist_query_directed(dlabeling, s: int, t: int) -> Distance:
+    """``dist(s → t)`` for a directed labeling (out-label of s, in-label of t)."""
+    if s == t:
+        return 0
+    return merge_min_sum(
+        dlabeling.out_ranks[s],
+        dlabeling.out_dists[s],
+        dlabeling.in_ranks[t],
+        dlabeling.in_dists[t],
+    )

@@ -1,0 +1,125 @@
+"""Labeling persistence: compact binary (numpy) and JSON.
+
+Binary layout (little-endian), after an 8-byte magic:
+
+* ``n`` — int64 vertex count
+* ``sequence`` — ``n`` int32 entries (the vertex ordering)
+* ``sizes`` — ``n`` int32 label sizes
+* ``ranks`` — ``total`` int32 hub ranks, concatenated per vertex
+* ``dists`` — ``total`` int32 distances, concatenated per vertex
+
+8 bytes per entry — exactly the byte model of
+:mod:`repro.labeling.stats`, so file size ≈ modelled size.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.labeling.label import Labeling
+from repro.order.ordering import VertexOrdering
+
+MAGIC = b"SIEFLBL1"
+PathLike = Union[str, Path]
+
+
+def labeling_to_bytes(labeling: Labeling) -> bytes:
+    """Serialize to the compact binary format."""
+    n = labeling.num_vertices
+    sizes = np.fromiter(
+        (len(r) for r in labeling.hub_ranks), count=n, dtype=np.int32
+    )
+    total = int(sizes.sum())
+    ranks = np.zeros(total, dtype=np.int32)
+    dists = np.zeros(total, dtype=np.int32)
+    pos = 0
+    for v in range(n):
+        k = len(labeling.hub_ranks[v])
+        ranks[pos : pos + k] = labeling.hub_ranks[v]
+        dists[pos : pos + k] = labeling.hub_dists[v]
+        pos += k
+    buf = io.BytesIO()
+    buf.write(MAGIC)
+    buf.write(np.int64(n).tobytes())
+    buf.write(np.asarray(labeling.ordering.sequence(), dtype=np.int32).tobytes())
+    buf.write(sizes.tobytes())
+    buf.write(ranks.tobytes())
+    buf.write(dists.tobytes())
+    return buf.getvalue()
+
+
+def labeling_from_bytes(data: bytes) -> Labeling:
+    """Inverse of :func:`labeling_to_bytes`."""
+    if data[: len(MAGIC)] != MAGIC:
+        raise SerializationError("bad magic: not a SIEF labeling blob")
+    offset = len(MAGIC)
+    try:
+        n = int(np.frombuffer(data, dtype=np.int64, count=1, offset=offset)[0])
+        offset += 8
+        sequence = np.frombuffer(data, dtype=np.int32, count=n, offset=offset)
+        offset += 4 * n
+        sizes = np.frombuffer(data, dtype=np.int32, count=n, offset=offset)
+        offset += 4 * n
+        total = int(sizes.sum())
+        ranks = np.frombuffer(data, dtype=np.int32, count=total, offset=offset)
+        offset += 4 * total
+        dists = np.frombuffer(data, dtype=np.int32, count=total, offset=offset)
+    except ValueError as exc:
+        raise SerializationError(f"truncated labeling blob: {exc}") from exc
+    ordering = VertexOrdering([int(v) for v in sequence])
+    hub_ranks = []
+    hub_dists = []
+    pos = 0
+    for v in range(n):
+        k = int(sizes[v])
+        hub_ranks.append([int(x) for x in ranks[pos : pos + k]])
+        hub_dists.append([int(x) for x in dists[pos : pos + k]])
+        pos += k
+    return Labeling(ordering, hub_ranks, hub_dists)
+
+
+def save_labeling(labeling: Labeling, path: PathLike) -> None:
+    """Write the binary format to ``path``."""
+    Path(path).write_bytes(labeling_to_bytes(labeling))
+
+
+def load_labeling(path: PathLike) -> Labeling:
+    """Read a labeling written by :func:`save_labeling`."""
+    return labeling_from_bytes(Path(path).read_bytes())
+
+
+def labeling_to_json(labeling: Labeling) -> str:
+    """Human-inspectable JSON: hubs as vertex ids, per vertex."""
+    doc = {
+        "order": labeling.ordering.sequence(),
+        "labels": {
+            str(v): [[e.hub, e.distance] for e in labeling.entries(v)]
+            for v in range(labeling.num_vertices)
+        },
+    }
+    return json.dumps(doc, separators=(",", ":"))
+
+
+def labeling_from_json(text: str) -> Labeling:
+    """Inverse of :func:`labeling_to_json`."""
+    try:
+        doc = json.loads(text)
+        ordering = VertexOrdering([int(v) for v in doc["order"]])
+        rank_of = ordering.rank
+        n = len(doc["order"])
+        hub_ranks = [[] for _ in range(n)]
+        hub_dists = [[] for _ in range(n)]
+        for key, entries in doc["labels"].items():
+            v = int(key)
+            pairs = sorted((rank_of(int(h)), int(d)) for h, d in entries)
+            hub_ranks[v] = [r for r, _ in pairs]
+            hub_dists[v] = [d for _, d in pairs]
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"bad labeling JSON: {exc}") from exc
+    return Labeling(ordering, hub_ranks, hub_dists)

@@ -1,0 +1,88 @@
+"""Labeling verification: well-ordering and distance-cover checks.
+
+These checks are the test suite's backbone: a labeling that passes
+:func:`verify_labeling` satisfies exactly the preconditions the SIEF
+theorems (Lemmas 1–4) assume.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.traversal import UNREACHED, bfs_distances
+from repro.labeling.label import Labeling
+from repro.labeling.query import INF, dist_query
+
+
+def is_well_ordered(labeling: Labeling) -> bool:
+    """Definition 1: no label of ``v`` contains a hub ranked above ``v``.
+
+    With rank-keyed labels this is simply "every entry rank <= own rank";
+    structural validity (sortedness etc.) is checked too.
+    """
+    return not labeling.validate()
+
+
+def is_distance_cover(labeling: Labeling, graph) -> bool:
+    """Whether ``dist_query`` matches BFS distance for **all** pairs.
+
+    Exhaustive (one BFS per vertex) — intended for the small graphs used
+    in tests, not for benchmark datasets.
+    """
+    return not cover_violations(labeling, graph, limit=1)
+
+
+def cover_violations(labeling: Labeling, graph, limit: int = 10) -> List[str]:
+    """Describe up to ``limit`` pairs where the labeling disagrees with BFS."""
+    problems: List[str] = []
+    n = graph.num_vertices
+    for s in range(n):
+        truth = bfs_distances(graph, s)
+        for t in range(s, n):
+            expected = truth[t] if truth[t] != UNREACHED else INF
+            got = dist_query(labeling, s, t)
+            if got != expected:
+                problems.append(
+                    f"dist({s}, {t}): labeling says {got}, BFS says {expected}"
+                )
+                if len(problems) >= limit:
+                    return problems
+    return problems
+
+
+def verify_labeling(labeling: Labeling, graph) -> None:
+    """Assert both well-ordering and exact distance cover (test helper)."""
+    structural = labeling.validate()
+    if structural:
+        raise AssertionError(
+            "labeling structurally invalid:\n  " + "\n  ".join(structural)
+        )
+    cover = cover_violations(labeling, graph)
+    if cover:
+        raise AssertionError(
+            "labeling is not a distance cover:\n  " + "\n  ".join(cover)
+        )
+
+
+def hub_is_on_shortest_path(labeling: Labeling, graph, s: int, t: int) -> bool:
+    """Lemma 2/3 sanity probe: the minimizing hub lies on a shortest path.
+
+    Returns True when the hub achieving ``dist(s, t, L)`` satisfies
+    ``d(s,h) + d(h,t) == d(s,t)`` per BFS ground truth.
+    """
+    best = dist_query(labeling, s, t)
+    if best == INF or s == t:
+        return True
+    from_s = bfs_distances(graph, s)
+    from_t = bfs_distances(graph, t)
+    for rank, d_hs in zip(labeling.hub_ranks[s], labeling.hub_dists[s]):
+        # Find matching entry in L(t).
+        try:
+            j = labeling.hub_ranks[t].index(rank)
+        except ValueError:
+            continue
+        if d_hs + labeling.hub_dists[t][j] == best:
+            h = labeling.ordering.vertex(rank)
+            if from_s[h] + from_t[h] == best:
+                return True
+    return False

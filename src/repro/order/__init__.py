@@ -1,0 +1,30 @@
+"""Vertex orderings for well-ordered 2-hop labelings.
+
+A *vertex ordering* ``σ`` assigns each vertex a rank; PLL processes
+vertices in ascending rank and the resulting labeling is well-ordered with
+respect to ``σ`` (Definition 1 of the paper).  Label sizes — and therefore
+SIEF supplemental sizes — depend heavily on the ordering, so several
+strategies are provided; *degree descending* is the paper-standard default.
+"""
+
+from repro.order.ordering import VertexOrdering
+from repro.order.strategies import (
+    by_degree,
+    by_degree_neighborhood,
+    by_closeness_estimate,
+    identity_order,
+    random_order,
+    make_ordering,
+    STRATEGIES,
+)
+
+__all__ = [
+    "VertexOrdering",
+    "by_degree",
+    "by_degree_neighborhood",
+    "by_closeness_estimate",
+    "identity_order",
+    "random_order",
+    "make_ordering",
+    "STRATEGIES",
+]

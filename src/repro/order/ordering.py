@@ -1,0 +1,76 @@
+"""The :class:`VertexOrdering` bijection object.
+
+Keeps both directions of the permutation — ``rank_of[v]`` (the paper's
+``σ[v]``) and ``vertex_at[r]`` (the sequence ``<v_0, v_1, ...>``) — and
+validates that they really are inverse bijections, because an ordering bug
+silently breaks well-ordering and every theorem built on it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.exceptions import ReproError
+
+
+class VertexOrdering:
+    """A bijection between vertices ``0..n-1`` and ranks ``0..n-1``.
+
+    Parameters
+    ----------
+    vertex_at:
+        The ordered vertex sequence; ``vertex_at[r]`` is the vertex with
+        rank ``r``.  Must be a permutation of ``0..n-1``.
+    """
+
+    __slots__ = ("_vertex_at", "_rank_of")
+
+    def __init__(self, vertex_at: Sequence[int]) -> None:
+        n = len(vertex_at)
+        rank_of = [-1] * n
+        for rank, v in enumerate(vertex_at):
+            if not 0 <= v < n or rank_of[v] != -1:
+                raise ReproError(
+                    f"vertex_at is not a permutation of 0..{n - 1}: "
+                    f"offending entry {v} at rank {rank}"
+                )
+            rank_of[v] = rank
+        self._vertex_at: List[int] = list(vertex_at)
+        self._rank_of: List[int] = rank_of
+
+    def __len__(self) -> int:
+        return len(self._vertex_at)
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate vertices in ascending rank (the paper's sequence σ)."""
+        return iter(self._vertex_at)
+
+    def rank(self, v: int) -> int:
+        """The rank ``σ[v]`` of vertex ``v``."""
+        return self._rank_of[v]
+
+    def vertex(self, r: int) -> int:
+        """The vertex with rank ``r``."""
+        return self._vertex_at[r]
+
+    def ranks(self) -> List[int]:
+        """Copy of the full rank array (index = vertex id)."""
+        return list(self._rank_of)
+
+    def sequence(self) -> List[int]:
+        """Copy of the ordered vertex sequence (index = rank)."""
+        return list(self._vertex_at)
+
+    def precedes(self, u: int, v: int) -> bool:
+        """Whether ``σ[u] < σ[v]``."""
+        return self._rank_of[u] < self._rank_of[v]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VertexOrdering):
+            return NotImplemented
+        return self._vertex_at == other._vertex_at
+
+    def __repr__(self) -> str:
+        head = ", ".join(map(str, self._vertex_at[:8]))
+        tail = ", ..." if len(self._vertex_at) > 8 else ""
+        return f"VertexOrdering(<{head}{tail}>)"

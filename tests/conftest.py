@@ -1,0 +1,79 @@
+"""Shared fixtures: the paper's running example and small graph zoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph import generators
+from repro.labeling.pll import build_pll
+from repro.order.strategies import identity_order
+
+# Figure 1 of the paper: 11 vertices.  Edges read off the drawing; with
+# the identity ordering PLL reproduces Table 1 exactly (asserted in
+# tests/test_paper_examples.py).
+PAPER_EDGES = [
+    (0, 1), (0, 2), (0, 3), (0, 4), (0, 8),
+    (1, 4), (1, 5),
+    (2, 3), (2, 5),
+    (3, 6), (3, 7),
+    (4, 8),
+    (6, 7), (6, 8), (6, 9),
+    (9, 10),
+]
+
+# Table 1 of the paper: the well-ordering 2-hop labeling of Figure 1.
+PAPER_TABLE1 = {
+    0: [(0, 0)],
+    1: [(0, 1), (1, 0)],
+    2: [(0, 1), (2, 0)],
+    3: [(0, 1), (2, 1), (3, 0)],
+    4: [(0, 1), (1, 1), (4, 0)],
+    5: [(0, 2), (1, 1), (2, 1), (5, 0)],
+    6: [(0, 2), (2, 2), (3, 1), (4, 2), (6, 0)],
+    7: [(0, 2), (2, 2), (3, 1), (6, 1), (7, 0)],
+    8: [(0, 1), (4, 1), (6, 1), (8, 0)],
+    9: [(0, 3), (2, 3), (3, 2), (4, 3), (6, 1), (9, 0)],
+    10: [(0, 4), (2, 4), (3, 3), (4, 4), (6, 2), (9, 1), (10, 0)],
+}
+
+
+@pytest.fixture
+def paper_graph() -> Graph:
+    """Figure 1's graph."""
+    return Graph(11, PAPER_EDGES)
+
+
+@pytest.fixture
+def paper_labeling(paper_graph):
+    """Table 1's labeling (PLL with identity ordering)."""
+    return build_pll(paper_graph, identity_order(paper_graph))
+
+
+@pytest.fixture
+def path5() -> Graph:
+    """Path 0-1-2-3-4."""
+    return generators.path_graph(5)
+
+
+@pytest.fixture
+def cycle6() -> Graph:
+    """Cycle on 6 vertices."""
+    return generators.cycle_graph(6)
+
+
+@pytest.fixture
+def star7() -> Graph:
+    """Star with center 0 and 6 leaves."""
+    return generators.star_graph(7)
+
+
+@pytest.fixture
+def two_triangles() -> Graph:
+    """Two triangles joined by a single bridge (3, a classic SIEF case)."""
+    return Graph(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+
+
+def random_graph(seed: int, n: int = 24, m: int = 40) -> Graph:
+    """Deterministic G(n, m) helper for parametrized tests."""
+    return generators.erdos_renyi_gnm(n, m, seed=seed)

@@ -1,0 +1,109 @@
+"""Unit tests for affected-vertex identification (Algorithm 1, §4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFound
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.traversal import bfs_distances
+from repro.core.affected import (
+    AffectedVertices,
+    affected_by_definition,
+    identify_affected,
+)
+
+
+class TestAlgorithm1:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_definition_oracle(self, seed):
+        g = generators.erdos_renyi_gnm(22, 38, seed=seed)
+        for u, v in g.edges():
+            got = identify_affected(g, u, v)
+            want_u, want_v = affected_by_definition(g, u, v)
+            assert list(got.side_u) == sorted(want_u), (u, v)
+            assert list(got.side_v) == sorted(want_v), (u, v)
+
+    def test_endpoints_always_affected(self, two_triangles):
+        for u, v in two_triangles.edges():
+            av = identify_affected(two_triangles, u, v)
+            assert u in av.side_u
+            assert v in av.side_v
+
+    def test_sides_disjoint(self):
+        g = generators.barabasi_albert(40, 2, seed=5)
+        for u, v in g.edges():
+            av = identify_affected(g, u, v)
+            assert not set(av.side_u) & set(av.side_v)
+
+    def test_precomputed_vectors_give_same_answer(self, paper_graph):
+        du = bfs_distances(paper_graph, 0)
+        d8 = bfs_distances(paper_graph, 8)
+        a = identify_affected(paper_graph, 0, 8)
+        b = identify_affected(paper_graph, 0, 8, dist_u=du, dist_v=d8)
+        assert a == b
+
+    def test_missing_edge_rejected(self, paper_graph):
+        with pytest.raises(EdgeNotFound):
+            identify_affected(paper_graph, 0, 9)
+
+    def test_bridge_sets_disconnected_flag(self, two_triangles):
+        av = identify_affected(two_triangles, 2, 3)
+        assert av.disconnected
+        # Bridge: every vertex changes distance to the other side.
+        assert av.side_u == (0, 1, 2)
+        assert av.side_v == (3, 4, 5)
+
+    def test_non_bridge_not_disconnected(self, cycle6):
+        av = identify_affected(cycle6, 0, 1)
+        assert not av.disconnected
+
+    def test_cycle_failure_affects_far_half(self, cycle6):
+        # Failing (0,1) on C6: vertices near 0 change distance to 1 and
+        # vice versa.
+        av = identify_affected(cycle6, 0, 1)
+        assert 0 in av.side_u and 1 in av.side_v
+        assert av.total >= 2
+
+
+class TestLemmaProperties:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lemma7_membership_equation(self, seed):
+        """Every w in AV(u) satisfies d_G(w, v) == d_G(w, u) + 1."""
+        g = generators.erdos_renyi_gnm(20, 34, seed=seed)
+        for u, v in list(g.edges())[:12]:
+            av = identify_affected(g, u, v)
+            du = bfs_distances(g, u)
+            dv = bfs_distances(g, v)
+            for w in av.side_u:
+                assert dv[w] == du[w] + 1
+            for w in av.side_v:
+                assert du[w] == dv[w] + 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_side_distances_unchanged(self, seed):
+        """§4.2: for s, t in the same affected side, d_G == d_{G'}."""
+        from repro.graph.traversal import bfs_distances_avoiding_edge
+
+        g = generators.erdos_renyi_gnm(18, 30, seed=seed)
+        for u, v in list(g.edges())[:8]:
+            av = identify_affected(g, u, v)
+            for s in av.side_u:
+                before = bfs_distances(g, s)
+                after = bfs_distances_avoiding_edge(g, s, (u, v))
+                for t in av.side_u:
+                    assert before[t] == after[t]
+
+
+class TestContains:
+    def test_membership_lookup(self, paper_graph):
+        av = identify_affected(paper_graph, 0, 8)
+        assert av.contains(0) == "u"
+        assert av.contains(2) == "u"
+        assert av.contains(8) == "v"
+        assert av.contains(5) is None
+
+    def test_total(self):
+        av = AffectedVertices(u=0, v=1, side_u=(0, 2), side_v=(1,))
+        assert av.total == 3

@@ -1,0 +1,162 @@
+"""Unit tests for the application layer (Scenarios 1–3 + resilience)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.labeling.query import INF
+from repro.core.builder import SIEFBuilder
+from repro.analysis.vital_arc import (
+    most_vital_arc,
+    rank_vital_arcs,
+    shortest_path_dag_edges,
+)
+from repro.analysis.vickrey import edge_worth, vickrey_prices
+from repro.analysis.resilience import (
+    failure_impact_histogram,
+    resilience_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def built():
+    g = generators.erdos_renyi_gnm(20, 34, seed=12)
+    index, _ = SIEFBuilder(g).build()
+    return g, index
+
+
+class TestVitalArc:
+    def test_dag_edges_lie_on_shortest_paths(self, built):
+        g, _ = built
+        from repro.graph.traversal import bfs_distances
+
+        s, t = 0, 13
+        base = bfs_distances(g, s)[t]
+        for a, b in shortest_path_dag_edges(g, s, t):
+            da = bfs_distances(g, s)
+            db = bfs_distances(g, t)
+            assert (
+                da[a] + 1 + db[b] == base or da[b] + 1 + db[a] == base
+            )
+
+    def test_most_vital_arc_maximizes_replacement(self, built):
+        g, index = built
+        from repro.baselines.bfs_query import BFSQueryBaseline
+
+        s, t = 0, 13
+        result = most_vital_arc(g, index, s, t)
+        baseline = BFSQueryBaseline(g)
+        # No edge (on or off shortest paths) does worse than the reported one.
+        for edge in g.edges():
+            d = baseline.distance(s, t, edge)
+            assert d <= result.replacement_distance or (
+                result.replacement_distance == INF
+            )
+
+    def test_penalty_on_cycle(self, cycle6):
+        index, _ = SIEFBuilder(cycle6).build()
+        result = most_vital_arc(cycle6, index, 0, 3)
+        # C6: base distance 3; failing either incident shortest-path edge
+        # forces the 5-long detour... actually distance becomes 5-3+... BFS:
+        # around the other way = 6 - 3 = 3, so replacement stays 3? No:
+        # failing (0,1) moves 0->3 to path 0-5-4-3 of length 3.
+        assert result.base_distance == 3
+        assert result.replacement_distance == 3
+        assert result.penalty == 0
+
+    def test_bridge_failure_penalty_infinite(self, two_triangles):
+        index, _ = SIEFBuilder(two_triangles).build()
+        result = most_vital_arc(two_triangles, index, 0, 5)
+        assert result.edge == (2, 3)
+        assert result.replacement_distance == INF
+        assert result.penalty == INF
+
+    def test_disconnected_pair_rejected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        index, _ = SIEFBuilder(g).build()
+        with pytest.raises(ReproError):
+            rank_vital_arcs(g, index, 0, 3)
+
+    def test_ranking_sorted_desc(self, built):
+        g, index = built
+        ranked = rank_vital_arcs(g, index, 0, 13)
+        values = [r.replacement_distance for r in ranked]
+        assert values == sorted(values, reverse=True)
+
+
+class TestVickrey:
+    def test_off_path_edge_worth_zero(self, cycle6):
+        index, _ = SIEFBuilder(cycle6).build()
+        # (3,4) is not on any shortest 0-2 path.
+        worth = edge_worth(index, (3, 4), 0, 2)
+        assert worth.penalty == 0
+
+    def test_bridge_worth_infinite(self, two_triangles):
+        index, _ = SIEFBuilder(two_triangles).build()
+        worth = edge_worth(index, (2, 3), 0, 5)
+        assert worth.penalty == INF
+
+    def test_prices_weighted_by_volume(self, cycle6):
+        index, _ = SIEFBuilder(cycle6).build()
+        demands = [(0, 1, 10.0)]
+        prices = vickrey_prices(index, demands, [(0, 1), (3, 4)])
+        # Avoiding (0,1) forces the 5-hop detour: penalty 4 x volume 10.
+        assert prices[(0, 1)] == pytest.approx(40.0)
+        assert prices[(3, 4)] == 0.0
+
+    def test_disconnect_penalty_configurable(self, two_triangles):
+        index, _ = SIEFBuilder(two_triangles).build()
+        prices = vickrey_prices(
+            index, [(0, 5, 2.0)], [(2, 3)], disconnect_penalty=100.0
+        )
+        assert prices[(2, 3)] == pytest.approx(200.0)
+
+    def test_unroutable_demand_ignored(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        index, _ = SIEFBuilder(g).build()
+        prices = vickrey_prices(index, [(0, 3, 5.0)], [(0, 1)])
+        assert prices[(0, 1)] == 0.0
+
+
+class TestResilience:
+    def test_profile_accounting(self, built):
+        g, index = built
+        profile = resilience_profile(index, num_queries=300, seed=1)
+        assert profile.queries == 300
+        assert (
+            profile.unchanged + profile.stretched + profile.disconnected
+            == 300
+        )
+        assert 0.0 <= profile.disconnect_rate <= 1.0
+        assert 0.0 <= profile.affected_rate <= 1.0
+        if profile.stretched:
+            assert profile.mean_stretch > 1.0
+            assert profile.max_stretch >= profile.mean_stretch
+
+    def test_profile_deterministic(self, built):
+        _, index = built
+        a = resilience_profile(index, num_queries=100, seed=7)
+        b = resilience_profile(index, num_queries=100, seed=7)
+        assert a == b
+
+    def test_tree_always_disconnects(self):
+        g = generators.random_tree(20, seed=3)
+        index, _ = SIEFBuilder(g).build()
+        profile = resilience_profile(index, num_queries=200, seed=2)
+        assert profile.stretched == 0  # tree failures only ever disconnect
+        assert profile.disconnected > 0
+
+    def test_impact_histogram_sorted(self, built):
+        _, index = built
+        ranked = failure_impact_histogram(index, top=5)
+        assert len(ranked) == 5
+        impacts = [count for _, count in ranked]
+        assert impacts == sorted(impacts, reverse=True)
+
+    def test_impact_histogram_counts_match_index(self, built):
+        _, index = built
+        (edge, count), *_ = failure_impact_histogram(index, top=1)
+        assert index.supplement(*edge).affected.total == count

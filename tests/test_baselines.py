@@ -1,0 +1,102 @@
+"""Unit tests for the BFS-query and naive-rebuild baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFound
+from repro.graph import generators
+from repro.labeling.query import INF
+from repro.baselines.bfs_query import BFSQueryBaseline
+from repro.baselines.dijkstra_query import DijkstraQueryBaseline
+from repro.baselines.naive_rebuild import (
+    NaiveRebuildBaseline,
+    estimate_naive_seconds,
+)
+from repro.core.builder import SIEFBuilder
+from repro.core.query import SIEFQueryEngine
+from repro.graph.weighted import WeightedGraph
+
+
+class TestBFSBaseline:
+    @pytest.mark.parametrize("bidirectional", [False, True])
+    def test_agrees_with_sief(self, bidirectional):
+        g = generators.erdos_renyi_gnm(20, 36, seed=2)
+        index, _ = SIEFBuilder(g).build()
+        engine = SIEFQueryEngine(index)
+        baseline = BFSQueryBaseline(g, bidirectional=bidirectional)
+        for u, v in list(g.edges())[:8]:
+            for s in range(0, 20, 3):
+                for t in range(0, 20, 2):
+                    assert baseline.distance(s, t, (u, v)) == (
+                        engine.distance(s, t, (u, v))
+                    )
+
+    def test_disconnection_is_inf(self, two_triangles):
+        baseline = BFSQueryBaseline(two_triangles)
+        assert baseline.distance(0, 5, (2, 3)) == INF
+
+    def test_missing_edge_rejected(self, paper_graph):
+        baseline = BFSQueryBaseline(paper_graph)
+        with pytest.raises(EdgeNotFound):
+            baseline.distance(0, 1, (0, 9))
+
+
+class TestNaiveRebuild:
+    def test_estimator(self):
+        assert estimate_naive_seconds(0.825, 20777) == pytest.approx(
+            0.825 * 20777
+        )
+
+    def test_queries_match_sief(self, paper_graph, paper_labeling):
+        index, _ = SIEFBuilder(paper_graph, paper_labeling).build()
+        engine = SIEFQueryEngine(index)
+        naive = NaiveRebuildBaseline(paper_graph)
+        for u, v in paper_graph.edges():
+            for s in range(0, 11, 2):
+                for t in range(0, 11, 3):
+                    assert naive.distance(s, t, (u, v)) == engine.distance(
+                        s, t, (u, v)
+                    )
+
+    def test_cases_cached(self, paper_graph):
+        naive = NaiveRebuildBaseline(paper_graph)
+        a = naive.build_case(0, 8)
+        b = naive.build_case(8, 0)
+        assert a is b
+        assert naive.num_cases == 1
+
+    def test_build_all_materializes_everything(self, cycle6):
+        naive = NaiveRebuildBaseline(cycle6)
+        naive.build_all()
+        assert naive.num_cases == 6
+        assert naive.total_entries > 0
+        assert naive.build_seconds > 0
+
+    def test_footprint_exceeds_sief(self, paper_graph, paper_labeling):
+        """§1's storage argument: m full labelings dwarf original + SIEF."""
+        index, _ = SIEFBuilder(paper_graph, paper_labeling).build()
+        naive = NaiveRebuildBaseline(paper_graph)
+        naive.build_all()
+        sief_total = (
+            paper_labeling.total_entries()
+            + index.total_supplemental_entries()
+        )
+        assert naive.total_entries > 3 * sief_total
+
+
+class TestDijkstraBaseline:
+    def test_unit_weights_match_bfs_baseline(self):
+        g = generators.erdos_renyi_gnm(16, 30, seed=4)
+        wg = WeightedGraph.from_unweighted(g)
+        bfs = BFSQueryBaseline(g)
+        dij = DijkstraQueryBaseline(wg)
+        edge = next(iter(g.edges()))
+        for s in range(16):
+            for t in range(16):
+                assert dij.distance(s, t, edge) == bfs.distance(s, t, edge)
+
+    def test_missing_edge_rejected(self):
+        wg = WeightedGraph(3, [(0, 1, 1.0)])
+        with pytest.raises(EdgeNotFound):
+            DijkstraQueryBaseline(wg).distance(0, 1, (1, 2))

@@ -1,0 +1,108 @@
+"""Unit tests for closeness centrality and its failure sensitivity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.traversal import UNREACHED, bfs_distances
+from repro.labeling.pll import build_pll
+from repro.core.builder import SIEFBuilder
+from repro.analysis.centrality import (
+    centrality_sensitivity,
+    closeness_centrality,
+    closeness_under_failure,
+)
+
+
+def closeness_by_bfs(graph, v, avoid=None):
+    from repro.graph.traversal import bfs_distances_avoiding_edge
+
+    if avoid is None:
+        dist = bfs_distances(graph, v)
+    else:
+        dist = bfs_distances_avoiding_edge(graph, v, avoid)
+    finite = [d for w, d in enumerate(dist) if w != v and d != UNREACHED]
+    return len(finite) / sum(finite) if finite and sum(finite) else 0.0
+
+
+class TestCloseness:
+    def test_matches_bfs_definition(self):
+        g = generators.erdos_renyi_gnm(20, 36, seed=14)
+        labeling = build_pll(g)
+        scores = closeness_centrality(labeling)
+        for v in range(20):
+            assert scores[v] == pytest.approx(closeness_by_bfs(g, v))
+
+    def test_star_center_most_central(self, star7):
+        scores = closeness_centrality(build_pll(star7))
+        assert scores[0] == max(scores.values())
+
+    def test_isolated_vertex_scores_zero(self):
+        g = Graph(4, [(0, 1), (0, 2)])
+        scores = closeness_centrality(build_pll(g))
+        assert scores[3] == 0.0
+
+    def test_vertex_restriction(self, cycle6):
+        scores = closeness_centrality(build_pll(cycle6), vertices=[0, 3])
+        assert set(scores) == {0, 3}
+
+    def test_sampling_deterministic(self):
+        g = generators.barabasi_albert(60, 3, seed=15)
+        labeling = build_pll(g)
+        a = closeness_centrality(labeling, sample=20, seed=2)
+        b = closeness_centrality(labeling, sample=20, seed=2)
+        assert a == b
+
+
+class TestUnderFailure:
+    def test_matches_bfs_on_reduced_graph(self):
+        g = generators.erdos_renyi_gnm(16, 28, seed=16)
+        index, _ = SIEFBuilder(g).build()
+        edge = next(iter(g.edges()))
+        scores = closeness_under_failure(index, edge, vertices=range(16))
+        for v in range(16):
+            assert scores[v] == pytest.approx(
+                closeness_by_bfs(g, v, avoid=edge)
+            )
+
+    def test_bridge_failure_halves_reach(self, two_triangles):
+        index, _ = SIEFBuilder(two_triangles).build()
+        before = closeness_centrality(index.labeling, vertices=[0])[0]
+        after = closeness_under_failure(index, (2, 3), vertices=[0])[0]
+        assert after > 0
+        # Vertex 0 now reaches only its own triangle; with the far side
+        # gone the distance *sum* shrinks faster than the reach count,
+        # but reachability dropped from 5 to 2 vertices.
+        assert before != after
+
+
+class TestSensitivity:
+    def test_ranked_by_relative_drop(self):
+        g = generators.erdos_renyi_gnm(18, 30, seed=17)
+        index, _ = SIEFBuilder(g).build()
+        edge = max(
+            index.supplements,
+            key=lambda e: index.supplement(*e).affected.total,
+        )
+        shifts = centrality_sensitivity(index, edge, top=5)
+        drops = [s.relative_drop for s in shifts]
+        assert drops == sorted(drops, reverse=True)
+        for s in shifts:
+            assert s.after <= s.before + 1e-12 or s.relative_drop == 0.0
+
+    def test_default_scores_affected_vertices_only(self, paper_graph):
+        index, _ = SIEFBuilder(paper_graph).build()
+        shifts = centrality_sensitivity(index, (0, 8), top=20)
+        scored = {s.vertex for s in shifts}
+        affected = set(index.supplement(0, 8).affected.side_u) | set(
+            index.supplement(0, 8).affected.side_v
+        )
+        assert scored <= affected
+
+    def test_empty_vertex_list_rejected(self, paper_graph):
+        index, _ = SIEFBuilder(paper_graph).build()
+        with pytest.raises(ReproError):
+            centrality_sensitivity(index, (0, 8), vertices=[])

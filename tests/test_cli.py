@@ -1,0 +1,149 @@
+"""End-to-end tests for the ``sief`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import write_edge_list
+from repro.graph import generators
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = generators.erdos_renyi_gnm(15, 26, seed=30)
+    path = tmp_path / "graph.txt"
+    write_edge_list(g, path)
+    return path, g
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["generate", "--dataset", "ca_grqc", "-o", "x"])
+    assert args.command == "generate"
+
+
+def test_generate_list(capsys):
+    assert main(["generate", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "gnutella" in out and "ca_grqc" in out
+
+
+def test_generate_writes_file(tmp_path, capsys):
+    out_file = tmp_path / "g.txt"
+    assert main(["generate", "--dataset", "ca_grqc", "-o", str(out_file)]) == 0
+    assert out_file.exists()
+    assert "ca_grqc" in capsys.readouterr().out
+
+
+def test_build_query_stats_pipeline(graph_file, tmp_path, capsys):
+    path, _original = graph_file
+    # The CLI densifies ids by first-seen order; work in that id space.
+    from repro.graph.io import read_edge_list
+
+    g, _names = read_edge_list(path)
+    index_file = tmp_path / "g.sief"
+    assert main(["build", str(path), "-o", str(index_file)]) == 0
+    assert index_file.exists()
+    build_out = capsys.readouterr().out
+    assert "failure cases" in build_out
+
+    u, v = next(iter(g.edges()))
+    rc = main(
+        [
+            "query",
+            str(index_file),
+            "--fail", str(u), str(v),
+            "--pair", "0", str(g.num_vertices - 1),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "d(G -" in out and "[case" in out
+
+    assert main(["stats", str(index_file)]) == 0
+    stats_out = capsys.readouterr().out
+    assert "failure cases" in stats_out
+    assert "SLEN / OLEN" in stats_out
+
+
+def test_build_with_bfs_aff(graph_file, tmp_path, capsys):
+    path, _ = graph_file
+    index_file = tmp_path / "aff.sief"
+    rc = main(
+        ["build", str(path), "-o", str(index_file), "--algorithm", "bfs_aff"]
+    )
+    assert rc == 0
+    assert "bfs_aff" in capsys.readouterr().out
+
+
+def test_validate_good_file(graph_file, capsys):
+    path, _ = graph_file
+    assert main(["validate", str(path)]) == 0
+    assert "ok:" in capsys.readouterr().out
+
+
+def test_query_consistency_with_library(graph_file, tmp_path):
+    from repro.baselines.bfs_query import BFSQueryBaseline
+    from repro.core.serialize import load_index
+    from repro.core.query import SIEFQueryEngine
+    from repro.graph.io import read_edge_list
+
+    path, _original = graph_file
+    # Compare in the CLI's (densified) id space.
+    g, _names = read_edge_list(path)
+    index_file = tmp_path / "g.sief"
+    main(["build", str(path), "-o", str(index_file)])
+    engine = SIEFQueryEngine(load_index(index_file))
+    baseline = BFSQueryBaseline(g)
+    n = g.num_vertices
+    for u, v in list(g.edges())[:5]:
+        for s in range(0, n, 2):
+            for t in range(0, n, 3):
+                assert engine.distance(s, t, (u, v)) == baseline.distance(
+                    s, t, (u, v)
+                )
+
+
+def test_path_command(graph_file, tmp_path, capsys):
+    from repro.graph.io import read_edge_list
+
+    path, _original = graph_file
+    g, _names = read_edge_list(path)
+    index_file = tmp_path / "g.sief"
+    main(["build", str(path), "-o", str(index_file)])
+    capsys.readouterr()
+    u, v = next(iter(g.edges()))
+    rc = main(
+        [
+            "path", str(path), str(index_file),
+            "--fail", str(u), str(v),
+            "--pair", "0", str(g.num_vertices - 1),
+        ]
+    )
+    out = capsys.readouterr().out
+    if rc == 0:
+        assert " -> " in out or out.startswith("0\n")
+        assert "avoiding edge" in out
+    else:
+        assert "no path" in out
+
+
+def test_impact_command(graph_file, tmp_path, capsys):
+    path, _ = graph_file
+    index_file = tmp_path / "g.sief"
+    main(["build", str(path), "-o", str(index_file)])
+    capsys.readouterr()
+    rc = main(["impact", str(index_file), "--top", "3", "--queries", "50"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "worst 3 failure cases" in out
+    assert "resilience over 50" in out
+
+
+def test_error_reported_as_exit_code_2(tmp_path, capsys):
+    missing = tmp_path / "missing.sief"
+    missing.write_bytes(b"garbage!")
+    rc = main(["query", str(missing), "--fail", "0", "1", "--pair", "0", "1"])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err

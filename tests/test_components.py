@@ -1,0 +1,77 @@
+"""Unit tests for connectivity: components and bridges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph import generators
+from repro.graph.components import (
+    bridges,
+    component_ids,
+    connected_components,
+    is_bridge,
+    is_connected,
+    largest_component_subgraph,
+)
+from repro.graph.traversal import UNREACHED, bfs_distances
+
+
+class TestComponents:
+    def test_single_component(self, cycle6):
+        assert connected_components(cycle6) == [[0, 1, 2, 3, 4, 5]]
+        assert is_connected(cycle6)
+
+    def test_multiple_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        assert connected_components(g) == [[0, 1], [2, 3], [4]]
+        assert not is_connected(g)
+
+    def test_component_ids(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        assert component_ids(g) == [0, 0, 1, 1, 2]
+
+    def test_empty_graph_connected(self):
+        assert is_connected(Graph(0))
+
+    def test_single_vertex_connected(self):
+        assert is_connected(Graph(1))
+
+    def test_largest_component_subgraph(self):
+        g = generators.compose_disjoint(
+            [generators.cycle_graph(5), generators.path_graph(3)]
+        )
+        sub, mapping = largest_component_subgraph(g)
+        assert sub.num_vertices == 5
+        assert mapping == [0, 1, 2, 3, 4]
+        assert is_connected(sub)
+
+
+class TestBridges:
+    def test_path_all_bridges(self, path5):
+        assert bridges(path5) == {(0, 1), (1, 2), (2, 3), (3, 4)}
+
+    def test_cycle_no_bridges(self, cycle6):
+        assert bridges(cycle6) == set()
+
+    def test_two_triangles_single_bridge(self, two_triangles):
+        assert bridges(two_triangles) == {(2, 3)}
+        assert is_bridge(two_triangles, 3, 2)
+        assert not is_bridge(two_triangles, 0, 1)
+
+    def test_paper_graph_bridges(self, paper_graph):
+        # Figure 1: (6,9) and (9,10) are the only cut edges.
+        assert bridges(paper_graph) == {(6, 9), (9, 10)}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_against_removal_oracle(self, seed):
+        g = generators.erdos_renyi_gnm(18, 26, seed=seed)
+        found = bridges(g)
+        for u, v in g.edges():
+            # Oracle: (u,v) is a bridge iff removing it disconnects u from v.
+            removed = g.without_edge(u, v)
+            disconnects = bfs_distances(removed, u)[v] == UNREACHED
+            assert (((u, v) in found) == disconnects), (u, v)
+
+    def test_star_all_bridges(self, star7):
+        assert len(bridges(star7)) == 6

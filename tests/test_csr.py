@@ -1,0 +1,76 @@
+"""Unit tests for the CSR graph view."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, VertexNotFound
+from repro.graph.csr import CSRGraph
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.traversal import bfs_distances
+
+
+def test_round_trip():
+    g = generators.erdos_renyi_gnm(30, 70, seed=1)
+    csr = CSRGraph.from_graph(g)
+    assert csr.to_graph() == g
+
+
+def test_counts():
+    g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    csr = CSRGraph.from_graph(g)
+    assert csr.num_vertices == 4
+    assert csr.num_edges == 3
+
+
+def test_neighbors_and_degrees():
+    g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+    csr = CSRGraph.from_graph(g)
+    assert list(csr.neighbors(0)) == [1, 2, 3]
+    assert csr.degree(0) == 3
+    assert list(csr.degrees()) == [3, 1, 1, 1]
+
+
+def test_neighbor_out_of_range():
+    csr = CSRGraph.from_graph(Graph(2, [(0, 1)]))
+    with pytest.raises(VertexNotFound):
+        csr.neighbors(5)
+
+
+def test_adjacency_interops_with_traversal():
+    g = generators.cycle_graph(8)
+    csr = CSRGraph.from_graph(g)
+    assert bfs_distances(csr.adjacency(), 0) == bfs_distances(g, 0)
+
+
+def test_empty_graph():
+    csr = CSRGraph.from_graph(Graph(3))
+    assert csr.num_edges == 0
+    assert list(csr.neighbors(1)) == []
+
+
+def test_malformed_indptr_rejected():
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([1, 2]), np.array([0], dtype=np.int32))
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([0, 2, 1]), np.array([0, 1], dtype=np.int32))
+
+
+def test_indices_out_of_range_rejected():
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([0, 1]), np.array([5], dtype=np.int32))
+
+
+def test_nbytes_positive():
+    csr = CSRGraph.from_graph(generators.cycle_graph(10))
+    assert csr.nbytes() > 0
+
+
+def test_equality():
+    a = CSRGraph.from_graph(generators.cycle_graph(5))
+    b = CSRGraph.from_graph(generators.cycle_graph(5))
+    c = CSRGraph.from_graph(generators.path_graph(5))
+    assert a == b
+    assert a != c

@@ -1,0 +1,66 @@
+"""Unit tests for DiGraph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFound, GraphError
+from repro.graph.digraph import DiGraph
+
+
+def test_arcs_are_directed():
+    g = DiGraph(3, [(0, 1)])
+    assert g.has_arc(0, 1)
+    assert not g.has_arc(1, 0)
+
+
+def test_successors_predecessors():
+    g = DiGraph(4, [(0, 1), (0, 2), (3, 0)])
+    assert list(g.successors(0)) == [1, 2]
+    assert list(g.predecessors(0)) == [3]
+    assert g.out_degree(0) == 2
+    assert g.in_degree(0) == 1
+
+
+def test_antiparallel_arcs_allowed():
+    g = DiGraph(2, [(0, 1), (1, 0)])
+    assert g.num_arcs == 2
+
+
+def test_duplicate_arc_rejected():
+    g = DiGraph(2, [(0, 1)])
+    with pytest.raises(GraphError):
+        g.add_arc(0, 1)
+
+
+def test_self_loop_rejected():
+    with pytest.raises(GraphError):
+        DiGraph(2, [(1, 1)])
+
+
+def test_remove_arc():
+    g = DiGraph(2, [(0, 1)])
+    g.remove_arc(0, 1)
+    assert g.num_arcs == 0
+    with pytest.raises(EdgeNotFound):
+        g.remove_arc(0, 1)
+
+
+def test_reverse():
+    g = DiGraph(3, [(0, 1), (1, 2)])
+    r = g.reverse()
+    assert r.has_arc(1, 0) and r.has_arc(2, 1)
+    assert not r.has_arc(0, 1)
+    assert r.num_arcs == 2
+
+
+def test_to_undirected_collapses_antiparallel():
+    g = DiGraph(3, [(0, 1), (1, 0), (1, 2)])
+    u = g.to_undirected()
+    assert u.num_edges == 2
+    assert u.has_edge(0, 1) and u.has_edge(1, 2)
+
+
+def test_arcs_iteration():
+    g = DiGraph(3, [(2, 0), (0, 1)])
+    assert sorted(g.arcs()) == [(0, 1), (2, 0)]

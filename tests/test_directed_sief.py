@@ -1,0 +1,155 @@
+"""Tests for directed SIEF — the paper's directed-graphs extension claim.
+
+Directed single-arc failure indexing is not evaluated in the paper; this
+implementation (design notes in ``repro/failures/directed.py``) is
+validated here the only way that counts: exhaustively against directed
+BFS on random digraphs, plus structural checks of the directed affected
+sets (including the overlap case that does not exist undirected).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.exceptions import EdgeNotFound, FailureCaseNotIndexed
+from repro.graph.digraph import DiGraph
+from repro.labeling.query import INF
+from repro.failures.directed import (
+    DirectedSIEFIndex,
+    build_directed_sief,
+    build_directed_supplemental,
+    identify_affected_directed,
+)
+from repro.labeling.pll_directed import build_directed_pll
+
+
+def random_digraph(seed: int, n: int, arcs: int) -> DiGraph:
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    while g.num_arcs < arcs:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_arc(u, v):
+            g.add_arc(u, v)
+    return g
+
+
+def bfs_avoiding_arc(g: DiGraph, s: int, arc):
+    a, b = arc
+    dist = [INF] * g.num_vertices
+    dist[s] = 0
+    queue = deque((s,))
+    while queue:
+        x = queue.popleft()
+        for y in g.successors(x):
+            if x == a and y == b:
+                continue
+            if dist[y] == INF:
+                dist[y] = dist[x] + 1
+                queue.append(y)
+    return dist
+
+
+class TestIdentify:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sides_match_definition(self, seed):
+        g = random_digraph(seed, 12, 28)
+        for arc in g.arcs():
+            av = identify_affected_directed(g, *arc)
+            u, v = arc
+            # Oracle for S: distance to v changed.
+            want_s = []
+            want_t = []
+            for x in range(12):
+                to_v_old = bfs_avoiding_arc(g, x, (-1, -1))[v]
+                to_v_new = bfs_avoiding_arc(g, x, arc)[v]
+                if to_v_old != to_v_new:
+                    want_s.append(x)
+            from_u_old = bfs_avoiding_arc(g, u, (-1, -1))
+            from_u_new = bfs_avoiding_arc(g, u, arc)
+            for x in range(12):
+                if from_u_old[x] != from_u_new[x]:
+                    want_t.append(x)
+            assert list(av.side_s) == want_s, arc
+            assert list(av.side_t) == want_t, arc
+
+    def test_endpoints_always_affected(self):
+        g = DiGraph(3, [(0, 1), (1, 2), (2, 0)])
+        av = identify_affected_directed(g, 0, 1)
+        assert av.in_s(0)
+        assert av.in_t(1)
+
+    def test_sides_can_overlap_on_cycles(self):
+        # 0 -> 1 -> 0: failing 0->1 affects both directions through 1.
+        g = DiGraph(3, [(0, 1), (1, 0), (1, 2), (2, 0)])
+        av = identify_affected_directed(g, 0, 1)
+        overlap = set(av.side_s) & set(av.side_t)
+        assert overlap, "expected overlapping sides on a directed cycle"
+
+    def test_missing_arc_rejected(self):
+        g = DiGraph(3, [(0, 1)])
+        with pytest.raises(EdgeNotFound):
+            identify_affected_directed(g, 1, 0)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exhaustive_vs_bfs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(6, 14)
+        g = random_digraph(seed, n, rng.randint(n, 3 * n))
+        index = build_directed_sief(g)
+        for arc in g.arcs():
+            for s in range(n):
+                truth = bfs_avoiding_arc(g, s, arc)
+                for t in range(n):
+                    assert index.distance(s, t, arc) == truth[t], (
+                        arc, s, t,
+                    )
+
+    def test_cross_pair_can_survive_arc_disconnection(self):
+        """The directed twist: d'(u->v) = inf does not disconnect every
+        cross pair (unlike undirected bridges)."""
+        g = DiGraph(4, [(0, 1), (1, 3), (2, 0), (2, 3)])
+        # Failing 0->1: S contains 2 (its path to 1 died), T contains 3.
+        index = build_directed_sief(g)
+        av = identify_affected_directed(g, 0, 1)
+        assert av.disconnected  # u can no longer reach v
+        if av.in_s(2) and av.in_t(3):
+            assert index.distance(2, 3, (0, 1)) == 1  # direct arc 2->3
+
+    def test_unknown_arc_rejected(self):
+        g = DiGraph(3, [(0, 1)])
+        index = build_directed_sief(g)
+        with pytest.raises(FailureCaseNotIndexed):
+            index.distance(0, 1, (1, 0))
+
+    def test_prebuilt_labeling_reused(self):
+        g = random_digraph(3, 10, 24)
+        labeling = build_directed_pll(g)
+        index = build_directed_sief(g, labeling)
+        assert index.labeling is labeling
+
+    def test_supplement_entry_counts_nonnegative(self):
+        g = random_digraph(5, 12, 30)
+        labeling = build_directed_pll(g)
+        for arc in list(g.arcs())[:10]:
+            av = identify_affected_directed(g, *arc)
+            si = build_directed_supplemental(g, labeling, av)
+            assert si.total_entries() >= 0
+
+
+class TestRecursionDepth:
+    def test_long_cycle_queries_terminate(self):
+        # A long directed cycle maximizes rank-chained recursion.
+        n = 60
+        g = DiGraph(n, [(i, (i + 1) % n) for i in range(n)])
+        index = build_directed_sief(g)
+        arc = (0, 1)
+        for s in range(0, n, 7):
+            for t in range(0, n, 11):
+                got = index.distance(s, t, arc)
+                truth = bfs_avoiding_arc(g, s, arc)[t]
+                assert got == truth

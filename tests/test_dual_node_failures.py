@@ -1,0 +1,122 @@
+"""Unit tests for the dual-edge and node failure oracles (future work)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graph import generators
+from repro.labeling.query import INF
+from repro.core.builder import SIEFBuilder
+from repro.failures.dual import DualFailureOracle
+from repro.failures.node import NodeFailureOracle
+from repro.failures.search import bfs_distance_avoiding
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = generators.erdos_renyi_gnm(18, 32, seed=6)
+    index, _ = SIEFBuilder(g).build()
+    return g, index
+
+
+class TestDualFailure:
+    def test_exact_against_bfs(self, setup):
+        g, index = setup
+        oracle = DualFailureOracle(g, index)
+        edges = list(g.edges())
+        for e1, e2 in itertools.islice(itertools.combinations(edges, 2), 40):
+            for s, t in [(0, 9), (3, 14), (5, 17)]:
+                expected = bfs_distance_avoiding(
+                    g, s, t, avoid_edges=(e1, e2)
+                )
+                assert oracle.distance(s, t, e1, e2) == expected
+
+    def test_lower_bound_is_valid(self, setup):
+        g, index = setup
+        oracle = DualFailureOracle(g, index)
+        edges = list(g.edges())
+        for e1, e2 in itertools.islice(itertools.combinations(edges, 2), 30):
+            bound = oracle.lower_bound(2, 11, e1, e2)
+            exact = bfs_distance_avoiding(g, 2, 11, avoid_edges=(e1, e2))
+            assert bound <= exact
+
+    def test_counters_track_calls(self, setup):
+        g, index = setup
+        oracle = DualFailureOracle(g, index)
+        edges = list(g.edges())
+        oracle.distance(0, 5, edges[0], edges[1])
+        oracle.distance(1, 6, edges[2], edges[3])
+        assert oracle.calls == 2
+        assert 0.0 <= oracle.tightness_rate <= 1.0
+
+    def test_disconnect_shortcut(self, two_triangles):
+        index, _ = SIEFBuilder(two_triangles).build()
+        oracle = DualFailureOracle(two_triangles, index)
+        # (2,3) alone already disconnects; the oracle must not run BFS.
+        assert oracle.distance(0, 5, (2, 3), (0, 1)) == INF
+        assert oracle.disconnect_shortcuts == 1
+        assert oracle.bfs_runs == 0
+
+    def test_parallel_shortest_paths_break_naive_assumption(self):
+        """The counterexample that makes dual-failure genuinely hard: each
+        single failure alone changes nothing, both together do."""
+        # Two vertex-disjoint 2-hop paths between 0 and 3.
+        from repro.graph.graph import Graph
+
+        g = Graph(4, [(0, 1), (1, 3), (0, 2), (2, 3)])
+        index, _ = SIEFBuilder(g).build()
+        oracle = DualFailureOracle(g, index)
+        e1, e2 = (0, 1), (0, 2)
+        assert oracle.engine.distance(0, 3, e1) == 2
+        assert oracle.engine.distance(0, 3, e2) == 2
+        assert oracle.lower_bound(0, 3, e1, e2) == 2  # bound not tight
+        assert oracle.distance(0, 3, e1, e2) == INF
+
+
+class TestNodeFailure:
+    def test_exact_against_bfs(self, setup):
+        g, index = setup
+        oracle = NodeFailureOracle(g, index)
+        for w in range(0, 18, 2):
+            for s, t in [(1, 9), (3, 15)]:
+                if w in (s, t):
+                    continue
+                expected = bfs_distance_avoiding(
+                    g, s, t, avoid_vertices=(w,)
+                )
+                assert oracle.distance(s, t, w) == expected
+
+    def test_lower_bound_is_valid(self, setup):
+        g, index = setup
+        oracle = NodeFailureOracle(g, index)
+        for w in range(1, 18, 3):
+            if w in (0, 9):
+                continue
+            bound = oracle.lower_bound(0, 9, w)
+            exact = bfs_distance_avoiding(g, 0, 9, avoid_vertices=(w,))
+            assert bound <= exact
+
+    def test_failed_endpoint_rejected(self, setup):
+        g, index = setup
+        oracle = NodeFailureOracle(g, index)
+        with pytest.raises(ReproError):
+            oracle.distance(3, 7, 3)
+
+    def test_cut_vertex_disconnects(self, two_triangles):
+        index, _ = SIEFBuilder(two_triangles).build()
+        oracle = NodeFailureOracle(two_triangles, index)
+        assert oracle.distance(0, 5, 2) == INF  # 2 is the articulation point
+        assert oracle.distance(0, 1, 4) == 1
+
+    def test_isolated_vertex_lower_bound_uses_original(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(4, [(0, 1), (1, 2)])
+        index, _ = SIEFBuilder(g).build()
+        oracle = NodeFailureOracle(g, index)
+        # Vertex 3 is isolated: removing it changes nothing.
+        assert oracle.lower_bound(0, 2, 3) == 2
+        assert oracle.distance(0, 2, 3) == 2

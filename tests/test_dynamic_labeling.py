@@ -1,0 +1,134 @@
+"""Unit + property tests for incremental labeling maintenance."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.exceptions import GraphError, LabelingError
+from repro.graph.graph import Graph
+from repro.graph import generators
+from repro.graph.traversal import UNREACHED, bfs_distances
+from repro.labeling.dynamic import insert_edge, insert_edges
+from repro.labeling.pll import build_pll
+from repro.labeling.query import INF, dist_query
+from repro.order.strategies import random_order
+
+
+def assert_exact(graph, labeling):
+    for s in range(graph.num_vertices):
+        truth = bfs_distances(graph, s)
+        for t in range(graph.num_vertices):
+            expected = truth[t] if truth[t] != UNREACHED else INF
+            assert dist_query(labeling, s, t) == expected, (s, t)
+
+
+class TestInsertEdge:
+    def test_simple_shortcut(self):
+        g = generators.path_graph(6)
+        labeling = build_pll(g)
+        written = insert_edge(g, labeling, 0, 5)
+        assert written > 0
+        assert dist_query(labeling, 0, 5) == 1
+        assert_exact(g, labeling)
+
+    def test_connecting_components(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        labeling = build_pll(g)
+        assert dist_query(labeling, 0, 5) == INF
+        insert_edge(g, labeling, 2, 3)
+        assert dist_query(labeling, 0, 5) == 5
+        assert_exact(g, labeling)
+
+    def test_redundant_edge_writes_nothing_new_distancewise(self):
+        g = generators.complete_graph(5)
+        g.remove_edge(0, 1)
+        labeling = build_pll(g)
+        # 0 and 1 are at distance 2; adding the edge shortens exactly
+        # that one pair.
+        insert_edge(g, labeling, 0, 1)
+        assert dist_query(labeling, 0, 1) == 1
+        assert_exact(g, labeling)
+
+    def test_well_ordering_preserved(self):
+        g = generators.erdos_renyi_gnm(20, 30, seed=3)
+        labeling = build_pll(g)
+        rng = random.Random(3)
+        for _ in range(5):
+            candidates = [
+                (u, v)
+                for u in range(20)
+                for v in range(u + 1, 20)
+                if not g.has_edge(u, v)
+            ]
+            insert_edge(g, labeling, *rng.choice(candidates))
+        assert labeling.validate() == []
+
+    def test_duplicate_insert_rejected(self, path5):
+        labeling = build_pll(path5)
+        with pytest.raises(GraphError):
+            insert_edge(path5, labeling, 0, 1)
+
+    def test_size_mismatch_rejected(self, path5, cycle6):
+        labeling = build_pll(cycle6)
+        with pytest.raises(LabelingError):
+            insert_edge(path5, labeling, 0, 2)
+
+    def test_insert_edges_bulk(self):
+        g = generators.path_graph(8)
+        labeling = build_pll(g)
+        insert_edges(g, labeling, [(0, 7), (2, 6)])
+        assert_exact(g, labeling)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exactness_over_random_insertion_sequences(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(8, 18)
+        g = generators.erdos_renyi_gnm(n, rng.randint(n // 2, n), seed=seed)
+        labeling = build_pll(g, random_order(g, seed=seed))
+        for _ in range(6):
+            candidates = [
+                (u, v)
+                for u in range(n)
+                for v in range(u + 1, n)
+                if not g.has_edge(u, v)
+            ]
+            if not candidates:
+                break
+            insert_edge(g, labeling, *rng.choice(candidates))
+            assert_exact(g, labeling)
+            assert labeling.validate() == []
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(6, 14),
+    inserts=st.integers(1, 4),
+)
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_property_incremental_equals_from_scratch_answers(seed, n, inserts):
+    """After any insertion sequence, the repaired labeling answers every
+    query exactly like a labeling built from scratch on the final graph."""
+    rng = random.Random(seed)
+    g = generators.erdos_renyi_gnm(n, rng.randint(n // 2, n), seed=seed)
+    labeling = build_pll(g)
+    for _ in range(inserts):
+        candidates = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if not g.has_edge(u, v)
+        ]
+        if not candidates:
+            break
+        insert_edge(g, labeling, *rng.choice(candidates))
+    fresh = build_pll(g)
+    for s in range(n):
+        for t in range(n):
+            assert dist_query(labeling, s, t) == dist_query(fresh, s, t)

@@ -1,0 +1,90 @@
+"""Smoke tests: the shipped examples and the README snippet must run.
+
+Examples double as integration tests (several assert against BFS ground
+truth internally); running the fast ones here keeps them from rotting.
+The heavyweight ones (full dataset builds) are exercised by the
+benchmark suite instead.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(name: str, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "d(G - (0, 8); 2, 8) = 3" in out
+    assert "SL(8) = [(0, 2)]" in out
+
+
+def test_road_pricing(capsys):
+    out = _run("road_pricing.py", capsys)
+    assert "bridges carry the highest Vickrey prices" in out
+
+
+def test_evolving_network(capsys):
+    out = _run("evolving_network.py", capsys)
+    assert "failure queries verified against BFS" in out
+
+
+def test_readme_quickstart_snippet():
+    """The code block in README.md's Quickstart, executed literally."""
+    from repro import Graph, SIEFBuilder, SIEFQueryEngine
+
+    g = Graph(
+        11,
+        [
+            (0, 1), (0, 2), (0, 3), (0, 4), (0, 8), (1, 4), (1, 5),
+            (2, 3), (2, 5), (3, 6), (3, 7), (4, 8), (6, 7), (6, 8),
+            (6, 9), (9, 10),
+        ],
+    )
+    index, _report = SIEFBuilder(g).build()
+    engine = SIEFQueryEngine(index)
+    assert engine.distance(2, 8, failed_edge=(0, 8)) == 3
+    from repro.labeling.query import INF
+
+    assert engine.distance(0, 10, failed_edge=(6, 9)) == INF
+
+
+def test_package_docstring_snippet():
+    """The ring example in repro.__doc__."""
+    from repro import Graph, SIEFBuilder, SIEFQueryEngine
+
+    g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    index, _report = SIEFBuilder(g).build()
+    engine = SIEFQueryEngine(index)
+    assert engine.distance(0, 2, failed_edge=(1, 2)) == 2
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["most_vital_arc.py", "iot_resilience.py"],
+)
+def test_heavy_examples_importable(name):
+    """The dataset-scale examples must at least parse and expose main()."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        name.removesuffix(".py"), EXAMPLES / name
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Execute the module body only if it guards __main__ (they all do) —
+    # loading must not kick off a multi-second build.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert callable(module.main)
+    finally:
+        sys.modules.pop(spec.name, None)

@@ -1,0 +1,106 @@
+"""Error-hierarchy and public-API consistency tests."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+from repro import exceptions as exc
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(exc):
+            obj = getattr(exc, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not exc.ReproError:
+                    assert issubclass(obj, exc.ReproError), name
+
+    def test_vertex_not_found_payload(self):
+        e = exc.VertexNotFound(7, 5)
+        assert e.vertex == 7 and e.n == 5
+        assert "vertex 7" in str(e)
+
+    def test_edge_not_found_payload(self):
+        e = exc.EdgeNotFound(1, 2)
+        assert (e.u, e.v) == (1, 2)
+        assert "(1, 2)" in str(e)
+
+    def test_failure_case_not_indexed_payload(self):
+        e = exc.FailureCaseNotIndexed(3, 4)
+        assert (e.u, e.v) == (3, 4)
+        assert "supplemental" in str(e)
+
+    def test_single_except_clause_catches_everything(self):
+        for err in (
+            exc.GraphError("x"),
+            exc.LabelingError("x"),
+            exc.SerializationError("x"),
+            exc.DatasetError("x"),
+            exc.IndexError_("x"),
+        ):
+            with pytest.raises(exc.ReproError):
+                raise err
+
+
+class TestPublicAPI:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.graph",
+            "repro.order",
+            "repro.labeling",
+            "repro.core",
+            "repro.baselines",
+            "repro.failures",
+            "repro.analysis",
+            "repro.bench",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__all__, module
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.graph.graph",
+            "repro.graph.traversal",
+            "repro.labeling.pll",
+            "repro.labeling.isl",
+            "repro.labeling.dynamic",
+            "repro.core.affected",
+            "repro.core.bfs_aff",
+            "repro.core.bfs_all",
+            "repro.core.query",
+            "repro.core.lazy",
+            "repro.failures.weighted",
+            "repro.analysis.centrality",
+        ],
+    )
+    def test_key_modules_have_docstrings(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__) > 80, module
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_public_callables_documented(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if callable(getattr(repro, name))
+            and not isinstance(getattr(repro, name), type)
+            and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, undocumented

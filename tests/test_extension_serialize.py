@@ -1,0 +1,116 @@
+"""Round-trip tests for the weighted/directed index serializers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+from repro.graph.weighted import WeightedGraph
+from repro.failures.directed import build_directed_sief
+from repro.failures.serialize import (
+    directed_index_from_json,
+    directed_index_to_json,
+    load_directed_index,
+    load_weighted_index,
+    save_directed_index,
+    save_weighted_index,
+    weighted_index_from_json,
+    weighted_index_to_json,
+)
+from repro.failures.weighted import build_weighted_sief
+
+
+@pytest.fixture(scope="module")
+def weighted_index():
+    rng = random.Random(60)
+    base = generators.erdos_renyi_gnm(14, 26, seed=60)
+    wg = WeightedGraph(14)
+    for u, v in base.edges():
+        wg.add_edge(u, v, rng.choice([0.5, 1.0, 2.25]))
+    return wg, build_weighted_sief(wg)
+
+
+@pytest.fixture(scope="module")
+def directed_index():
+    rng = random.Random(61)
+    g = DiGraph(12)
+    while g.num_arcs < 30:
+        u, v = rng.randrange(12), rng.randrange(12)
+        if u != v and not g.has_arc(u, v):
+            g.add_arc(u, v)
+    return g, build_directed_sief(g)
+
+
+class TestWeightedRoundTrip:
+    def test_answers_preserved(self, weighted_index):
+        wg, index = weighted_index
+        loaded = weighted_index_from_json(weighted_index_to_json(index))
+        rng = random.Random(0)
+        edges = [e[:2] for e in wg.edges()]
+        for _ in range(200):
+            s, t = rng.randrange(14), rng.randrange(14)
+            e = rng.choice(edges)
+            assert loaded.distance(s, t, e) == index.distance(s, t, e)
+
+    def test_float_weights_exact(self, weighted_index):
+        _wg, index = weighted_index
+        loaded = weighted_index_from_json(weighted_index_to_json(index))
+        for edge, si in index.supplements.items():
+            other = loaded.supplement(*edge)
+            for t, sl in si.iter_labels():
+                assert other.get(t).dists == sl.dists
+
+    def test_file_round_trip(self, weighted_index, tmp_path):
+        _wg, index = weighted_index
+        path = tmp_path / "weighted.sief.json"
+        save_weighted_index(index, path)
+        loaded = load_weighted_index(path)
+        assert len(loaded.supplements) == len(index.supplements)
+
+    def test_kind_mismatch_rejected(self, directed_index):
+        _g, d_index = directed_index
+        with pytest.raises(SerializationError, match="expected"):
+            weighted_index_from_json(directed_index_to_json(d_index))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SerializationError):
+            weighted_index_from_json("{}")
+        with pytest.raises(SerializationError):
+            weighted_index_from_json("not json")
+
+
+class TestDirectedRoundTrip:
+    def test_answers_preserved(self, directed_index):
+        g, index = directed_index
+        loaded = directed_index_from_json(directed_index_to_json(index))
+        rng = random.Random(1)
+        arcs = list(g.arcs())
+        for _ in range(200):
+            s, t = rng.randrange(12), rng.randrange(12)
+            arc = rng.choice(arcs)
+            assert loaded.distance(s, t, arc) == index.distance(s, t, arc)
+
+    def test_affected_sides_preserved(self, directed_index):
+        _g, index = directed_index
+        loaded = directed_index_from_json(directed_index_to_json(index))
+        for arc, si in index.supplements.items():
+            other = loaded.supplement(*arc)
+            assert other.affected.side_s == si.affected.side_s
+            assert other.affected.side_t == si.affected.side_t
+            assert other.affected.disconnected == si.affected.disconnected
+
+    def test_file_round_trip(self, directed_index, tmp_path):
+        _g, index = directed_index
+        path = tmp_path / "directed.sief.json"
+        save_directed_index(index, path)
+        loaded = load_directed_index(path)
+        assert len(loaded.supplements) == len(index.supplements)
+
+    def test_kind_mismatch_rejected(self, weighted_index):
+        _wg, w_index = weighted_index
+        with pytest.raises(SerializationError, match="expected"):
+            directed_index_from_json(weighted_index_to_json(w_index))

@@ -1,0 +1,106 @@
+"""Unit tests for failure workloads and avoid-set traversal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.traversal import bfs_distance_between, UNREACHED
+from repro.labeling.query import INF
+from repro.core.builder import SIEFBuilder
+from repro.failures.model import (
+    FailureScenario,
+    cross_side_query_triples,
+    random_failed_edges,
+    random_query_triples,
+)
+from repro.failures.search import bfs_avoiding, bfs_distance_avoiding
+
+
+class TestScenario:
+    def test_edges_canonicalized(self):
+        s = FailureScenario(failed_edges=((5, 2),))
+        assert s.failed_edges == ((2, 5),)
+        assert s.is_single_edge
+
+    def test_multi_failure_not_single(self):
+        s = FailureScenario(failed_edges=((0, 1), (1, 2)))
+        assert not s.is_single_edge
+
+
+class TestWorkloads:
+    def test_random_failed_edges_are_edges(self, paper_graph):
+        for edge in random_failed_edges(paper_graph, 50, seed=1):
+            assert paper_graph.has_edge(*edge)
+
+    def test_distinct_sampling(self, paper_graph):
+        edges = random_failed_edges(paper_graph, 10, seed=1, distinct=True)
+        assert len(set(edges)) == 10
+
+    def test_distinct_overflow_rejected(self, cycle6):
+        with pytest.raises(ReproError):
+            random_failed_edges(cycle6, 7, distinct=True)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ReproError):
+            random_failed_edges(Graph(3), 1)
+
+    def test_query_triples_shape(self, paper_graph):
+        triples = random_query_triples(paper_graph, 30, seed=2)
+        assert len(triples) == 30
+        for q in triples:
+            assert q.s != q.t
+            assert paper_graph.has_edge(*q.edge)
+
+    def test_query_triples_deterministic(self, paper_graph):
+        a = random_query_triples(paper_graph, 10, seed=3)
+        b = random_query_triples(paper_graph, 10, seed=3)
+        assert a == b
+
+    def test_cross_side_triples_hit_case4(self, paper_graph, paper_labeling):
+        from repro.core.query import QueryCase, SIEFQueryEngine
+
+        index, _ = SIEFBuilder(paper_graph, paper_labeling).build()
+        engine = SIEFQueryEngine(index)
+        for q in cross_side_query_triples(index, 40, seed=4):
+            _d, case = engine.distance_with_case(q.s, q.t, q.edge)
+            assert case is QueryCase.CROSS_SIDES
+
+
+class TestAvoidSetSearch:
+    def test_single_edge_matches_specialized(self):
+        g = generators.erdos_renyi_gnm(20, 36, seed=5)
+        edge = next(iter(g.edges()))
+        for s in range(0, 20, 4):
+            for t in range(0, 20, 3):
+                specialized = bfs_distance_between(g, s, t, avoid=edge)
+                expected = specialized if specialized != UNREACHED else INF
+                assert bfs_distance_avoiding(
+                    g, s, t, avoid_edges=(edge,)
+                ) == expected
+
+    def test_avoid_vertex(self, path5):
+        assert bfs_distance_avoiding(path5, 0, 4, avoid_vertices=(2,)) == INF
+        assert bfs_distance_avoiding(path5, 0, 1, avoid_vertices=(2,)) == 1
+
+    def test_avoid_vertex_endpoint_is_inf(self, path5):
+        assert bfs_distance_avoiding(path5, 0, 4, avoid_vertices=(0,)) == INF
+        assert bfs_distance_avoiding(path5, 2, 2, avoid_vertices=(2,)) == INF
+
+    def test_two_edges(self, cycle6):
+        # Removing both edges incident to vertex 0 isolates it.
+        assert bfs_distance_avoiding(
+            cycle6, 0, 3, avoid_edges=((0, 1), (5, 0))
+        ) == INF
+
+    def test_bfs_avoiding_vector(self, cycle6):
+        dist = bfs_avoiding(cycle6, 0, avoid_edges=((0, 1),))
+        assert dist[1] == 5
+        dist2 = bfs_avoiding(cycle6, 0, avoid_vertices=(3,))
+        assert dist2[3] == UNREACHED
+
+    def test_source_avoided_gives_all_unreached(self, path5):
+        dist = bfs_avoiding(path5, 2, avoid_vertices=(2,))
+        assert all(d == UNREACHED for d in dist)

@@ -1,0 +1,115 @@
+"""Failure-injection tests: corrupted persisted data must fail loudly.
+
+A production index loader's contract: any corrupted input either raises
+:class:`SerializationError` or — when the corruption happens to stay
+structurally valid — loads into an object that passes its own validators.
+It must never crash the interpreter or silently return a structurally
+broken index.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ReproError, SerializationError
+from repro.graph import generators
+from repro.labeling.pll import build_pll
+from repro.labeling.serialize import labeling_from_bytes, labeling_to_bytes
+from repro.core.builder import SIEFBuilder
+from repro.core.serialize import index_from_bytes, index_to_bytes
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    g = generators.erdos_renyi_gnm(14, 24, seed=31)
+    labeling = build_pll(g)
+    index, _ = SIEFBuilder(g, labeling).build()
+    return labeling_to_bytes(labeling), index_to_bytes(index)
+
+
+def _flip(blob: bytes, position: int, value: int) -> bytes:
+    corrupted = bytearray(blob)
+    corrupted[position] ^= value
+    return bytes(corrupted)
+
+
+class TestLabelingFuzz:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_byte_flip_never_crashes(self, blobs, seed):
+        label_blob, _ = blobs
+        rng = random.Random(seed)
+        corrupted = _flip(
+            label_blob, rng.randrange(len(label_blob)), rng.randrange(1, 256)
+        )
+        try:
+            loaded = labeling_from_bytes(corrupted)
+        except ReproError:
+            return  # loud failure: acceptable
+        except (ValueError, OverflowError, MemoryError):
+            pytest.fail("leaked a non-repro exception")
+        # Quiet load: the object must at least be self-consistent in
+        # shape (parallel arrays); content may legitimately differ.
+        for v in range(loaded.num_vertices):
+            assert len(loaded.hub_ranks[v]) == len(loaded.hub_dists[v])
+
+    @pytest.mark.parametrize("cut", [0, 7, 8, 9, 30])
+    def test_truncations(self, blobs, cut):
+        label_blob, _ = blobs
+        with pytest.raises(SerializationError):
+            labeling_from_bytes(label_blob[:cut])
+
+    def test_empty_input(self):
+        with pytest.raises(SerializationError):
+            labeling_from_bytes(b"")
+
+
+class TestIndexFuzz:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_byte_flip_never_crashes(self, blobs, seed):
+        _, index_blob = blobs
+        rng = random.Random(seed)
+        corrupted = _flip(
+            index_blob, rng.randrange(len(index_blob)), rng.randrange(1, 256)
+        )
+        try:
+            index_from_bytes(corrupted)
+        except ReproError:
+            return
+        except (ValueError, OverflowError, MemoryError, KeyError):
+            pytest.fail("leaked a non-repro exception")
+
+    @pytest.mark.parametrize("cut", [0, 7, 8, 23, 24, 100])
+    def test_truncations(self, blobs, cut):
+        _, index_blob = blobs
+        with pytest.raises(SerializationError):
+            index_from_bytes(index_blob[:cut])
+
+    def test_swapped_magic_types_rejected(self, blobs):
+        label_blob, index_blob = blobs
+        # Feeding each loader the other's format must be a loud failure.
+        with pytest.raises(SerializationError):
+            index_from_bytes(label_blob)
+        with pytest.raises(SerializationError):
+            labeling_from_bytes(index_blob)
+
+
+class TestEdgeListFuzz:
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "a\n",
+            "1 2 3 extra is fine\n1\n",
+            "\x00\x01 2\n",
+        ],
+    )
+    def test_bad_lines_raise_serialization_error(self, tmp_path, content):
+        path = tmp_path / "bad.txt"
+        path.write_text(content)
+        from repro.graph.io import read_edge_list
+
+        try:
+            read_edge_list(path)
+        except SerializationError:
+            pass  # expected for the malformed rows

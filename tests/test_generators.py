@@ -1,0 +1,142 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import generators
+from repro.graph.components import is_connected
+from repro.graph.stats import average_clustering
+from repro.graph.validation import validate_graph
+
+
+def _assert_simple(g):
+    assert validate_graph(g) == []
+
+
+class TestClassics:
+    def test_path(self):
+        g = generators.path_graph(4)
+        assert g.num_edges == 3 and is_connected(g)
+
+    def test_cycle(self):
+        g = generators.cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            generators.cycle_graph(2)
+
+    def test_star(self):
+        g = generators.star_graph(6)
+        assert g.degree(0) == 5
+        assert g.num_edges == 5
+
+    def test_complete(self):
+        g = generators.complete_graph(5)
+        assert g.num_edges == 10
+
+    def test_grid(self):
+        g = generators.grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert is_connected(g)
+
+    def test_random_tree(self):
+        g = generators.random_tree(30, seed=1)
+        assert g.num_edges == 29
+        assert is_connected(g)
+        _assert_simple(g)
+
+
+class TestRandomFamilies:
+    def test_gnm_exact_edge_count(self):
+        g = generators.erdos_renyi_gnm(40, 100, seed=2)
+        assert g.num_vertices == 40 and g.num_edges == 100
+        _assert_simple(g)
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(GraphError):
+            generators.erdos_renyi_gnm(4, 7)
+
+    def test_gnm_deterministic(self):
+        a = generators.erdos_renyi_gnm(30, 60, seed=7)
+        b = generators.erdos_renyi_gnm(30, 60, seed=7)
+        assert a == b
+
+    def test_gnm_seed_sensitivity(self):
+        a = generators.erdos_renyi_gnm(30, 60, seed=7)
+        b = generators.erdos_renyi_gnm(30, 60, seed=8)
+        assert a != b
+
+    def test_barabasi_albert_sizes(self):
+        g = generators.barabasi_albert(50, 3, seed=3)
+        # Seed clique C(4,2)=6 edges, then 3 per newcomer.
+        assert g.num_edges == 6 + 3 * (50 - 4)
+        assert is_connected(g)
+        _assert_simple(g)
+
+    def test_barabasi_albert_hubs_exist(self):
+        g = generators.barabasi_albert(200, 2, seed=4)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    def test_barabasi_albert_bad_m(self):
+        with pytest.raises(GraphError):
+            generators.barabasi_albert(5, 5)
+
+    def test_watts_strogatz_degree_and_rewiring(self):
+        g0 = generators.watts_strogatz(40, 4, 0.0, seed=5)
+        assert g0.num_edges == 40 * 2
+        assert all(g0.degree(v) == 4 for v in g0.vertices())
+        g1 = generators.watts_strogatz(40, 4, 0.5, seed=5)
+        assert g1.num_edges == g0.num_edges  # rewiring preserves m
+        assert g1 != g0
+
+    def test_watts_strogatz_validation(self):
+        with pytest.raises(GraphError):
+            generators.watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(GraphError):
+            generators.watts_strogatz(10, 4, 1.5)  # bad beta
+
+    def test_powerlaw_cluster_has_clustering(self):
+        clustered = generators.powerlaw_cluster(150, 4, 0.9, seed=6)
+        plain = generators.barabasi_albert(150, 4, seed=6)
+        assert average_clustering(clustered) > average_clustering(plain)
+        _assert_simple(clustered)
+
+    def test_planted_partition_intra_density(self):
+        g = generators.planted_partition(60, 3, 0.8, 0.01, seed=7)
+        group = [v % 3 for v in range(60)]
+        intra = sum(1 for u, v in g.edges() if group[u] == group[v])
+        inter = g.num_edges - intra
+        assert intra > 5 * inter
+        _assert_simple(g)
+
+    def test_planted_partition_validation(self):
+        with pytest.raises(GraphError):
+            generators.planted_partition(10, 0, 0.5, 0.1)
+        with pytest.raises(GraphError):
+            generators.planted_partition(10, 2, 1.5, 0.1)
+
+    def test_preferential_rewired_keeps_simple(self):
+        g = generators.preferential_rewired(100, 300, 0.3, seed=8)
+        _assert_simple(g)
+        assert g.num_edges == 300
+
+    def test_attach_tail(self):
+        core = generators.cycle_graph(10)
+        g = generators.attach_tail(core, 5, seed=9)
+        assert g.num_vertices == 15
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 1 for v in range(10, 15))
+
+    def test_compose_disjoint(self):
+        g = generators.compose_disjoint(
+            [generators.path_graph(3), generators.cycle_graph(4)]
+        )
+        assert g.num_vertices == 7
+        assert g.num_edges == 2 + 4
+        assert not is_connected(g)

@@ -1,0 +1,134 @@
+"""Unit tests for the core undirected Graph type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFound, GraphError, VertexNotFound
+from repro.graph.graph import Graph, normalize_edge
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_vertices_range(self):
+        g = Graph(5)
+        assert list(g.vertices()) == [0, 1, 2, 3, 4]
+
+    def test_constructor_edges(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+
+class TestEdges:
+    def test_add_and_has_edge_symmetric(self):
+        g = Graph(3)
+        g.add_edge(0, 2)
+        assert g.has_edge(0, 2) and g.has_edge(2, 0)
+
+    def test_neighbors_sorted(self):
+        g = Graph(5, [(2, 4), (2, 0), (2, 3), (2, 1)])
+        assert list(g.neighbors(2)) == [0, 1, 3, 4]
+
+    def test_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_edges_iteration_canonical(self):
+        g = Graph(4, [(3, 1), (2, 0)])
+        assert sorted(g.edges()) == [(0, 2), (1, 3)]
+
+    def test_self_loop_rejected(self):
+        g = Graph(3)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_duplicate_edge_rejected(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            g.add_edge(1, 0)
+
+    def test_vertex_out_of_range(self):
+        g = Graph(3)
+        with pytest.raises(VertexNotFound):
+            g.add_edge(0, 3)
+        with pytest.raises(VertexNotFound):
+            g.neighbors(-1)
+
+    def test_remove_edge(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        g.remove_edge(1, 0)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(EdgeNotFound):
+            g.remove_edge(0, 2)
+
+    def test_remove_self_loop_query_raises(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(EdgeNotFound):
+            g.remove_edge(1, 1)
+
+
+class TestDerivedViews:
+    def test_copy_is_independent(self):
+        g = Graph(3, [(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1 and h.num_edges == 2
+
+    def test_without_edge(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        h = g.without_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert not h.has_edge(0, 1)
+        assert h.num_edges == 1
+
+    def test_subgraph_relabels_densely(self):
+        g = Graph(6, [(0, 2), (2, 4), (4, 0), (1, 3)])
+        sub, mapping = g.subgraph([0, 2, 4])
+        assert sub.num_vertices == 3
+        assert mapping == [0, 2, 4]
+        assert sorted(sub.edges()) == [(0, 1), (1, 2), (0, 2)] or sorted(
+            sub.edges()
+        ) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_equality(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(1, 0)])
+        c = Graph(3, [(0, 2)])
+        assert a == b
+        assert a != c
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Graph(1))
+
+    def test_repr_mentions_sizes(self):
+        assert repr(Graph(3, [(0, 1)])) == "Graph(n=3, m=1)"
+
+
+def test_normalize_edge():
+    assert normalize_edge(5, 2) == (2, 5)
+    assert normalize_edge(2, 5) == (2, 5)
+    assert normalize_edge(3, 3) == (3, 3)
+
+
+def test_adjacency_exposes_sorted_lists():
+    g = Graph(4, [(1, 3), (1, 0), (1, 2)])
+    adj = g.adjacency()
+    assert adj[1] == [0, 2, 3]
+    assert adj[0] == [1]

@@ -1,0 +1,79 @@
+"""Unit tests for GraphBuilder (messy edge-list ingestion)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+def test_names_map_to_dense_ids():
+    b = GraphBuilder()
+    b.add_edge("alice", "bob")
+    b.add_edge("bob", "carol")
+    assert b.num_vertices == 3
+    assert b.names() == ["alice", "bob", "carol"]
+
+
+def test_duplicates_dropped_and_counted():
+    b = GraphBuilder()
+    b.add_edge(1, 2)
+    b.add_edge(2, 1)
+    b.add_edge(1, 2)
+    assert b.num_edges == 1
+    assert b.duplicates_dropped == 2
+
+
+def test_self_loops_dropped_and_counted():
+    b = GraphBuilder()
+    b.add_edge("x", "x")
+    assert b.num_edges == 0
+    assert b.self_loops_dropped == 1
+    # Vertex still allocated.
+    assert b.num_vertices == 1
+
+
+def test_build_produces_clean_graph():
+    b = GraphBuilder()
+    b.add_edges([(10, 20), (20, 30), (10, 20), (30, 30)])
+    g = b.build()
+    assert g.num_vertices == 3
+    assert g.num_edges == 2
+
+
+def test_isolated_vertex_via_add_vertex():
+    b = GraphBuilder()
+    b.add_edge("a", "b")
+    b.add_vertex("lonely")
+    g = b.build()
+    assert g.num_vertices == 3
+    assert g.degree(2) == 0
+
+
+def test_build_weighted_first_weight_wins():
+    b = GraphBuilder()
+    b.add_edge("a", "b", weight=3.0)
+    b.add_edge("b", "a", weight=9.0)  # duplicate: dropped
+    g = b.build_weighted()
+    assert g.weight(0, 1) == 3.0
+
+
+def test_build_weighted_default_weight():
+    b = GraphBuilder()
+    b.add_edge("a", "b")
+    g = b.build_weighted(default_weight=2.5)
+    assert g.weight(0, 1) == 2.5
+
+
+def test_bad_weight_rejected():
+    b = GraphBuilder()
+    with pytest.raises(GraphError):
+        b.add_edge("a", "b", weight=-1.0)
+
+
+def test_vertex_id_stable():
+    b = GraphBuilder()
+    first = b.vertex_id("v")
+    second = b.vertex_id("v")
+    assert first == second == 0

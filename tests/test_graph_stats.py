@@ -1,0 +1,103 @@
+"""Unit tests for graph statistics and validation."""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.graph import generators
+from repro.graph.stats import (
+    average_clustering,
+    compute_stats,
+    estimate_diameter,
+)
+from repro.graph.validation import assert_valid, validate_graph
+
+import pytest
+
+
+class TestStats:
+    def test_basic_counts(self, cycle6):
+        stats = compute_stats(cycle6)
+        assert stats.num_vertices == 6
+        assert stats.num_edges == 6
+        assert stats.min_degree == stats.max_degree == 2
+        assert stats.avg_degree == 2.0
+        assert stats.num_components == 1
+
+    def test_density(self):
+        g = generators.complete_graph(5)
+        assert compute_stats(g).density == 1.0
+
+    def test_degree_histogram(self, star7):
+        stats = compute_stats(star7)
+        assert stats.degree_histogram == {6: 1, 1: 6}
+
+    def test_components_counted(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        stats = compute_stats(g)
+        assert stats.num_components == 3
+        assert stats.largest_component_size == 2
+
+    def test_as_dict_keys(self, path5):
+        d = compute_stats(path5).as_dict()
+        assert {"num_vertices", "num_edges", "density"} <= set(d)
+
+    def test_empty_graph(self):
+        stats = compute_stats(Graph(0))
+        assert stats.num_vertices == 0
+        assert stats.avg_degree == 0.0
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        assert average_clustering(generators.complete_graph(3)) == 1.0
+
+    def test_path_has_no_triangles(self, path5):
+        assert average_clustering(path5) == 0.0
+
+    def test_sampling_is_deterministic(self):
+        g = generators.powerlaw_cluster(80, 4, 0.6, seed=2)
+        a = average_clustering(g, sample=30, seed=1)
+        b = average_clustering(g, sample=30, seed=1)
+        assert a == b
+
+
+class TestDiameter:
+    def test_path_diameter_exact(self):
+        g = generators.path_graph(12)
+        assert estimate_diameter(g) == 11  # double sweep is exact on trees
+
+    def test_lower_bounds_true_diameter(self):
+        g = generators.erdos_renyi_gnm(40, 70, seed=3)
+        from repro.graph.traversal import bfs_distances, UNREACHED
+
+        true_diam = 0
+        for v in range(40):
+            dist = bfs_distances(g, v)
+            true_diam = max(
+                true_diam, max(d for d in dist if d != UNREACHED)
+            )
+        assert estimate_diameter(g) <= true_diam
+
+
+class TestValidation:
+    def test_healthy_graph(self, cycle6):
+        assert validate_graph(cycle6) == []
+        assert_valid(cycle6)
+
+    def test_detects_asymmetry(self):
+        g = Graph(3, [(0, 1)])
+        g.adjacency()[0].append(2)  # corrupt deliberately
+        problems = validate_graph(g)
+        assert any("asymmetric" in p for p in problems)
+
+    def test_detects_count_mismatch(self):
+        g = Graph(3, [(0, 1)])
+        g._num_edges = 5  # corrupt bookkeeping
+        problems = validate_graph(g)
+        assert any("edge count mismatch" in p for p in problems)
+
+    def test_assert_valid_raises(self):
+        g = Graph(2, [(0, 1)])
+        g.adjacency()[0].append(0)
+        with pytest.raises(AssertionError):
+            assert_valid(g)

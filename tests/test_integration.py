@@ -1,0 +1,126 @@
+"""Integration tests: the full pipeline on mid-size graphs.
+
+These mirror what the benchmark suite does, at a scale small enough for
+the test run: generate a structured graph, build PLL + SIEF, and check
+the paper's qualitative claims end to end.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.components import bridges
+from repro.labeling.pll import build_pll
+from repro.labeling.query import INF, dist_query
+from repro.labeling.stats import labeling_stats
+from repro.baselines.bfs_query import BFSQueryBaseline
+from repro.baselines.naive_rebuild import NaiveRebuildBaseline
+from repro.core.builder import SIEFBuilder
+from repro.core.query import SIEFQueryEngine
+from repro.core.stats import sief_stats
+from repro.failures.model import random_query_triples
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    g = generators.powerlaw_cluster(120, 3, 0.5, seed=77)
+    labeling = build_pll(g)
+    index, report = SIEFBuilder(g, labeling, algorithm="bfs_all").build()
+    return g, labeling, index, report
+
+
+class TestEndToEnd:
+    def test_all_cases_present(self, pipeline):
+        g, _, index, _ = pipeline
+        assert index.num_cases == g.num_edges
+
+    def test_sampled_queries_match_bfs(self, pipeline):
+        g, _, index, _ = pipeline
+        engine = SIEFQueryEngine(index)
+        baseline = BFSQueryBaseline(g)
+        for q in random_query_triples(g, 400, seed=5):
+            assert engine.distance(q.s, q.t, q.edge) == baseline.distance(
+                q.s, q.t, q.edge
+            ), q
+
+    def test_bridge_cases_disconnect(self, pipeline):
+        g, _, index, _ = pipeline
+        engine = SIEFQueryEngine(index)
+        for u, v in bridges(g):
+            si = index.supplement(u, v)
+            assert si.affected.disconnected
+            # A cross-side pair must report INF.
+            s = si.affected.side_u[0]
+            t = si.affected.side_v[0]
+            assert engine.distance(s, t, (u, v)) == INF
+
+    def test_index_compactness_vs_naive(self, pipeline):
+        """The paper's Gnutella pitch (105 MB -> 14 MB), at our scale:
+        SIEF total is a small multiple of the original index and far
+        below m per-case rebuilds."""
+        g, labeling, index, report = pipeline
+        stats = sief_stats(index, report)
+        naive_bytes = g.num_edges * stats.original_bytes
+        assert stats.total_bytes < naive_bytes / 10
+
+    def test_report_totals_consistent(self, pipeline):
+        g, _, index, report = pipeline
+        assert report.num_cases == g.num_edges
+        assert report.total_supplemental_entries == (
+            index.total_supplemental_entries()
+        )
+
+    def test_unaffected_majority(self, pipeline):
+        """§4.1: distances of a considerable proportion of pairs remain
+        unchanged after a failure — affected sets are small on average."""
+        g, _, _, report = pipeline
+        assert report.avg_affected < 0.5 * g.num_vertices
+
+
+class TestAlgorithmsAgreeAtScale:
+    def test_full_index_identical(self):
+        g = generators.barabasi_albert(90, 3, seed=9)
+        labeling = build_pll(g)
+        aff, _ = SIEFBuilder(g, labeling, algorithm="bfs_aff").build()
+        all_, _ = SIEFBuilder(g, labeling, algorithm="bfs_all").build()
+        for edge, si in aff.iter_cases():
+            assert all_.supplement(*edge) == si
+
+
+class TestNaiveEquivalenceSampled:
+    def test_naive_rebuild_agrees_on_sample(self):
+        g = generators.erdos_renyi_gnm(40, 80, seed=10)
+        index, _ = SIEFBuilder(g).build()
+        engine = SIEFQueryEngine(index)
+        naive = NaiveRebuildBaseline(g)
+        rng = random.Random(0)
+        edges = rng.sample(list(g.edges()), 6)
+        for edge in edges:
+            for s in range(0, 40, 5):
+                for t in range(0, 40, 7):
+                    assert naive.distance(s, t, edge) == engine.distance(
+                        s, t, edge
+                    )
+
+
+class TestWeightedPipeline:
+    def test_weighted_end_to_end(self):
+        from repro.failures.weighted import build_weighted_sief
+        from repro.graph.weighted import WeightedGraph
+        from repro.graph.traversal import dijkstra_distances
+
+        rng = random.Random(3)
+        base = generators.powerlaw_cluster(40, 3, 0.4, seed=3)
+        wg = WeightedGraph(40)
+        for u, v in base.edges():
+            wg.add_edge(u, v, rng.choice([1.0, 2.0, 2.5]))
+        index = build_weighted_sief(wg)
+        for u, v, _w in list(wg.edges())[:15]:
+            truth = dijkstra_distances(wg, 0, avoid=(u, v))
+            for t in range(40):
+                assert index.distance(0, t, (u, v)) == pytest.approx(
+                    truth[t]
+                )

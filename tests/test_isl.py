@@ -1,0 +1,104 @@
+"""Unit tests for IS-Label and SIEF-over-ISL (framework genericity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.traversal import UNREACHED, bfs_distances_avoiding_edge
+from repro.labeling.isl import build_isl
+from repro.labeling.pll import build_pll
+from repro.labeling.query import INF, dist_query
+from repro.labeling.stats import labeling_stats
+from repro.labeling.verify import is_well_ordered, verify_labeling
+from repro.core.builder import SIEFBuilder
+from repro.core.query import SIEFQueryEngine
+
+
+class TestISLCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exact_cover_on_random_graphs(self, seed):
+        g = generators.erdos_renyi_gnm(26, 48, seed=seed)
+        verify_labeling(build_isl(g, core_limit=8), g)
+
+    @pytest.mark.parametrize("core_limit", [1, 2, 4, 16, 64])
+    def test_any_core_limit(self, core_limit):
+        g = generators.powerlaw_cluster(30, 3, 0.5, seed=1)
+        verify_labeling(build_isl(g, core_limit=core_limit), g)
+
+    def test_disconnected_graph(self):
+        g = generators.compose_disjoint(
+            [generators.cycle_graph(6), generators.path_graph(5)]
+        )
+        labeling = build_isl(g, core_limit=3)
+        verify_labeling(labeling, g)
+        assert dist_query(labeling, 0, 8) == INF
+
+    def test_tree(self):
+        g = generators.random_tree(30, seed=2)
+        verify_labeling(build_isl(g), g)
+
+    def test_paper_graph(self, paper_graph):
+        verify_labeling(build_isl(paper_graph, core_limit=4), paper_graph)
+
+    def test_well_ordered(self):
+        g = generators.barabasi_albert(50, 3, seed=3)
+        assert is_well_ordered(build_isl(g))
+
+    def test_bad_core_limit(self, path5):
+        with pytest.raises(LabelingError):
+            build_isl(path5, core_limit=0)
+
+    def test_single_vertex(self):
+        labeling = build_isl(Graph(1))
+        assert dist_query(labeling, 0, 0) == 0
+
+
+class TestISLCharacter:
+    def test_isl_labels_larger_than_pll(self):
+        """The known trade: ISL's peel hierarchy produces bigger labels
+        than PLL's global pruning (it buys memory-bounded construction,
+        which we don't model)."""
+        g = generators.barabasi_albert(120, 3, seed=4)
+        isl = labeling_stats(build_isl(g, core_limit=16))
+        pll = labeling_stats(build_pll(g))
+        assert isl.total_entries > pll.total_entries
+
+    def test_core_vertices_rank_first(self):
+        g = generators.barabasi_albert(60, 3, seed=5)
+        labeling = build_isl(g, core_limit=10)
+        # The rank-0 vertex must appear as a hub extremely widely — it is
+        # the most connected core vertex (Lemma 1 analogue).
+        root_rank_hits = sum(
+            1
+            for v in range(60)
+            if labeling.hub_ranks[v] and labeling.hub_ranks[v][0] == 0
+        )
+        assert root_rank_hits > 30
+
+
+class TestSIEFOverISL:
+    """The paper's framework claim: SIEF needs only well-ordering, not PLL."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_failure_queries_exact(self, seed):
+        g = generators.erdos_renyi_gnm(18, 32, seed=seed)
+        labeling = build_isl(g, core_limit=6)
+        index, _ = SIEFBuilder(g, labeling).build()
+        engine = SIEFQueryEngine(index)
+        for u, v in g.edges():
+            for s in range(18):
+                truth = bfs_distances_avoiding_edge(g, s, (u, v))
+                for t in range(18):
+                    expected = truth[t] if truth[t] != UNREACHED else INF
+                    assert engine.distance(s, t, (u, v)) == expected
+
+    def test_relabel_algorithms_agree_on_isl(self):
+        g = generators.erdos_renyi_gnm(20, 36, seed=9)
+        labeling = build_isl(g, core_limit=6)
+        aff, _ = SIEFBuilder(g, labeling, algorithm="bfs_aff").build()
+        all_, _ = SIEFBuilder(g, labeling, algorithm="bfs_all").build()
+        for edge, si in aff.iter_cases():
+            assert all_.supplement(*edge) == si

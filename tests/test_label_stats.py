@@ -1,0 +1,52 @@
+"""Unit tests for labeling statistics (Table 2's LN, Figure 6's bytes)."""
+
+from __future__ import annotations
+
+from repro.graph import generators
+from repro.labeling.pll import build_pll
+from repro.labeling.stats import (
+    BYTES_PER_ENTRY,
+    BYTES_PER_VERTEX_OVERHEAD,
+    labeling_bytes,
+    labeling_stats,
+)
+
+
+def test_counts(paper_labeling):
+    stats = labeling_stats(paper_labeling)
+    assert stats.num_vertices == 11
+    assert stats.total_entries == paper_labeling.total_entries()
+    assert stats.min_entries == 1  # L(0) in Table 1
+    assert stats.max_entries == 7  # L(10) in Table 1
+    assert stats.avg_entries == stats.total_entries / 11
+
+
+def test_byte_model():
+    assert labeling_bytes(100, 10) == 100 * BYTES_PER_ENTRY + (
+        10 * BYTES_PER_VERTEX_OVERHEAD
+    )
+
+
+def test_megabytes(paper_labeling):
+    stats = labeling_stats(paper_labeling)
+    assert stats.megabytes == stats.bytes_modelled / 1_000_000
+
+
+def test_as_dict_keys(paper_labeling):
+    d = labeling_stats(paper_labeling).as_dict()
+    assert {"total_entries", "avg_entries", "bytes_modelled"} <= set(d)
+
+
+def test_gnutella_scale_sanity():
+    """The paper's headline: Gnutella's PLL index ~5 MB at 1M entries.
+
+    Our byte model should put ~1M entries in the single-digit MB range.
+    """
+    assert 5.0 <= labeling_bytes(1_030_000, 6301) / 1_000_000 <= 10.0
+
+
+def test_stats_on_generated_graph():
+    g = generators.barabasi_albert(80, 3, seed=2)
+    stats = labeling_stats(build_pll(g))
+    assert stats.min_entries >= 1
+    assert stats.max_entries >= stats.avg_entries >= stats.min_entries

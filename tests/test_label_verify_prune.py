@@ -1,0 +1,120 @@
+"""Unit tests for labeling verification and Lemma-4 redundancy pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.labeling.label import Labeling
+from repro.labeling.pll import build_pll
+from repro.labeling.prune import find_redundant_entries, prune_redundant
+from repro.labeling.verify import (
+    cover_violations,
+    hub_is_on_shortest_path,
+    is_distance_cover,
+    is_well_ordered,
+    verify_labeling,
+)
+from repro.order.ordering import VertexOrdering
+from repro.order.strategies import identity_order
+
+
+class TestVerify:
+    def test_good_labeling_passes(self, paper_graph, paper_labeling):
+        assert is_well_ordered(paper_labeling)
+        assert is_distance_cover(paper_labeling, paper_graph)
+
+    def test_missing_entry_detected(self, paper_graph, paper_labeling):
+        broken = paper_labeling.copy()
+        broken.hub_ranks[10] = broken.hub_ranks[10][1:]
+        broken.hub_dists[10] = broken.hub_dists[10][1:]
+        violations = cover_violations(broken, paper_graph)
+        assert violations
+        assert not is_distance_cover(broken, paper_graph)
+
+    def test_wrong_distance_detected(self, paper_graph, paper_labeling):
+        broken = paper_labeling.copy()
+        broken.hub_dists[10] = list(broken.hub_dists[10])
+        broken.hub_dists[10][0] += 1  # (0, 4) -> (0, 5)
+        assert cover_violations(broken, paper_graph)
+
+    def test_verify_labeling_raises_with_description(
+        self, paper_graph, paper_labeling
+    ):
+        broken = paper_labeling.copy()
+        broken.hub_ranks[9] = []
+        broken.hub_dists[9] = []
+        with pytest.raises(AssertionError, match="not a distance cover"):
+            verify_labeling(broken, paper_graph)
+
+    def test_structural_violation_raises(self, paper_graph, paper_labeling):
+        broken = paper_labeling.copy()
+        broken.hub_ranks[1] = [5]  # hub ranked above vertex 1
+        broken.hub_dists[1] = [1]
+        with pytest.raises(AssertionError, match="structurally invalid"):
+            verify_labeling(broken, paper_graph)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_minimizing_hub_lies_on_shortest_path(self, seed):
+        """Lemma 2/3 behavior on random graphs."""
+        g = generators.erdos_renyi_gnm(20, 35, seed=seed)
+        labeling = build_pll(g)
+        for s in range(0, 20, 3):
+            for t in range(0, 20, 4):
+                assert hub_is_on_shortest_path(labeling, g, s, t)
+
+
+class TestPrune:
+    def test_pll_output_has_no_redundancy(self, paper_labeling):
+        assert find_redundant_entries(paper_labeling) == []
+
+    def test_injected_redundant_entry_found_and_removed(self, paper_graph):
+        labeling = build_pll(paper_graph, identity_order(paper_graph))
+        # Inject the paper's example: (3, 2) into L(5).
+        ranks = labeling.hub_ranks[5]
+        dists = labeling.hub_dists[5]
+        pos = next(i for i, r in enumerate(ranks) if r > 3)
+        ranks.insert(pos, 3)
+        dists.insert(pos, 2)
+        assert (5, 3, 2) in find_redundant_entries(labeling)
+
+        pruned, removed = prune_redundant(labeling)
+        assert removed == 1
+        verify_labeling(pruned, paper_graph)
+        assert 3 not in [h for h in pruned.hub_ranks[5]]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pruning_never_breaks_cover(self, seed):
+        g = generators.erdos_renyi_gnm(18, 30, seed=seed)
+        labeling = build_pll(g)
+        pruned, removed = prune_redundant(labeling)
+        assert removed >= 0
+        verify_labeling(pruned, g)
+
+    def test_self_entries_never_pruned(self, paper_graph):
+        labeling = build_pll(paper_graph)
+        pruned, _ = prune_redundant(labeling)
+        for v in range(11):
+            rank_v = pruned.ordering.rank(v)
+            assert rank_v in pruned.hub_ranks[v]
+
+    def test_full_apsp_labeling_gets_pruned(self):
+        """An all-pairs 'labeling' (every vertex in every label) has many
+        Lemma-4 redundancies; pruning shrinks it while keeping exactness."""
+        g = generators.cycle_graph(8)
+        ordering = identity_order(g)
+        from repro.graph.traversal import bfs_distances
+
+        hub_ranks = []
+        hub_dists = []
+        for v in range(8):
+            dist = bfs_distances(g, v)
+            ranks = list(range(v + 1))  # hubs 0..v keep well-ordering
+            hub_ranks.append(ranks)
+            hub_dists.append([dist[h] for h in ranks])
+        full = Labeling(ordering, hub_ranks, hub_dists)
+        verify_labeling(full, g)
+        pruned, removed = prune_redundant(full)
+        assert removed > 0
+        assert pruned.total_entries() < full.total_entries()
+        verify_labeling(pruned, g)

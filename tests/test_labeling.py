@@ -1,0 +1,93 @@
+"""Unit tests for Labeling structures and query evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.graph import generators
+from repro.labeling.label import LabelEntry, Labeling
+from repro.labeling.pll import build_pll
+from repro.labeling.query import INF, dist_query, merge_min_sum
+from repro.order.ordering import VertexOrdering
+from repro.order.strategies import identity_order
+
+
+class TestLabelingStructure:
+    def test_empty(self):
+        labeling = Labeling.empty(VertexOrdering([0, 1, 2]))
+        assert labeling.total_entries() == 0
+        assert labeling.num_vertices == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(LabelingError):
+            Labeling(VertexOrdering([0, 1]), [[]], [[]])
+
+    def test_entries_translate_ranks_to_vertices(self):
+        ordering = VertexOrdering([2, 0, 1])  # vertex 2 has rank 0
+        labeling = Labeling(
+            ordering, [[0], [0, 2], [0]], [[1], [2, 0], [0]]
+        )
+        assert labeling.entries(1) == [LabelEntry(2, 2), LabelEntry(1, 0)]
+        assert labeling.hubs(1) == [2, 1]
+
+    def test_validate_flags_well_ordering_violation(self):
+        ordering = VertexOrdering([0, 1])
+        labeling = Labeling(ordering, [[1], [1]], [[3], [0]])
+        problems = labeling.validate()
+        assert any("well-ordering" in p for p in problems)
+
+    def test_validate_flags_unsorted_ranks(self):
+        ordering = VertexOrdering([0, 1, 2])
+        labeling = Labeling(ordering, [[], [], [1, 0, 2]], [[], [], [1, 1, 0]])
+        problems = labeling.validate()
+        assert any("ascending" in p for p in problems)
+
+    def test_validate_flags_negative_distance(self):
+        labeling = Labeling(VertexOrdering([0]), [[0]], [[-1]])
+        assert any("negative" in p for p in labeling.validate())
+
+    def test_copy_independent(self, paper_labeling):
+        clone = paper_labeling.copy()
+        clone.hub_ranks[5].clear()
+        assert paper_labeling.label_size(5) == 4
+
+    def test_label_size_and_total(self, paper_labeling):
+        assert paper_labeling.label_size(0) == 1
+        assert paper_labeling.total_entries() == sum(
+            paper_labeling.label_size(v) for v in range(11)
+        )
+
+
+class TestMergeMinSum:
+    def test_common_hub(self):
+        assert merge_min_sum([0, 2, 5], [1, 4, 2], [2, 5], [1, 9]) == 5
+
+    def test_multiple_common_hubs_takes_min(self):
+        assert merge_min_sum([0, 1], [5, 1], [0, 1], [5, 1]) == 2
+
+    def test_no_common_hub_is_inf(self):
+        assert merge_min_sum([0, 2], [1, 1], [1, 3], [1, 1]) == INF
+
+    def test_empty_labels(self):
+        assert merge_min_sum([], [], [0], [0]) == INF
+
+
+class TestDistQuery:
+    def test_self_distance_zero(self, paper_labeling):
+        assert dist_query(paper_labeling, 7, 7) == 0
+
+    def test_disconnected_components(self):
+        g = generators.compose_disjoint(
+            [generators.path_graph(3), generators.path_graph(3)]
+        )
+        labeling = build_pll(g, identity_order(g))
+        assert dist_query(labeling, 0, 4) == INF
+        assert dist_query(labeling, 0, 2) == 2
+
+    def test_symmetry(self, paper_labeling):
+        for s in range(11):
+            for t in range(11):
+                assert dist_query(paper_labeling, s, t) == dist_query(
+                    paper_labeling, t, s
+                )

@@ -1,0 +1,108 @@
+"""Stateful model test: LazySIEFIndex vs a plain-graph BFS model.
+
+Hypothesis drives random interleavings of the three operations a live
+deployment performs — failure queries, edge insertions, permanent
+removals — and after every step the index must agree with a from-scratch
+BFS on the model graph.  This is the strongest guard against state-
+invalidation bugs (stale supplements, stale labelings) the library has.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.core.lazy import LazySIEFIndex
+from repro.graph import generators
+from repro.graph.traversal import UNREACHED, bfs_distance_between
+from repro.labeling.query import INF
+
+
+class LazyIndexMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.lazy = None
+        self.model = None  # independent Graph copy, mutated in lockstep
+
+    @initialize(seed=st.integers(0, 50))
+    def setup(self, seed):
+        graph = generators.erdos_renyi_gnm(12, 22, seed=seed)
+        self.model = graph.copy()
+        self.lazy = LazySIEFIndex(graph)
+
+    def _an_edge(self, pick):
+        edges = sorted(self.model.edges())
+        return edges[pick % len(edges)] if edges else None
+
+    def _a_non_edge(self, pick):
+        n = self.model.num_vertices
+        candidates = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if not self.model.has_edge(u, v)
+        ]
+        return candidates[pick % len(candidates)] if candidates else None
+
+    @rule(
+        pick=st.integers(0, 10_000),
+        s=st.integers(0, 11),
+        t=st.integers(0, 11),
+    )
+    def query(self, pick, s, t):
+        edge = self._an_edge(pick)
+        if edge is None:
+            return
+        expected = bfs_distance_between(self.model, s, t, avoid=edge)
+        expected = expected if expected != UNREACHED else INF
+        assert self.lazy.distance(s, t, edge) == expected
+
+    @rule(pick=st.integers(0, 10_000))
+    def insert(self, pick):
+        new = self._a_non_edge(pick)
+        if new is None:
+            return
+        self.lazy.insert_edge(*new)
+        self.model.add_edge(*new)
+
+    @precondition(lambda self: self.model is not None and self.model.num_edges > 3)
+    @rule(pick=st.integers(0, 10_000))
+    def commit_failure(self, pick):
+        edge = self._an_edge(pick)
+        self.lazy.commit_failure(*edge)
+        self.model.remove_edge(*edge)
+
+    @invariant()
+    def graphs_in_lockstep(self):
+        if self.lazy is not None:
+            assert self.lazy.graph == self.model
+
+    @invariant()
+    def labeling_matches_static_distances(self):
+        if self.lazy is None:
+            return
+        from repro.labeling.query import dist_query
+
+        # Spot-check a diagonal band of static pairs.
+        for s in range(0, 12, 5):
+            for t in range(0, 12, 3):
+                expected = bfs_distance_between(self.model, s, t)
+                expected = expected if expected != UNREACHED else INF
+                assert dist_query(self.lazy.labeling, s, t) == expected
+
+
+LazyIndexMachine.TestCase.settings = settings(
+    max_examples=25,
+    stateful_step_count=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TestLazyIndexMachine = LazyIndexMachine.TestCase

@@ -1,0 +1,96 @@
+"""Additional ordering/labeling interaction tests.
+
+These probe the relationships the reproduction leans on: how ordering
+quality shapes label and supplement sizes, and subtle Labeling behaviors
+not covered by the structural tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.labeling.pll import build_pll
+from repro.labeling.query import dist_query
+from repro.labeling.stats import labeling_stats
+from repro.order.strategies import by_degree, identity_order, random_order
+from repro.core.builder import SIEFBuilder
+
+
+class TestOrderingEffects:
+    def test_hub_graph_degree_order_gives_near_star_labels(self, star7):
+        labeling = build_pll(star7, by_degree(star7))
+        # Every leaf: exactly {(center, 1), (self, 0)}.
+        for leaf in range(1, 7):
+            assert labeling.label_size(leaf) == 2
+
+    def test_bad_order_on_star_blows_up(self, star7):
+        # Put the center LAST: leaves can't use it as a hub.
+        order = identity_order(star7)
+        seq = order.sequence()
+        seq.remove(0)
+        seq.append(0)
+        from repro.order.ordering import VertexOrdering
+
+        labeling = build_pll(star7, VertexOrdering(seq))
+        good = build_pll(star7, by_degree(star7))
+        assert labeling.total_entries() > good.total_entries()
+        # Still exact, just bigger.
+        from repro.labeling.verify import verify_labeling
+
+        verify_labeling(labeling, star7)
+
+    def test_supplement_sizes_track_ordering_quality(self):
+        g = generators.barabasi_albert(60, 3, seed=40)
+        edges = list(g.edges())[:30]
+        good = build_pll(g, by_degree(g))
+        bad = build_pll(g, random_order(g, seed=40))
+        index_good, _ = SIEFBuilder(g, good).build(edges=edges)
+        index_bad, _ = SIEFBuilder(g, bad).build(edges=edges)
+        # Not a theorem, but holds robustly on hubby graphs: a better
+        # ordering shrinks the original labels...
+        assert good.total_entries() < bad.total_entries()
+        # ...and both indexes answer identically (exactness regardless).
+        from repro.core.query import SIEFQueryEngine
+
+        eg, eb = SIEFQueryEngine(index_good), SIEFQueryEngine(index_bad)
+        for edge in edges[:10]:
+            for s in range(0, 60, 11):
+                for t in range(0, 60, 13):
+                    assert eg.distance(s, t, edge) == eb.distance(
+                        s, t, edge
+                    )
+
+
+class TestLabelingMisc:
+    def test_stats_of_empty_graph(self):
+        from repro.graph.graph import Graph
+
+        labeling = build_pll(Graph(0))
+        stats = labeling_stats(labeling)
+        assert stats.total_entries == 0
+        assert stats.avg_entries == 0.0
+
+    def test_iter_raw_covers_all_vertices(self, paper_labeling):
+        seen = [v for v, _r, _d in paper_labeling.iter_raw()]
+        assert seen == list(range(11))
+
+    def test_query_uses_min_over_multiple_hubs(self):
+        # Construct a case where the first common hub is NOT the best.
+        g = generators.cycle_graph(8)
+        g.add_edge(0, 4)
+        labeling = build_pll(g, identity_order(g))
+        from repro.graph.traversal import bfs_distances
+
+        truth = bfs_distances(g, 2)
+        for t in range(8):
+            assert dist_query(labeling, 2, t) == truth[t]
+
+    def test_entries_sorted_by_rank_for_every_strategy(self):
+        g = generators.erdos_renyi_gnm(25, 50, seed=41)
+        for make in (by_degree, identity_order):
+            labeling = build_pll(g, make(g))
+            for _v, ranks, _d in labeling.iter_raw():
+                assert all(
+                    ranks[i] < ranks[i + 1] for i in range(len(ranks) - 1)
+                )

@@ -1,0 +1,96 @@
+"""Unit tests for VertexOrdering and the ordering strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.order.ordering import VertexOrdering
+from repro.order.strategies import (
+    STRATEGIES,
+    by_closeness_estimate,
+    by_degree,
+    by_degree_neighborhood,
+    identity_order,
+    make_ordering,
+    random_order,
+)
+
+
+class TestVertexOrdering:
+    def test_bijection(self):
+        o = VertexOrdering([2, 0, 1])
+        assert o.rank(2) == 0 and o.rank(0) == 1 and o.rank(1) == 2
+        assert o.vertex(0) == 2 and o.vertex(2) == 1
+
+    def test_iteration_is_rank_order(self):
+        o = VertexOrdering([3, 1, 0, 2])
+        assert list(o) == [3, 1, 0, 2]
+        assert o.sequence() == [3, 1, 0, 2]
+
+    def test_precedes(self):
+        o = VertexOrdering([1, 0])
+        assert o.precedes(1, 0)
+        assert not o.precedes(0, 1)
+
+    def test_ranks_array(self):
+        o = VertexOrdering([2, 0, 1])
+        assert o.ranks() == [1, 2, 0]
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ReproError):
+            VertexOrdering([0, 0, 1])
+        with pytest.raises(ReproError):
+            VertexOrdering([0, 3])
+
+    def test_equality(self):
+        assert VertexOrdering([1, 0]) == VertexOrdering([1, 0])
+        assert VertexOrdering([1, 0]) != VertexOrdering([0, 1])
+
+    def test_len(self):
+        assert len(VertexOrdering([0, 1, 2])) == 3
+
+
+class TestStrategies:
+    def test_degree_puts_hub_first(self, star7):
+        assert by_degree(star7).vertex(0) == 0
+
+    def test_degree_ties_broken_by_id(self, cycle6):
+        assert by_degree(cycle6).sequence() == [0, 1, 2, 3, 4, 5]
+
+    def test_degree_neighborhood_refines_ties(self):
+        # Vertices 1 and 3 both have degree 2, but 1's neighbors are
+        # higher degree.
+        g = Graph(6, [(0, 1), (1, 2), (2, 0), (1, 3), (3, 4), (4, 5)])
+        order = by_degree_neighborhood(g)
+        assert order.precedes(1, 3)
+
+    def test_closeness_puts_center_early(self):
+        g = generators.path_graph(9)
+        order = by_closeness_estimate(g, probes=9, seed=0)
+        # The path center (4) must precede the endpoints.
+        assert order.precedes(4, 0)
+        assert order.precedes(4, 8)
+
+    def test_identity(self, path5):
+        assert identity_order(path5).sequence() == [0, 1, 2, 3, 4]
+
+    def test_random_is_seeded(self, cycle6):
+        a = random_order(cycle6, seed=5)
+        b = random_order(cycle6, seed=5)
+        c = random_order(cycle6, seed=6)
+        assert a == b
+        assert a != c
+
+    def test_all_strategies_produce_valid_orderings(self):
+        g = generators.erdos_renyi_gnm(20, 40, seed=1)
+        for name in STRATEGIES:
+            kwargs = {"seed": 0} if name in ("random",) else {}
+            order = make_ordering(g, name, **kwargs)
+            assert sorted(order.sequence()) == list(range(20))
+
+    def test_make_ordering_unknown_strategy(self, path5):
+        with pytest.raises(ReproError, match="unknown ordering strategy"):
+            make_ordering(path5, "alphabetical")

@@ -1,0 +1,81 @@
+"""Unit tests for the parallel SIEF builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import IndexError_
+from repro.graph import generators
+from repro.labeling.pll import build_pll
+from repro.core.builder import SIEFBuilder
+from repro.core.parallel import _chunks, build_sief_parallel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = generators.erdos_renyi_gnm(24, 44, seed=23)
+    return g, build_pll(g)
+
+
+class TestParallelBuild:
+    def test_identical_to_serial(self, setup):
+        g, labeling = setup
+        serial, _ = SIEFBuilder(g, labeling).build()
+        parallel, _ = build_sief_parallel(g, labeling, workers=2)
+        assert parallel.num_cases == serial.num_cases
+        for edge, si in serial.iter_cases():
+            assert parallel.supplement(*edge) == si
+
+    def test_single_worker_runs_inline(self, setup):
+        g, labeling = setup
+        index, report = build_sief_parallel(g, labeling, workers=1)
+        assert index.num_cases == g.num_edges
+        assert report.num_cases == g.num_edges
+
+    def test_edge_subset(self, setup):
+        g, labeling = setup
+        edges = list(g.edges())[:5]
+        index, report = build_sief_parallel(
+            g, labeling, workers=2, edges=edges
+        )
+        assert index.num_cases == 5
+        assert [r.edge for r in report.records] == sorted(edges)
+
+    def test_report_records_sorted_and_complete(self, setup):
+        g, labeling = setup
+        _, report = build_sief_parallel(g, labeling, workers=2)
+        edges = [r.edge for r in report.records]
+        assert edges == sorted(edges)
+        assert report.total_supplemental_entries >= 0
+        assert report.identify_seconds > 0
+
+    def test_builds_labeling_when_missing(self):
+        g = generators.cycle_graph(8)
+        index, _ = build_sief_parallel(g, workers=1)
+        assert index.num_cases == 8
+
+    def test_bfs_aff_algorithm(self, setup):
+        g, labeling = setup
+        serial, _ = SIEFBuilder(g, labeling, algorithm="bfs_aff").build()
+        parallel, _ = build_sief_parallel(
+            g, labeling, algorithm="bfs_aff", workers=2
+        )
+        for edge, si in serial.iter_cases():
+            assert parallel.supplement(*edge) == si
+
+    def test_unknown_algorithm_rejected(self, setup):
+        g, labeling = setup
+        with pytest.raises(IndexError_):
+            build_sief_parallel(g, labeling, algorithm="dfs")
+
+
+def test_chunks_cover_everything():
+    items = [(i, i + 1) for i in range(13)]
+    chunks = _chunks(items, 4)
+    flat = [e for chunk in chunks for e in chunk]
+    assert flat == items
+    assert all(chunks)
+
+
+def test_chunks_single():
+    assert _chunks([(0, 1)], 8) == [[(0, 1)]]

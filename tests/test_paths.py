@@ -1,0 +1,113 @@
+"""Unit tests for path reconstruction from labelings and SIEF indexes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.graph import normalize_edge
+from repro.graph.traversal import bfs_distance_between
+from repro.labeling.pll import build_pll
+from repro.labeling.paths import (
+    failure_shortest_path,
+    hub_of_pair,
+    shortest_path_via_labeling,
+)
+from repro.labeling.query import dist_query
+from repro.core.builder import SIEFBuilder
+from repro.core.query import SIEFQueryEngine
+
+
+def _assert_valid_path(graph, path, s, t, expected_len, forbidden=None):
+    assert path[0] == s and path[-1] == t
+    assert len(path) - 1 == expected_len
+    for a, b in zip(path, path[1:]):
+        assert graph.has_edge(a, b), (a, b)
+        if forbidden is not None:
+            assert normalize_edge(a, b) != normalize_edge(*forbidden)
+
+
+class TestStaticPaths:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_paths_match_bfs_distance(self, seed):
+        g = generators.erdos_renyi_gnm(22, 40, seed=seed)
+        labeling = build_pll(g)
+        for s in range(0, 22, 3):
+            for t in range(0, 22, 4):
+                expected = bfs_distance_between(g, s, t)
+                path = shortest_path_via_labeling(g, labeling, s, t)
+                if expected == -1:
+                    assert path is None
+                else:
+                    _assert_valid_path(g, path, s, t, expected)
+
+    def test_trivial_path(self, paper_graph, paper_labeling):
+        assert shortest_path_via_labeling(
+            paper_graph, paper_labeling, 4, 4
+        ) == [4]
+
+    def test_disconnected_returns_none(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(4, [(0, 1), (2, 3)])
+        labeling = build_pll(g)
+        assert shortest_path_via_labeling(g, labeling, 0, 3) is None
+
+
+class TestFailurePaths:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_paths_avoid_failed_edge(self, seed):
+        g = generators.erdos_renyi_gnm(18, 32, seed=seed)
+        index, _ = SIEFBuilder(g).build()
+        engine = SIEFQueryEngine(index)
+        for edge in list(g.edges())[:6]:
+            for s in range(0, 18, 4):
+                for t in range(0, 18, 5):
+                    expected = bfs_distance_between(g, s, t, avoid=edge)
+                    path = failure_shortest_path(g, engine, s, t, edge)
+                    if expected == -1:
+                        assert path is None
+                    else:
+                        _assert_valid_path(
+                            g, path, s, t, expected, forbidden=edge
+                        )
+
+    def test_detour_around_cycle(self, cycle6):
+        index, _ = SIEFBuilder(cycle6).build()
+        engine = SIEFQueryEngine(index)
+        path = failure_shortest_path(cycle6, engine, 0, 1, (0, 1))
+        assert path == [0, 5, 4, 3, 2, 1]
+
+    def test_bridge_failure_gives_none(self, two_triangles):
+        index, _ = SIEFBuilder(two_triangles).build()
+        engine = SIEFQueryEngine(index)
+        assert failure_shortest_path(
+            two_triangles, engine, 0, 5, (2, 3)
+        ) is None
+
+
+class TestHubOfPair:
+    def test_paper_example(self, paper_labeling):
+        # Lemma 3 walk-through: vertex 0 is the min-order hub of (1, 6).
+        assert hub_of_pair(paper_labeling, 1, 6) == 0
+
+    def test_hub_on_shortest_path(self):
+        g = generators.erdos_renyi_gnm(20, 36, seed=9)
+        labeling = build_pll(g)
+        from repro.graph.traversal import bfs_distances
+
+        for s in range(0, 20, 3):
+            d_s = bfs_distances(g, s)
+            for t in range(0, 20, 4):
+                hub = hub_of_pair(labeling, s, t)
+                if hub is None:
+                    continue
+                d_t = bfs_distances(g, t)
+                assert d_s[hub] + d_t[hub] == dist_query(labeling, s, t)
+
+    def test_no_common_hub(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(4, [(0, 1), (2, 3)])
+        labeling = build_pll(g)
+        assert hub_of_pair(labeling, 0, 2) is None

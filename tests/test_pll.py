@@ -1,0 +1,97 @@
+"""Unit tests for Pruned Landmark Labeling construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.labeling.pll import build_pll
+from repro.labeling.query import INF, dist_query
+from repro.labeling.verify import is_well_ordered, verify_labeling
+from repro.order.ordering import VertexOrdering
+from repro.order.strategies import by_degree, identity_order, random_order
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exact_cover_on_random_graphs(self, seed):
+        g = generators.erdos_renyi_gnm(26, 45, seed=seed)
+        verify_labeling(build_pll(g), g)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_cover_under_random_ordering(self, seed):
+        g = generators.erdos_renyi_gnm(22, 40, seed=seed)
+        verify_labeling(build_pll(g, random_order(g, seed=seed)), g)
+
+    def test_disconnected_graph(self):
+        g = generators.compose_disjoint(
+            [generators.cycle_graph(4), generators.path_graph(4)]
+        )
+        labeling = build_pll(g)
+        verify_labeling(labeling, g)
+        assert dist_query(labeling, 0, 5) == INF
+
+    def test_tree(self):
+        g = generators.random_tree(40, seed=1)
+        verify_labeling(build_pll(g), g)
+
+    def test_single_vertex(self):
+        labeling = build_pll(Graph(1))
+        assert labeling.total_entries() == 1
+
+    def test_empty_graph(self):
+        labeling = build_pll(Graph(0))
+        assert labeling.total_entries() == 0
+
+    def test_two_isolated_vertices(self):
+        labeling = build_pll(Graph(2))
+        assert dist_query(labeling, 0, 1) == INF
+
+
+class TestWellOrdering:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_always_well_ordered(self, seed):
+        g = generators.barabasi_albert(40, 3, seed=seed)
+        assert is_well_ordered(build_pll(g))
+
+    def test_rank_zero_vertex_in_every_label_of_its_component(self):
+        """Lemma 1: the minimum-order vertex hits every label."""
+        g = generators.erdos_renyi_gnm(25, 60, seed=3)
+        ordering = by_degree(g)
+        labeling = build_pll(g, ordering)
+        root_rank = 0
+        from repro.graph.traversal import UNREACHED, bfs_distances
+
+        reach = bfs_distances(g, ordering.vertex(0))
+        for v in range(25):
+            if reach[v] != UNREACHED:
+                assert labeling.hub_ranks[v][0] == root_rank
+
+
+class TestSizes:
+    def test_degree_order_beats_random_order(self):
+        g = generators.barabasi_albert(120, 3, seed=4)
+        by_deg = build_pll(g, by_degree(g)).total_entries()
+        by_rand = build_pll(g, random_order(g, seed=4)).total_entries()
+        assert by_deg < by_rand
+
+    def test_star_is_two_entries_per_leaf(self, star7):
+        labeling = build_pll(star7, by_degree(star7))
+        # Center: 1 entry; each leaf: (center, 1) + (self, 0).
+        assert labeling.total_entries() == 1 + 6 * 2
+
+    def test_self_entry_always_present(self, paper_graph):
+        labeling = build_pll(paper_graph)
+        ordering = labeling.ordering
+        for v in range(11):
+            assert ordering.rank(v) in labeling.hub_ranks[v]
+            i = labeling.hub_ranks[v].index(ordering.rank(v))
+            assert labeling.hub_dists[v][i] == 0
+
+
+class TestValidation:
+    def test_ordering_size_mismatch(self, path5):
+        with pytest.raises(LabelingError):
+            build_pll(path5, VertexOrdering([0, 1, 2]))

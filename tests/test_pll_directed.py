@@ -1,0 +1,82 @@
+"""Unit tests for the directed (in/out label) PLL extension."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.graph.digraph import DiGraph
+from repro.labeling.pll_directed import build_directed_pll
+from repro.labeling.query import INF, dist_query_directed
+from repro.order.ordering import VertexOrdering
+
+
+def random_digraph(seed: int, n: int = 18, arcs: int = 50) -> DiGraph:
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    while g.num_arcs < arcs:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_arc(u, v):
+            g.add_arc(u, v)
+    return g
+
+
+def directed_bfs(g: DiGraph, s: int):
+    from collections import deque
+
+    dist = [INF] * g.num_vertices
+    dist[s] = 0
+    q = deque((s,))
+    while q:
+        v = q.popleft()
+        for w in g.successors(v):
+            if dist[w] == INF:
+                dist[w] = dist[v] + 1
+                q.append(w)
+    return dist
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_exact_on_random_digraphs(seed):
+    g = random_digraph(seed)
+    labeling = build_directed_pll(g)
+    for s in range(g.num_vertices):
+        truth = directed_bfs(g, s)
+        for t in range(g.num_vertices):
+            got = labeling.query(s, t)
+            assert got == truth[t], (s, t)
+
+
+def test_asymmetry_preserved():
+    g = DiGraph(3, [(0, 1), (1, 2)])
+    labeling = build_directed_pll(g)
+    assert labeling.query(0, 2) == 2
+    assert labeling.query(2, 0) == INF
+
+
+def test_query_helper_matches_method():
+    g = random_digraph(3)
+    labeling = build_directed_pll(g)
+    for s in range(0, g.num_vertices, 3):
+        for t in range(0, g.num_vertices, 2):
+            assert labeling.query(s, t) == dist_query_directed(labeling, s, t)
+
+
+def test_cycle_digraph():
+    g = DiGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    labeling = build_directed_pll(g)
+    assert labeling.query(0, 3) == 3
+    assert labeling.query(3, 0) == 1
+
+
+def test_total_entries_positive():
+    g = random_digraph(5)
+    assert build_directed_pll(g).total_entries() >= g.num_vertices
+
+
+def test_ordering_size_mismatch():
+    g = DiGraph(3, [(0, 1)])
+    with pytest.raises(LabelingError):
+        build_directed_pll(g, VertexOrdering([0, 1]))

@@ -1,0 +1,64 @@
+"""Unit tests for the weighted (pruned-Dijkstra) labeling."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.traversal import dijkstra_distances
+from repro.graph.weighted import WeightedGraph
+from repro.labeling.pll_weighted import build_weighted_pll
+from repro.labeling.query import INF, dist_query
+
+
+def random_weighted(seed: int, n: int = 20, m: int = 38) -> WeightedGraph:
+    rng = random.Random(seed)
+    base = generators.erdos_renyi_gnm(n, m, seed=seed)
+    wg = WeightedGraph(n)
+    for u, v in base.edges():
+        wg.add_edge(u, v, rng.choice([0.5, 1.0, 1.5, 2.0, 3.5]))
+    return wg
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_exact_cover_on_random_weighted_graphs(seed):
+    wg = random_weighted(seed)
+    labeling = build_weighted_pll(wg)
+    for s in range(wg.num_vertices):
+        truth = dijkstra_distances(wg, s)
+        for t in range(wg.num_vertices):
+            assert dist_query(labeling, s, t) == pytest.approx(truth[t])
+
+
+def test_unit_weights_match_unweighted_pll():
+    g = generators.erdos_renyi_gnm(24, 44, seed=3)
+    wg = WeightedGraph.from_unweighted(g)
+    from repro.labeling.pll import build_pll
+
+    unweighted = build_pll(g)
+    weighted = build_weighted_pll(wg)
+    for s in range(24):
+        for t in range(24):
+            assert dist_query(weighted, s, t) == dist_query(unweighted, s, t)
+
+
+def test_well_ordered():
+    wg = random_weighted(11)
+    labeling = build_weighted_pll(wg)
+    assert labeling.validate() == []
+
+
+def test_disconnected_weighted():
+    wg = WeightedGraph(4, [(0, 1, 2.0), (2, 3, 1.0)])
+    labeling = build_weighted_pll(wg)
+    assert dist_query(labeling, 0, 3) == INF
+    assert dist_query(labeling, 0, 1) == 2.0
+
+
+def test_weighted_shortcut_respected():
+    # Direct heavy edge vs light two-hop path.
+    wg = WeightedGraph(3, [(0, 1, 10.0), (0, 2, 1.0), (2, 1, 1.0)])
+    labeling = build_weighted_pll(wg)
+    assert dist_query(labeling, 0, 1) == 2.0

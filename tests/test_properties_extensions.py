@@ -1,0 +1,147 @@
+"""Property-based tests for the extension subsystems.
+
+Mirrors ``test_properties.py`` for the parts the paper left as future
+work or related work: ISL substrate, incremental insertions, weighted
+SIEF, directed SIEF, and path reconstruction.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    UNREACHED,
+    bfs_distance_between,
+    bfs_distances,
+    dijkstra_distances,
+)
+from repro.graph.weighted import WeightedGraph
+from repro.labeling.dynamic import insert_edge
+from repro.labeling.isl import build_isl
+from repro.labeling.paths import shortest_path_via_labeling
+from repro.labeling.pll import build_pll
+from repro.labeling.query import INF, dist_query
+from repro.failures.directed import build_directed_sief
+from repro.failures.weighted import build_weighted_sief, close
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, min_vertices=2, max_vertices=14):
+    n = draw(st.integers(min_vertices, max_vertices))
+    seed = draw(st.integers(0, 2**20))
+    density = draw(st.floats(0.15, 0.6))
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < density
+    ]
+    if not edges:
+        edges = [(0, n - 1)]
+    return Graph(n, edges)
+
+
+@st.composite
+def digraphs(draw, max_vertices=12):
+    n = draw(st.integers(3, max_vertices))
+    seed = draw(st.integers(0, 2**20))
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    target_arcs = draw(st.integers(n, 3 * n))
+    attempts = 0
+    while g.num_arcs < target_arcs and attempts < 20 * target_arcs:
+        attempts += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_arc(u, v):
+            g.add_arc(u, v)
+    return g
+
+
+@given(g=graphs(), core_limit=st.integers(1, 12))
+@settings(max_examples=40, **COMMON)
+def test_isl_is_exact_cover_for_any_core_limit(g, core_limit):
+    labeling = build_isl(g, core_limit=core_limit)
+    assert labeling.validate() == []
+    for s in range(g.num_vertices):
+        truth = bfs_distances(g, s)
+        for t in range(g.num_vertices):
+            expected = truth[t] if truth[t] != UNREACHED else INF
+            assert dist_query(labeling, s, t) == expected
+
+
+@given(g=graphs(min_vertices=4), seed=st.integers(0, 1000))
+@settings(max_examples=40, **COMMON)
+def test_insertion_then_labeling_paths_stay_valid(g, seed):
+    """Insert an edge, then reconstruct paths — both features compose."""
+    labeling = build_pll(g)
+    rng = random.Random(seed)
+    candidates = [
+        (u, v)
+        for u in range(g.num_vertices)
+        for v in range(u + 1, g.num_vertices)
+        if not g.has_edge(u, v)
+    ]
+    if candidates:
+        insert_edge(g, labeling, *rng.choice(candidates))
+    for s in range(0, g.num_vertices, 2):
+        for t in range(0, g.num_vertices, 3):
+            expected = bfs_distance_between(g, s, t)
+            path = shortest_path_via_labeling(g, labeling, s, t)
+            if expected == -1:
+                assert path is None
+            else:
+                assert path is not None
+                assert len(path) - 1 == expected
+                for a, b in zip(path, path[1:]):
+                    assert g.has_edge(a, b)
+
+
+@given(g=graphs(max_vertices=10), seed=st.integers(0, 1000))
+@settings(max_examples=25, **COMMON)
+def test_weighted_sief_exact_on_random_weights(g, seed):
+    rng = random.Random(seed)
+    wg = WeightedGraph(g.num_vertices)
+    for u, v in g.edges():
+        wg.add_edge(u, v, rng.choice([0.5, 1.0, 1.5, 2.5]))
+    index = build_weighted_sief(wg)
+    for u, v, _w in wg.edges():
+        for s in range(wg.num_vertices):
+            truth = dijkstra_distances(wg, s, avoid=(u, v))
+            for t in range(wg.num_vertices):
+                assert close(index.distance(s, t, (u, v)), truth[t]), (
+                    (u, v), s, t,
+                )
+
+
+@given(g=digraphs())
+@settings(max_examples=25, **COMMON)
+def test_directed_sief_exact(g):
+    index = build_directed_sief(g)
+    n = g.num_vertices
+    for arc in g.arcs():
+        a, b = arc
+        for s in range(n):
+            dist = [INF] * n
+            dist[s] = 0
+            queue = deque((s,))
+            while queue:
+                x = queue.popleft()
+                for y in g.successors(x):
+                    if x == a and y == b:
+                        continue
+                    if dist[y] == INF:
+                        dist[y] = dist[x] + 1
+                        queue.append(y)
+            for t in range(n):
+                assert index.distance(s, t, arc) == dist[t], (arc, s, t)

@@ -1,0 +1,137 @@
+"""Unit tests for the RELABEL algorithms (BFS AFF and BFS ALL)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.traversal import UNREACHED, bfs_distances_avoiding_edge
+from repro.labeling.pll import build_pll
+from repro.labeling.query import dist_query
+from repro.core.affected import identify_affected
+from repro.core.bfs_aff import build_supplemental_bfs_aff
+from repro.core.bfs_all import build_supplemental_bfs_all
+from repro.core._relabel import cross_pairs_processed, order_side_by_rank
+from repro.core.supplemental import SupplementalIndex
+
+
+ALGORITHMS = [build_supplemental_bfs_aff, build_supplemental_bfs_all]
+
+
+@pytest.mark.parametrize("build", ALGORITHMS)
+class TestEitherAlgorithm:
+    def test_hubs_are_opposite_side_lower_rank(self, build, paper_graph):
+        labeling = build_pll(paper_graph)
+        rank = labeling.ordering.rank
+        vertex = labeling.ordering.vertex
+        for u, v in paper_graph.edges():
+            av = identify_affected(paper_graph, u, v)
+            si = build(paper_graph, labeling, av)
+            side_of = av.contains
+            for t, sl in si.iter_labels():
+                for h_rank in sl.ranks:
+                    h = vertex(h_rank)
+                    assert h_rank < rank(t)
+                    assert side_of(h) is not None
+                    assert side_of(h) != side_of(t)
+
+    def test_entry_distances_are_exact(self, build):
+        g = generators.erdos_renyi_gnm(20, 36, seed=7)
+        labeling = build_pll(g)
+        vertex = labeling.ordering.vertex
+        for u, v in list(g.edges())[:10]:
+            av = identify_affected(g, u, v)
+            si = build(g, labeling, av)
+            for t, sl in si.iter_labels():
+                truth = bfs_distances_avoiding_edge(g, t, (u, v))
+                for h_rank, delta in zip(sl.ranks, sl.dists):
+                    assert truth[vertex(h_rank)] == delta
+
+    def test_bridge_failure_yields_empty_index(self, build, two_triangles):
+        labeling = build_pll(two_triangles)
+        av = identify_affected(two_triangles, 2, 3)
+        si = build(two_triangles, labeling, av)
+        assert si.total_entries() == 0
+
+    def test_empty_labels_dropped(self, build, paper_graph):
+        labeling = build_pll(paper_graph)
+        av = identify_affected(paper_graph, 0, 8)
+        si = build(paper_graph, labeling, av)
+        for _v, sl in si.iter_labels():
+            assert len(sl) > 0
+
+
+class TestAlgorithmsAgree:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_identical_indexes_on_random_graphs(self, seed):
+        g = generators.erdos_renyi_gnm(24, 42, seed=seed)
+        labeling = build_pll(g)
+        for u, v in g.edges():
+            av = identify_affected(g, u, v)
+            aff = build_supplemental_bfs_aff(g, labeling, av)
+            all_ = build_supplemental_bfs_all(g, labeling, av)
+            assert aff == all_, f"divergence at edge ({u}, {v})"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_identical_on_clustered_graphs(self, seed):
+        g = generators.powerlaw_cluster(40, 3, 0.6, seed=seed)
+        labeling = build_pll(g)
+        for u, v in list(g.edges())[:20]:
+            av = identify_affected(g, u, v)
+            assert build_supplemental_bfs_aff(g, labeling, av) == (
+                build_supplemental_bfs_all(g, labeling, av)
+            )
+
+
+class TestRedundancySuppression:
+    def test_second_root_entry_pruned_when_covered(self, paper_graph):
+        """Figure 3 step 2: (2,3) for SL(8) is recognized as redundant."""
+        labeling = build_pll(paper_graph)
+        av = identify_affected(paper_graph, 0, 8)
+        si = build_supplemental_bfs_aff(paper_graph, labeling, av)
+        sl8 = si.get(8)
+        assert len(sl8) == 1  # only the entry from vertex 0
+
+    def test_supplement_is_minimal_under_queries(self):
+        """Dropping any supplemental entry must break some Case-4 query —
+        i.e. the late redundancy test leaves nothing obviously removable."""
+        g = generators.erdos_renyi_gnm(16, 26, seed=9)
+        labeling = build_pll(g)
+        vertex = labeling.ordering.vertex
+        for u, v in list(g.edges())[:8]:
+            av = identify_affected(g, u, v)
+            si = build_supplemental_bfs_aff(g, labeling, av)
+            for t, sl in si.iter_labels():
+                for i in range(len(sl.ranks)):
+                    # Query (hub_i, t) with entry i removed must not
+                    # still reach the exact distance via earlier entries.
+                    h = vertex(sl.ranks[i])
+                    exact = sl.dists[i]
+                    best = min(
+                        (
+                            dist_query(labeling, h, vertex(sl.ranks[j]))
+                            + sl.dists[j]
+                            for j in range(i)
+                        ),
+                        default=float("inf"),
+                    )
+                    assert best > exact
+
+
+class TestHelpers:
+    def test_order_side_by_rank(self, paper_graph):
+        labeling = build_pll(paper_graph)
+        side = order_side_by_rank((8, 0, 2), labeling)
+        ranks = [labeling.ordering.rank(v) for v in side]
+        assert ranks == sorted(ranks)
+
+    def test_cross_pairs_processed_cover_all_cross_pairs(self, paper_graph):
+        labeling = build_pll(paper_graph)
+        av = identify_affected(paper_graph, 0, 8)
+        pairs_a = cross_pairs_processed(av.side_u, av.side_v, labeling)
+        pairs_b = cross_pairs_processed(av.side_v, av.side_u, labeling)
+        covered = {frozenset(p) for p in pairs_a + pairs_b}
+        expected = {
+            frozenset((a, b)) for a in av.side_u for b in av.side_v
+        }
+        assert covered == expected

@@ -1,0 +1,115 @@
+"""Unit tests for SIEFBuilder, SIEFIndex and the build report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FailureCaseNotIndexed, IndexError_
+from repro.graph import generators
+from repro.labeling.pll import build_pll
+from repro.core.builder import SIEFBuilder, build_sief
+from repro.core.index import SIEFIndex
+from repro.core.affected import identify_affected
+from repro.core.bfs_aff import build_supplemental_bfs_aff
+
+
+class TestBuilder:
+    def test_every_edge_indexed(self, paper_graph):
+        index, report = SIEFBuilder(paper_graph).build()
+        assert index.num_cases == paper_graph.num_edges
+        assert report.num_cases == paper_graph.num_edges
+        for u, v in paper_graph.edges():
+            assert index.has_case(u, v)
+
+    def test_edge_subset(self, paper_graph):
+        index, report = SIEFBuilder(paper_graph).build(edges=[(0, 8), (6, 9)])
+        assert index.num_cases == 2
+        assert index.has_case(8, 0)
+        assert not index.has_case(0, 1)
+
+    def test_labeling_built_when_missing(self, paper_graph):
+        builder = SIEFBuilder(paper_graph)
+        assert builder.labeling.total_entries() > 0
+
+    def test_prebuilt_labeling_reused(self, paper_graph, paper_labeling):
+        builder = SIEFBuilder(paper_graph, paper_labeling)
+        assert builder.labeling is paper_labeling
+
+    def test_unknown_algorithm_rejected(self, paper_graph):
+        with pytest.raises(IndexError_, match="unknown relabel algorithm"):
+            SIEFBuilder(paper_graph, algorithm="dfs")
+
+    def test_build_case_single(self, paper_graph, paper_labeling):
+        builder = SIEFBuilder(paper_graph, paper_labeling)
+        si, record = builder.build_case(0, 8)
+        assert record.edge == (0, 8)
+        assert record.affected_u == 2 and record.affected_v == 1
+        assert record.supplemental_entries == si.total_entries() == 1
+        assert record.identify_seconds >= 0
+        assert record.relabel_seconds >= 0
+
+    def test_report_aggregates(self, paper_graph):
+        _, report = SIEFBuilder(paper_graph).build()
+        assert report.identify_seconds > 0
+        assert report.relabel_seconds >= 0
+        assert report.avg_affected == pytest.approx(
+            sum(r.affected_total for r in report.records) / report.num_cases
+        )
+        assert report.total_supplemental_entries == sum(
+            r.supplemental_entries for r in report.records
+        )
+
+    def test_build_sief_convenience(self, cycle6):
+        index = build_sief(cycle6)
+        assert isinstance(index, SIEFIndex)
+        assert index.num_cases == 6
+
+    @pytest.mark.parametrize("algorithm", ["bfs_aff", "bfs_all"])
+    def test_both_algorithms_full_build_agree(self, algorithm, paper_graph):
+        index, _ = SIEFBuilder(paper_graph, algorithm=algorithm).build()
+        assert index.num_cases == paper_graph.num_edges
+
+
+class TestIndex:
+    def test_supplement_lookup_canonical(self, paper_graph, paper_labeling):
+        index, _ = SIEFBuilder(paper_graph, paper_labeling).build()
+        assert index.supplement(8, 0) is index.supplement(0, 8)
+
+    def test_missing_case_raises(self, paper_graph, paper_labeling):
+        index = SIEFIndex(paper_labeling)
+        with pytest.raises(FailureCaseNotIndexed):
+            index.supplement(0, 8)
+
+    def test_add_supplement_edge_mismatch_rejected(
+        self, paper_graph, paper_labeling
+    ):
+        av = identify_affected(paper_graph, 0, 8)
+        si = build_supplemental_bfs_aff(paper_graph, paper_labeling, av)
+        index = SIEFIndex(paper_labeling)
+        with pytest.raises(IndexError_):
+            index.add_supplement((0, 1), si)
+
+    def test_iter_cases_sorted(self, paper_graph):
+        index, _ = SIEFBuilder(paper_graph).build()
+        edges = [edge for edge, _ in index.iter_cases()]
+        assert edges == sorted(edges)
+
+    def test_total_supplemental_entries(self, paper_graph):
+        index, report = SIEFBuilder(paper_graph).build()
+        assert index.total_supplemental_entries() == (
+            report.total_supplemental_entries
+        )
+
+    def test_repr(self, paper_graph):
+        index, _ = SIEFBuilder(paper_graph).build()
+        assert "SIEFIndex" in repr(index)
+
+
+class TestDeterminism:
+    def test_rebuild_is_identical(self):
+        g = generators.erdos_renyi_gnm(18, 30, seed=13)
+        labeling = build_pll(g)
+        a, _ = SIEFBuilder(g, labeling).build()
+        b, _ = SIEFBuilder(g, labeling).build()
+        for edge, si in a.iter_cases():
+            assert b.supplement(*edge) == si

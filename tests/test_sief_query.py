@@ -1,0 +1,112 @@
+"""Unit tests for the SIEF query engine (§4.4 Cases 1–4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FailureCaseNotIndexed
+from repro.graph import generators
+from repro.graph.traversal import UNREACHED, bfs_distances_avoiding_edge
+from repro.labeling.pll import build_pll
+from repro.labeling.query import INF
+from repro.core.builder import SIEFBuilder
+from repro.core.query import QueryCase, SIEFQueryEngine
+
+
+def exhaustive_check(g, engine):
+    """Compare every (failed edge, s, t) against BFS ground truth."""
+    n = g.num_vertices
+    for u, v in g.edges():
+        for s in range(n):
+            truth = bfs_distances_avoiding_edge(g, s, (u, v))
+            for t in range(n):
+                expected = truth[t] if truth[t] != UNREACHED else INF
+                got = engine.distance(s, t, (u, v))
+                assert got == expected, ((u, v), s, t)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs_exhaustive(self, seed):
+        g = generators.erdos_renyi_gnm(20, 34, seed=seed)
+        index, _ = SIEFBuilder(g).build()
+        exhaustive_check(g, SIEFQueryEngine(index))
+
+    def test_paper_graph_exhaustive(self, paper_graph, paper_labeling):
+        index, _ = SIEFBuilder(paper_graph, paper_labeling).build()
+        exhaustive_check(paper_graph, SIEFQueryEngine(index))
+
+    def test_tree_all_failures_disconnect(self):
+        g = generators.random_tree(16, seed=2)
+        index, _ = SIEFBuilder(g).build()
+        exhaustive_check(g, SIEFQueryEngine(index))
+
+    def test_cycle(self, cycle6):
+        index, _ = SIEFBuilder(cycle6).build()
+        engine = SIEFQueryEngine(index)
+        assert engine.distance(0, 1, (0, 1)) == 5
+        assert engine.distance(0, 3, (0, 1)) == 3
+
+    def test_dense_graph(self):
+        g = generators.complete_graph(8)
+        index, _ = SIEFBuilder(g).build()
+        engine = SIEFQueryEngine(index)
+        # In a clique, losing one edge forces a 2-hop detour for its
+        # endpoints only.
+        assert engine.distance(0, 1, (0, 1)) == 2
+        assert engine.distance(0, 2, (0, 1)) == 1
+
+
+class TestCases:
+    @pytest.fixture
+    def engine(self, paper_graph, paper_labeling):
+        index, _ = SIEFBuilder(paper_graph, paper_labeling).build()
+        return SIEFQueryEngine(index)
+
+    def test_case1_unaffected_pair(self, engine):
+        # Edge (0,8): affected = {0, 2} | {8}; 5 and 7 are untouched.
+        d, case = engine.distance_with_case(5, 7, (0, 8))
+        assert case is QueryCase.UNAFFECTED_PAIR
+        assert d == 3
+
+    def test_case2_one_affected(self, engine):
+        d, case = engine.distance_with_case(2, 5, (0, 8))
+        assert case is QueryCase.ONE_AFFECTED
+        assert d == 1
+
+    def test_case3_same_side(self, engine):
+        d, case = engine.distance_with_case(0, 2, (0, 8))
+        assert case is QueryCase.SAME_SIDE
+        assert d == 1
+
+    def test_case4_cross_sides(self, engine):
+        d, case = engine.distance_with_case(0, 8, (0, 8))
+        assert case is QueryCase.CROSS_SIDES
+        assert d == 2  # 0-4-8 or 0-... around
+
+    def test_case4_disconnection_returns_inf(
+        self, paper_graph, paper_labeling
+    ):
+        index, _ = SIEFBuilder(paper_graph, paper_labeling).build()
+        engine = SIEFQueryEngine(index)
+        d, case = engine.distance_with_case(0, 10, (6, 9))
+        assert case is QueryCase.CROSS_SIDES
+        assert d == INF
+
+    def test_unknown_failure_case_raises(self, engine):
+        with pytest.raises(FailureCaseNotIndexed):
+            engine.distance(0, 1, (0, 9))
+
+    def test_symmetry(self, engine, paper_graph):
+        for u, v in paper_graph.edges():
+            for s in range(11):
+                for t in range(11):
+                    assert engine.distance(s, t, (u, v)) == engine.distance(
+                        t, s, (u, v)
+                    )
+
+    def test_failed_edge_order_irrelevant(self, engine):
+        assert engine.distance(0, 8, (0, 8)) == engine.distance(0, 8, (8, 0))
+
+    def test_query_same_vertex(self, engine):
+        assert engine.distance(4, 4, (0, 8)) == 0

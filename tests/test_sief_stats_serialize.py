@@ -1,0 +1,112 @@
+"""Unit tests for SIEF statistics and index serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.graph import generators
+from repro.graph.traversal import UNREACHED, bfs_distances_avoiding_edge
+from repro.labeling.query import INF
+from repro.labeling.stats import BYTES_PER_ENTRY
+from repro.core.builder import SIEFBuilder
+from repro.core.query import SIEFQueryEngine
+from repro.core.serialize import (
+    index_from_bytes,
+    index_to_bytes,
+    load_index,
+    save_index,
+)
+from repro.core.stats import sief_stats, supplemental_bytes
+
+
+@pytest.fixture
+def built(paper_graph, paper_labeling):
+    return SIEFBuilder(paper_graph, paper_labeling).build()
+
+
+class TestStats:
+    def test_counts(self, built, paper_graph, paper_labeling):
+        index, report = built
+        stats = sief_stats(index, report)
+        assert stats.num_vertices == 11
+        assert stats.num_cases == paper_graph.num_edges
+        assert stats.original_entries == paper_labeling.total_entries()
+        assert stats.supplemental_entries == (
+            index.total_supplemental_entries()
+        )
+
+    def test_byte_model(self, built):
+        index, _ = built
+        assert supplemental_bytes(index) >= (
+            index.total_supplemental_entries() * BYTES_PER_ENTRY
+        )
+
+    def test_ratio(self, built):
+        index, report = built
+        stats = sief_stats(index, report)
+        assert stats.slen_over_olen == pytest.approx(
+            stats.supplemental_entries / stats.original_entries
+        )
+
+    def test_total_bytes_is_sum(self, built):
+        stats = sief_stats(built[0], built[1])
+        assert stats.total_bytes == (
+            stats.original_bytes + stats.supplemental_bytes
+        )
+
+    def test_without_report_uses_index_averages(self, built):
+        index, report = built
+        with_report = sief_stats(index, report)
+        without = sief_stats(index)
+        assert without.avg_affected_per_case == pytest.approx(
+            with_report.avg_affected_per_case
+        )
+
+    def test_as_dict(self, built):
+        d = sief_stats(built[0]).as_dict()
+        assert {"supplemental_entries", "slen_over_olen", "total_bytes"} <= (
+            set(d)
+        )
+
+
+class TestSerialize:
+    def test_round_trip_structure(self, built):
+        index, _ = built
+        loaded = index_from_bytes(index_to_bytes(index))
+        assert loaded.labeling == index.labeling
+        assert loaded.num_cases == index.num_cases
+        for edge, si in index.iter_cases():
+            assert loaded.supplement(*edge) == si
+
+    def test_round_trip_answers_queries(self, built, paper_graph):
+        index, _ = built
+        engine = SIEFQueryEngine(index_from_bytes(index_to_bytes(index)))
+        for u, v in paper_graph.edges():
+            truth = bfs_distances_avoiding_edge(paper_graph, 0, (u, v))
+            for t in range(11):
+                expected = truth[t] if truth[t] != UNREACHED else INF
+                assert engine.distance(0, t, (u, v)) == expected
+
+    def test_file_round_trip(self, built, tmp_path):
+        index, _ = built
+        path = tmp_path / "index.sief"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.num_cases == index.num_cases
+
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError, match="magic"):
+            index_from_bytes(b"WRONGMAG" + b"\x00" * 32)
+
+    def test_truncated(self, built):
+        blob = index_to_bytes(built[0])
+        with pytest.raises(SerializationError):
+            index_from_bytes(blob[:40])
+
+    def test_round_trip_random_graph(self):
+        g = generators.erdos_renyi_gnm(16, 30, seed=17)
+        index, _ = SIEFBuilder(g).build()
+        loaded = index_from_bytes(index_to_bytes(index))
+        for edge, si in index.iter_cases():
+            assert loaded.supplement(*edge) == si

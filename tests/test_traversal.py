@@ -1,0 +1,150 @@
+"""Unit tests for BFS/Dijkstra traversal primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph import generators
+from repro.graph.traversal import (
+    UNREACHED,
+    bfs_distance_between,
+    bfs_distances,
+    bfs_distances_avoiding_edge,
+    bfs_tree,
+    bidirectional_bfs,
+    dijkstra_distances,
+    eccentricity,
+    shortest_path,
+)
+from repro.graph.weighted import WeightedGraph
+
+
+class TestBFSDistances:
+    def test_path_graph(self, path5):
+        assert bfs_distances(path5, 0) == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert bfs_distances(g, 0) == [0, 1, UNREACHED, UNREACHED]
+
+    def test_out_buffer_reused(self, path5):
+        buf = [99] * 5
+        result = bfs_distances(path5, 4, out=buf)
+        assert result is buf
+        assert buf == [4, 3, 2, 1, 0]
+
+    def test_accepts_raw_adjacency(self):
+        adj = [[1], [0, 2], [1]]
+        assert bfs_distances(adj, 0) == [0, 1, 2]
+
+
+class TestAvoidingEdge:
+    def test_cycle_detour(self, cycle6):
+        # Failing (0,1) forces the long way around for vertex 1.
+        dist = bfs_distances_avoiding_edge(cycle6, 0, (0, 1))
+        assert dist[1] == 5
+
+    def test_bridge_disconnects(self, path5):
+        dist = bfs_distances_avoiding_edge(path5, 0, (2, 3))
+        assert dist[3] == UNREACHED and dist[4] == UNREACHED
+        assert dist[2] == 2
+
+    def test_matches_materialized_removal(self):
+        g = generators.erdos_renyi_gnm(30, 60, seed=3)
+        for u, v in list(g.edges())[:10]:
+            removed = g.without_edge(u, v)
+            for s in (0, u, v):
+                assert bfs_distances_avoiding_edge(g, s, (u, v)) == (
+                    bfs_distances(removed, s)
+                )
+
+
+class TestPointToPoint:
+    def test_same_vertex(self, path5):
+        assert bfs_distance_between(path5, 2, 2) == 0
+
+    def test_early_exit_distance(self, path5):
+        assert bfs_distance_between(path5, 0, 3) == 3
+
+    def test_avoid_edge(self, cycle6):
+        assert bfs_distance_between(cycle6, 0, 1, avoid=(0, 1)) == 5
+
+    def test_disconnected(self):
+        g = Graph(3, [(0, 1)])
+        assert bfs_distance_between(g, 0, 2) == UNREACHED
+
+
+class TestBidirectionalBFS:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agrees_with_onesided(self, seed):
+        g = generators.erdos_renyi_gnm(28, 45, seed=seed)
+        edges = list(g.edges())
+        for s in range(0, 28, 5):
+            for t in range(0, 28, 7):
+                expected = bfs_distance_between(g, s, t)
+                assert bidirectional_bfs(g, s, t) == expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agrees_with_onesided_avoiding(self, seed):
+        g = generators.erdos_renyi_gnm(22, 40, seed=seed)
+        edge = next(iter(g.edges()))
+        for s in range(0, 22, 3):
+            for t in range(0, 22, 4):
+                expected = bfs_distance_between(g, s, t, avoid=edge)
+                assert bidirectional_bfs(g, s, t, avoid=edge) == expected
+
+    def test_disconnected_returns_unreached(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert bidirectional_bfs(g, 0, 3) == UNREACHED
+
+
+class TestShortestPathAndTree:
+    def test_path_endpoints_and_length(self, cycle6):
+        path = shortest_path(cycle6, 0, 3)
+        assert path is not None
+        assert path[0] == 0 and path[-1] == 3
+        assert len(path) == 4  # distance 3
+
+    def test_path_respects_avoid(self, cycle6):
+        path = shortest_path(cycle6, 0, 1, avoid=(0, 1))
+        assert path == [0, 5, 4, 3, 2, 1]
+
+    def test_path_none_when_disconnected(self):
+        g = Graph(3, [(0, 1)])
+        assert shortest_path(g, 0, 2) is None
+
+    def test_bfs_tree_parents(self, path5):
+        parent = bfs_tree(path5, 0)
+        assert parent == [UNREACHED, 0, 1, 2, 3]
+
+    def test_path_edges_exist(self):
+        g = generators.erdos_renyi_gnm(20, 40, seed=5)
+        path = shortest_path(g, 0, 10)
+        if path is not None:
+            for a, b in zip(path, path[1:]):
+                assert g.has_edge(a, b)
+
+
+class TestDijkstra:
+    def test_unit_weights_match_bfs(self):
+        g = generators.erdos_renyi_gnm(25, 50, seed=9)
+        wg = WeightedGraph.from_unweighted(g)
+        bfs = bfs_distances(g, 0)
+        dij = dijkstra_distances(wg, 0)
+        for v in range(25):
+            expected = float(bfs[v]) if bfs[v] != UNREACHED else float("inf")
+            assert dij[v] == expected
+
+    def test_weighted_shortcut(self):
+        wg = WeightedGraph(3, [(0, 1, 10.0), (0, 2, 1.0), (2, 1, 1.0)])
+        assert dijkstra_distances(wg, 0)[1] == 2.0
+
+    def test_avoid_edge(self):
+        wg = WeightedGraph(3, [(0, 1, 1.0), (0, 2, 1.0), (2, 1, 1.0)])
+        assert dijkstra_distances(wg, 0, avoid=(0, 1))[1] == 2.0
+
+
+def test_eccentricity(path5):
+    assert eccentricity(path5, 0) == 4
+    assert eccentricity(path5, 2) == 2

@@ -1,0 +1,87 @@
+"""Adversarial traversal cases: termination and tie-break correctness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    UNREACHED,
+    bfs_distance_between,
+    bidirectional_bfs,
+    shortest_path,
+)
+
+
+class TestBidirectionalAdversarial:
+    def test_long_path_exact(self):
+        g = generators.path_graph(60)
+        assert bidirectional_bfs(g, 0, 59) == 59
+        assert bidirectional_bfs(g, 10, 50) == 40
+
+    def test_long_cycle_with_chord(self):
+        # The chord creates a near-tie the early-exit logic must respect.
+        g = generators.cycle_graph(40)
+        g.add_edge(0, 19)
+        for t in range(40):
+            assert bidirectional_bfs(g, 0, t) == bfs_distance_between(
+                g, 0, t
+            ), t
+
+    def test_unbalanced_degrees(self, star7):
+        # Star: one side's frontier explodes, the other's stays tiny.
+        assert bidirectional_bfs(star7, 1, 2) == 2
+        assert bidirectional_bfs(star7, 0, 6) == 1
+
+    def test_two_long_arms(self):
+        # Distinct-length parallel arms between the endpoints.
+        g = Graph(12)
+        for i in range(4):  # arm A: 0-1-2-3-4-5 (length 5)
+            g.add_edge(i, i + 1)
+        g.add_edge(4, 5)
+        g.add_edge(0, 6)    # arm B: 0-6-7-8-9-10-11-5 (length 7)
+        for i in range(6, 11):
+            g.add_edge(i, i + 1)
+        g.add_edge(11, 5)
+        assert bidirectional_bfs(g, 0, 5) == 5
+
+    def test_avoid_edge_forces_other_arm(self):
+        g = generators.cycle_graph(10)
+        assert bidirectional_bfs(g, 0, 5, avoid=(0, 1)) == 5
+        assert bidirectional_bfs(g, 0, 1, avoid=(0, 1)) == 9
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_dense_random_agreement(self, seed):
+        g = generators.erdos_renyi_gnm(30, 140, seed=seed)
+        for s in range(0, 30, 7):
+            for t in range(30):
+                assert bidirectional_bfs(g, s, t) == (
+                    bfs_distance_between(g, s, t)
+                )
+
+
+class TestShortestPathTieBreaks:
+    def test_any_returned_path_is_shortest(self):
+        g = generators.erdos_renyi_gnm(25, 60, seed=8)
+        for s in range(0, 25, 5):
+            for t in range(0, 25, 6):
+                path = shortest_path(g, s, t)
+                d = bfs_distance_between(g, s, t)
+                if d == UNREACHED:
+                    assert path is None
+                else:
+                    assert path is not None and len(path) - 1 == d
+
+    def test_path_has_no_repeated_vertices(self):
+        g = generators.powerlaw_cluster(40, 3, 0.6, seed=9)
+        path = shortest_path(g, 0, 39)
+        if path:
+            assert len(set(path)) == len(path)
+
+    def test_grid_path_length(self):
+        g = generators.grid_graph(5, 7)
+        # Manhattan distance corner to corner.
+        path = shortest_path(g, 0, 5 * 7 - 1)
+        assert path is not None
+        assert len(path) - 1 == (5 - 1) + (7 - 1)

@@ -1,0 +1,123 @@
+"""Tests for k-most-vital-edges, the report assembler, and the
+geometric generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.traversal import UNREACHED, bfs_distance_between
+from repro.graph.validation import validate_graph
+from repro.labeling.query import INF
+from repro.analysis.vital_arc import k_most_vital_edges
+from repro.bench.report_all import build_report, collect_sections, main
+
+
+class TestKMostVital:
+    def test_greedy_steps_are_locally_optimal(self):
+        g = generators.erdos_renyi_gnm(16, 30, seed=25)
+        s, t = 0, 9
+        results = k_most_vital_edges(g, s, t, k=3)
+        assert results
+        work = g.copy()
+        for res in results:
+            # Oracle: no edge of the current graph does worse.
+            for edge in list(work.edges()):
+                d = bfs_distance_between(work, s, t, avoid=edge)
+                d = d if d != UNREACHED else INF
+                assert d <= res.replacement_distance or (
+                    res.replacement_distance == INF
+                )
+            work.remove_edge(*res.edge)
+
+    def test_distances_monotonically_degrade(self):
+        g = generators.powerlaw_cluster(30, 3, 0.4, seed=26)
+        results = k_most_vital_edges(g, 0, 17, k=4)
+        bases = [r.base_distance for r in results]
+        assert bases == sorted(bases)
+
+    def test_stops_on_disconnection(self, two_triangles):
+        results = k_most_vital_edges(two_triangles, 0, 5, k=5)
+        assert results[-1].replacement_distance == INF
+        assert len(results) < 5
+
+    def test_input_graph_untouched(self, cycle6):
+        before = cycle6.num_edges
+        k_most_vital_edges(cycle6, 0, 3, k=2)
+        assert cycle6.num_edges == before
+
+    def test_bad_k_rejected(self, cycle6):
+        with pytest.raises(ReproError):
+            k_most_vital_edges(cycle6, 0, 3, k=0)
+
+    def test_cycle_two_cuts_disconnect(self, cycle6):
+        # A cycle pair is 2-edge-connected: exactly 2 removals cut it.
+        results = k_most_vital_edges(cycle6, 0, 3, k=4)
+        assert len(results) == 2
+        assert results[1].replacement_distance == INF
+
+
+class TestReportAll:
+    def test_collects_known_sections_in_order(self, tmp_path):
+        (tmp_path / "table4_query_time.txt").write_text("T4 body")
+        (tmp_path / "table2_datasets.txt").write_text("T2 body")
+        (tmp_path / "custom_extra.txt").write_text("extra body")
+        sections = collect_sections(tmp_path)
+        titles = [t for t, _ in sections]
+        assert titles[0].startswith("Table 2")
+        assert titles[1].startswith("Table 4")
+        assert titles[-1] == "custom_extra"
+
+    def test_build_report_wraps_in_code_fences(self, tmp_path):
+        (tmp_path / "table2_datasets.txt").write_text("row | row")
+        report = build_report(tmp_path)
+        assert "## Table 2" in report
+        assert "```\nrow | row\n```" in report
+
+    def test_empty_dir_notes_missing_results(self, tmp_path):
+        assert "No results found" in build_report(tmp_path)
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        (tmp_path / "table2_datasets.txt").write_text("x")
+        out = tmp_path / "report.md"
+        rc = main([str(tmp_path), "-o", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "benchmark report" in out.read_text()
+
+    def test_main_stdout(self, tmp_path, capsys):
+        (tmp_path / "table2_datasets.txt").write_text("x")
+        assert main([str(tmp_path)]) == 0
+        assert "benchmark report" in capsys.readouterr().out
+
+
+class TestRandomGeometric:
+    def test_simple_and_deterministic(self):
+        a = generators.random_geometric(80, 0.18, seed=5)
+        b = generators.random_geometric(80, 0.18, seed=5)
+        assert a == b
+        assert validate_graph(a) == []
+
+    def test_edges_respect_radius(self):
+        # Reconstruct positions with the same RNG draw order.
+        import random
+
+        rng = random.Random(9)
+        points = [(rng.random(), rng.random()) for _ in range(50)]
+        g = generators.random_geometric(50, 0.25, seed=9)
+        for u, v in g.edges():
+            (x1, y1), (x2, y2) = points[u], points[v]
+            assert (x1 - x2) ** 2 + (y1 - y2) ** 2 <= 0.25**2 + 1e-12
+
+    def test_larger_radius_more_edges(self):
+        small = generators.random_geometric(60, 0.1, seed=3)
+        large = generators.random_geometric(60, 0.3, seed=3)
+        assert large.num_edges > small.num_edges
+
+    def test_bad_radius(self):
+        from repro.exceptions import GraphError
+
+        with pytest.raises(GraphError):
+            generators.random_geometric(10, 0.0)

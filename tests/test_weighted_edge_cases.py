@@ -1,0 +1,86 @@
+"""Weighted SIEF edge cases: ties, useless edges, float tolerance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.weighted import WeightedGraph
+from repro.graph.traversal import dijkstra_distances
+from repro.failures.weighted import (
+    EPS,
+    build_weighted_sief,
+    close,
+    identify_affected_weighted,
+)
+
+
+class TestUselessEdges:
+    def test_heavier_than_detour_affects_nobody(self):
+        # 0-1 weighs 10; the detour 0-2-1 weighs 2.
+        wg = WeightedGraph(3, [(0, 1, 10.0), (0, 2, 1.0), (2, 1, 1.0)])
+        av = identify_affected_weighted(wg, 0, 1)
+        assert av.side_u == () and av.side_v == ()
+        index = build_weighted_sief(wg)
+        assert index.distance(0, 1, (0, 1)) == 2.0
+
+    def test_equal_weight_alternative_affects_nobody(self):
+        # The removed edge ties with the detour: distances survive.
+        wg = WeightedGraph(3, [(0, 1, 2.0), (0, 2, 1.0), (2, 1, 1.0)])
+        av = identify_affected_weighted(wg, 0, 1)
+        assert av.side_u == () and av.side_v == ()
+        index = build_weighted_sief(wg)
+        assert index.distance(0, 1, (0, 1)) == 2.0
+
+    def test_strictly_cheaper_edge_affects_endpoints(self):
+        wg = WeightedGraph(3, [(0, 1, 1.0), (0, 2, 1.0), (2, 1, 1.0)])
+        av = identify_affected_weighted(wg, 0, 1)
+        assert 0 in av.side_u and 1 in av.side_v
+
+
+class TestFloatTies:
+    def test_sum_chains_within_tolerance(self):
+        # 0.1-style weights whose sums accumulate rounding error.
+        w = 0.1
+        wg = WeightedGraph(6)
+        for i in range(5):
+            wg.add_edge(i, i + 1, w)
+        wg.add_edge(0, 5, 0.5)  # ties with the 5-hop chain exactly-ish
+        av = identify_affected_weighted(wg, 0, 5)
+        # 0.5 vs 5*0.1: equal up to float noise -> nobody affected.
+        assert av.side_u == () and av.side_v == ()
+
+    def test_close_tolerance_scales(self):
+        big = 1e9
+        assert close(big, big * (1 + EPS / 2))
+        assert not close(big, big * (1 + 1e-6))
+
+
+class TestWeightedQueriesMisc:
+    def test_every_edge_indexed(self):
+        wg = WeightedGraph(
+            4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.5), (3, 0, 2.5)]
+        )
+        index = build_weighted_sief(wg)
+        assert len(index.supplements) == 4
+
+    def test_self_distance(self):
+        wg = WeightedGraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        index = build_weighted_sief(wg)
+        assert index.distance(1, 1, (0, 1)) == 0.0
+
+    def test_mixed_weights_exact(self):
+        wg = WeightedGraph(
+            5,
+            [
+                (0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 4, 0.5),
+                (0, 4, 1.5), (1, 3, 2.0),
+            ],
+        )
+        index = build_weighted_sief(wg)
+        for u, v, _w in wg.edges():
+            for s in range(5):
+                truth = dijkstra_distances(wg, s, avoid=(u, v))
+                for t in range(5):
+                    assert index.distance(s, t, (u, v)) == pytest.approx(
+                        truth[t]
+                    )

@@ -1,0 +1,77 @@
+"""Unit tests for WeightedGraph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFound, GraphError
+from repro.graph.graph import Graph
+from repro.graph.weighted import WeightedGraph
+
+
+def test_add_edge_and_weight_lookup():
+    g = WeightedGraph(3, [(0, 1, 2.5)])
+    assert g.weight(0, 1) == 2.5
+    assert g.weight(1, 0) == 2.5
+
+
+def test_weight_of_missing_edge_raises():
+    g = WeightedGraph(3, [(0, 1, 1.0)])
+    with pytest.raises(EdgeNotFound):
+        g.weight(0, 2)
+
+
+def test_nonpositive_weight_rejected():
+    g = WeightedGraph(2)
+    with pytest.raises(GraphError):
+        g.add_edge(0, 1, 0.0)
+    with pytest.raises(GraphError):
+        g.add_edge(0, 1, -3.0)
+
+
+def test_duplicate_and_self_loop_rejected():
+    g = WeightedGraph(3, [(0, 1, 1.0)])
+    with pytest.raises(GraphError):
+        g.add_edge(1, 0, 2.0)
+    with pytest.raises(GraphError):
+        g.add_edge(2, 2, 1.0)
+
+
+def test_neighbors_are_pairs_sorted_by_id():
+    g = WeightedGraph(4, [(1, 3, 1.0), (1, 0, 2.0), (1, 2, 3.0)])
+    assert [n for n, _ in g.neighbors(1)] == [0, 2, 3]
+
+
+def test_edges_iterate_once_canonical():
+    g = WeightedGraph(3, [(2, 0, 1.5), (1, 2, 2.5)])
+    assert sorted(g.edges()) == [(0, 2, 1.5), (1, 2, 2.5)]
+
+
+def test_remove_edge():
+    g = WeightedGraph(3, [(0, 1, 1.0), (1, 2, 2.0)])
+    g.remove_edge(0, 1)
+    assert not g.has_edge(0, 1)
+    assert g.num_edges == 1
+
+
+def test_without_edge_copies():
+    g = WeightedGraph(3, [(0, 1, 1.0)])
+    h = g.without_edge(0, 1)
+    assert g.has_edge(0, 1) and not h.has_edge(0, 1)
+
+
+def test_round_trip_unweighted():
+    base = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    lifted = WeightedGraph.from_unweighted(base, weight=2.0)
+    assert lifted.weight(1, 2) == 2.0
+    assert lifted.to_unweighted() == base
+
+
+def test_edge_weights_mapping():
+    g = WeightedGraph(3, [(0, 1, 1.5), (1, 2, 2.5)])
+    assert g.edge_weights() == {(0, 1): 1.5, (1, 2): 2.5}
+
+
+def test_degree_counts_incident_edges():
+    g = WeightedGraph(4, [(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)])
+    assert g.degree(0) == 3 and g.degree(3) == 1

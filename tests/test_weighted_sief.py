@@ -1,0 +1,111 @@
+"""Unit tests for the weighted SIEF extension."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import FailureCaseNotIndexed
+from repro.graph import generators
+from repro.graph.traversal import dijkstra_distances
+from repro.graph.weighted import WeightedGraph
+from repro.labeling.pll_weighted import build_weighted_pll
+from repro.failures.weighted import (
+    build_supplemental_weighted,
+    build_weighted_sief,
+    close,
+    identify_affected_weighted,
+)
+from repro.core.affected import identify_affected
+
+
+def random_weighted(seed: int, n: int = 16, m: int = 28) -> WeightedGraph:
+    rng = random.Random(seed)
+    base = generators.erdos_renyi_gnm(n, m, seed=seed)
+    wg = WeightedGraph(n)
+    for u, v in base.edges():
+        wg.add_edge(u, v, rng.choice([0.5, 1.0, 1.5, 2.0]))
+    return wg
+
+
+class TestClose:
+    def test_exact_equal(self):
+        assert close(1.5, 1.5)
+        assert close(float("inf"), float("inf"))
+
+    def test_tolerant(self):
+        assert close(1.0, 1.0 + 1e-12)
+        assert not close(1.0, 1.1)
+
+    def test_inf_vs_finite(self):
+        assert not close(float("inf"), 5.0)
+
+
+class TestIdentifyWeighted:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_dijkstra_definition(self, seed):
+        wg = random_weighted(seed)
+        for u, v, _w in wg.edges():
+            av = identify_affected_weighted(wg, u, v)
+            # Oracle: distance-to-far-endpoint changed.
+            dv_old = dijkstra_distances(wg, v)
+            dv_new = dijkstra_distances(wg, v, avoid=(u, v))
+            du_old = dijkstra_distances(wg, u)
+            du_new = dijkstra_distances(wg, u, avoid=(u, v))
+            want_u = sorted(
+                w for w in range(wg.num_vertices)
+                if not close(dv_old[w], dv_new[w])
+            )
+            want_v = sorted(
+                w for w in range(wg.num_vertices)
+                if not close(du_old[w], du_new[w])
+            )
+            assert list(av.side_u) == want_u, (u, v)
+            assert list(av.side_v) == want_v, (u, v)
+
+    def test_unit_weights_match_unweighted(self):
+        g = generators.erdos_renyi_gnm(15, 26, seed=8)
+        wg = WeightedGraph.from_unweighted(g)
+        for u, v in g.edges():
+            weighted = identify_affected_weighted(wg, u, v)
+            unweighted = identify_affected(g, u, v)
+            assert weighted.side_u == unweighted.side_u
+            assert weighted.side_v == unweighted.side_v
+            assert weighted.disconnected == unweighted.disconnected
+
+
+class TestWeightedSIEFQueries:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_for_all_failures(self, seed):
+        wg = random_weighted(seed)
+        index = build_weighted_sief(wg)
+        for u, v, _w in wg.edges():
+            for s in range(wg.num_vertices):
+                truth = dijkstra_distances(wg, s, avoid=(u, v))
+                for t in range(wg.num_vertices):
+                    got = index.distance(s, t, (u, v))
+                    assert got == pytest.approx(truth[t]), ((u, v), s, t)
+
+    def test_bridge_case_returns_inf(self):
+        wg = WeightedGraph(4, [(0, 1, 2.0), (1, 2, 1.0), (2, 3, 0.5)])
+        index = build_weighted_sief(wg)
+        assert index.distance(0, 3, (1, 2)) == float("inf")
+        assert index.distance(0, 1, (1, 2)) == 2.0
+
+    def test_missing_case_raises(self):
+        wg = random_weighted(1)
+        labeling = build_weighted_pll(wg)
+        from repro.failures.weighted import WeightedSIEFIndex
+
+        index = WeightedSIEFIndex(labeling)
+        with pytest.raises(FailureCaseNotIndexed):
+            index.distance(0, 1, (0, 1))
+
+    def test_supplement_construction_per_edge(self):
+        wg = random_weighted(2)
+        labeling = build_weighted_pll(wg)
+        u, v, _w = next(iter(wg.edges()))
+        av = identify_affected_weighted(wg, u, v)
+        si = build_supplemental_weighted(wg, labeling, av)
+        assert si.edge == (u, v)
