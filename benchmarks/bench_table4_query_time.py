@@ -15,7 +15,7 @@ import pytest
 
 from repro.bench.datasets import DATASET_ORDER, DATASETS
 from repro.bench.reporting import render_table
-from repro.bench.workloads import table4_workload
+from repro.bench.workloads import group_by_edge, table4_workload
 from repro.baselines.bfs_query import BFSQueryBaseline
 from repro.core.query import SIEFQueryEngine
 
@@ -46,6 +46,26 @@ def test_sief_query_batch(benchmark, context, name):
     _RESULTS.setdefault(name, {})["sief"] = _measure(
         engine.distance, triples
     )
+
+
+@pytest.mark.parametrize("name", DATASET_ORDER)
+def test_sief_query_vectorized(benchmark, context, name):
+    """Measured operation: the same triples regrouped per failed edge and
+    answered through the vectorized ``batch_query`` path."""
+    ctx = context(name)
+    engine = SIEFQueryEngine(ctx.index)
+    batches = group_by_edge(table4_workload(ctx.graph, QUERIES))
+
+    def run():
+        for edge, pairs in batches:
+            engine.batch_query(edge, pairs)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    started = time.perf_counter()
+    run()
+    _RESULTS.setdefault(name, {})["sief_batch"] = (
+        time.perf_counter() - started
+    ) / QUERIES
 
 
 @pytest.mark.parametrize("name", DATASET_ORDER)

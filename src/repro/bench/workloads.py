@@ -11,6 +11,8 @@ from __future__ import annotations
 import random
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.core.index import SIEFIndex
 from repro.failures.model import (
     QueryTriple,
@@ -28,6 +30,25 @@ DEFAULT_QUERY_COUNT = 1000
 def table4_workload(graph: Graph, count: int = DEFAULT_QUERY_COUNT) -> List[QueryTriple]:
     """The uniform random workload Table 4's averages are taken over."""
     return random_query_triples(graph, count, seed=42)
+
+
+def group_by_edge(
+    triples: List[QueryTriple],
+) -> List[Tuple[Edge, np.ndarray]]:
+    """Regroup a triple workload into per-edge ``(s, t)`` pair batches.
+
+    :meth:`repro.core.query.SIEFQueryEngine.batch_query` answers many
+    pairs under one failed edge per call; this is the adapter from the
+    Table 4 workload shape to that API.  Edges keep first-appearance
+    order so the workload stays deterministic.
+    """
+    by_edge: dict = {}
+    for q in triples:
+        by_edge.setdefault(q.edge, []).append((q.s, q.t))
+    return [
+        (edge, np.asarray(pairs, dtype=np.int64))
+        for edge, pairs in by_edge.items()
+    ]
 
 
 def case4_workload(index: SIEFIndex, count: int = DEFAULT_QUERY_COUNT) -> List[QueryTriple]:

@@ -42,6 +42,20 @@ class SIEFIndex:
             for edge, si in supplements.items():
                 self.add_supplement(edge, si)
 
+    def freeze(self) -> "SIEFIndex":
+        """Switch the whole index to the flat numpy query backend.
+
+        Freezes the labeling in place and prebuilds every supplement's
+        :class:`~repro.core.supplemental.FlatSupplement` view, so the
+        first batch query pays no conversion cost.  Idempotent; returns
+        ``self``.  (The batch paths also freeze lazily on first use —
+        this is for callers who want the conversion off the query path.)
+        """
+        self.labeling.freeze()
+        for si in self.supplements.values():
+            si.flat()
+        return self
+
     def add_supplement(self, edge: Edge, si: SupplementalIndex) -> None:
         """Register the supplemental index for one failed-edge case."""
         key = normalize_edge(*edge)

@@ -69,8 +69,23 @@ def _build_chunk(edges: Sequence[Edge]):
 
 
 def _chunks(items: List[Edge], count: int) -> List[List[Edge]]:
-    size = max(1, (len(items) + count - 1) // count)
-    return [items[i : i + size] for i in range(0, len(items), size)]
+    """Split ``items`` into at most ``count`` contiguous balanced chunks.
+
+    Sizes differ by at most one (remainder spread over the leading
+    chunks), so no worker idles on a stub chunk near the end of a build;
+    no chunk is ever empty.
+    """
+    if not items:
+        return []
+    count = min(count, len(items))
+    base, rem = divmod(len(items), count)
+    out: List[List[Edge]] = []
+    start = 0
+    for i in range(count):
+        size = base + (1 if i < rem else 0)
+        out.append(items[start : start + size])
+        start += size
+    return out
 
 
 def build_sief_parallel(

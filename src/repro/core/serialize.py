@@ -31,12 +31,17 @@ def index_to_bytes(index: SIEFIndex) -> bytes:
     for (u, v), si in index.iter_cases():
         cases.append(
             {
-                "e": [u, v],
-                "au": list(si.affected.side_u),
-                "av": list(si.affected.side_v),
+                "e": [int(u), int(v)],
+                "au": [int(x) for x in si.affected.side_u],
+                "av": [int(x) for x in si.affected.side_v],
                 "disc": si.affected.disconnected,
                 "sl": {
-                    str(w): [sl.ranks, sl.dists]
+                    # int() guards against numpy scalars reaching the
+                    # JSON encoder when labels were built from arrays.
+                    str(w): [
+                        [int(r) for r in sl.ranks],
+                        [int(d) for d in sl.dists],
+                    ]
                     for w, sl in si.iter_labels()
                 },
             }

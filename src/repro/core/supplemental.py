@@ -15,10 +15,27 @@ querying vertex's original label-distance function.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+import numpy as np
 
 from repro.core.affected import AffectedVertices
 from repro.exceptions import IndexError_
+
+
+class FlatSupplement(NamedTuple):
+    """Frozen CSR-style view of one edge's supplemental labels.
+
+    Same storage discipline as the frozen
+    :class:`~repro.labeling.label.Labeling`: ``SL(vertices[i])`` occupies
+    ``ranks[offsets[i]:offsets[i+1]]`` / ``dists[...]``.  ``vertices`` is
+    sorted ascending, so batch lookups are one ``searchsorted``.
+    """
+
+    vertices: np.ndarray  # int64, sorted vertex ids with a stored label
+    offsets: np.ndarray   # int64, length len(vertices) + 1
+    ranks: np.ndarray     # int32, concatenated hub ranks
+    dists: np.ndarray     # int32, concatenated supplemental distances
 
 
 @dataclass
@@ -59,7 +76,7 @@ class SupplementalIndex:
         are not stored.
     """
 
-    __slots__ = ("affected", "labels", "search_expanded")
+    __slots__ = ("affected", "labels", "search_expanded", "_flat")
 
     def __init__(self, affected: AffectedVertices) -> None:
         self.affected = affected
@@ -68,6 +85,8 @@ class SupplementalIndex:
         # this index — a machine-independent cost measure the Figure 7
         # bench reports alongside wall-clock.  Not part of equality.
         self.search_expanded = 0
+        # Cached FlatSupplement for the batch query path (built lazily).
+        self._flat: Optional[FlatSupplement] = None
 
     @property
     def edge(self) -> Tuple[int, int]:
@@ -93,6 +112,44 @@ class SupplementalIndex:
     def total_entries(self) -> int:
         """Supplemental label entry count — the per-edge SLEN statistic."""
         return sum(len(sl) for sl in self.labels.values())
+
+    def flat(self) -> FlatSupplement:
+        """The frozen flat view of this index's labels (cached).
+
+        Supplemental labels only ever *grow* (``append`` enforces
+        ascending ranks, nothing is removed), so the cache revalidates by
+        comparing stored-vertex and entry counts and rebuilds when the
+        index changed since the last freeze.
+        """
+        stored = {v: sl for v, sl in self.labels.items() if len(sl)}
+        flat = self._flat
+        if (
+            flat is not None
+            and len(flat.vertices) == len(stored)
+            and len(flat.ranks) == sum(len(sl) for sl in stored.values())
+        ):
+            return flat
+        vertices = np.asarray(sorted(stored), dtype=np.int64)
+        offsets = np.zeros(len(vertices) + 1, dtype=np.int64)
+        sizes = np.fromiter(
+            (len(stored[int(v)]) for v in vertices),
+            count=len(vertices),
+            dtype=np.int64,
+        )
+        np.cumsum(sizes, out=offsets[1:])
+        total = int(offsets[-1])
+        ranks = np.empty(total, dtype=np.int32)
+        dists = np.empty(total, dtype=np.int32)
+        pos = 0
+        for v in vertices:
+            sl = stored[int(v)]
+            k = len(sl)
+            ranks[pos : pos + k] = sl.ranks
+            dists[pos : pos + k] = sl.dists
+            pos += k
+        flat = FlatSupplement(vertices, offsets, ranks, dists)
+        self._flat = flat
+        return flat
 
     def iter_labels(self) -> Iterator[Tuple[int, SupplementalLabels]]:
         """Iterate stored ``(vertex, label)`` pairs in vertex order."""

@@ -101,6 +101,15 @@ class CSRGraph:
             for v in range(self.num_vertices)
         ]
 
+    def adjacency_flat(self) -> Tuple[List[int], List[int]]:
+        """The CSR pair as two flat Python-int lists ``(indptr, indices)``.
+
+        CPython traversal loops (PLL's pruned BFS) slice the flat
+        neighbor stream directly — one contiguous list instead of ``n``
+        list objects, and native ints instead of numpy scalar boxing.
+        """
+        return self.indptr.tolist(), self.indices.tolist()
+
     def nbytes(self) -> int:
         """Bytes used by the two index arrays."""
         return int(self.indptr.nbytes + self.indices.nbytes)

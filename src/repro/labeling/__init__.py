@@ -14,7 +14,7 @@ from repro.labeling.label import Labeling, LabelEntry
 from repro.labeling.pll import build_pll
 from repro.labeling.pll_weighted import build_weighted_pll, WeightedLabeling
 from repro.labeling.pll_directed import build_directed_pll, DirectedLabeling
-from repro.labeling.query import dist_query, INF
+from repro.labeling.query import batch_dist_query, dist_query, INF
 from repro.labeling.verify import (
     is_well_ordered,
     is_distance_cover,
@@ -40,6 +40,7 @@ __all__ = [
     "build_directed_pll",
     "DirectedLabeling",
     "dist_query",
+    "batch_dist_query",
     "INF",
     "is_well_ordered",
     "is_distance_cover",

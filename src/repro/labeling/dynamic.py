@@ -111,6 +111,7 @@ def insert_edge(graph: Graph, labeling: Labeling, a: int, b: int) -> int:
             f"labeling covers {labeling.num_vertices} vertices, "
             f"graph has {graph.num_vertices}"
         )
+    labeling.thaw()  # repair appends into the per-vertex lists
     graph.add_edge(a, b)
 
     # Affected hubs: every hub of either endpoint (new paths through the

@@ -8,14 +8,25 @@ the exact input SIEF's supplemental construction assumes.
 The implementation uses the standard constant-time-amortized prune test:
 before the BFS from root ``r`` we scatter ``L(r)`` into a rank-indexed
 array, so testing "is ``dist(r, w, L) <= d``" is one pass over ``L(w)``.
+
+Storage discipline (mirroring the flat layout of the original PLL code):
+the BFS walks the graph through its **CSR adjacency** — one flat
+neighbor array plus an offset array from :class:`repro.graph.csr.CSRGraph`
+— instead of list-of-lists, and labels accumulate in per-vertex append
+lists whose entries arrive in ascending-rank rounds.  Those per-round
+append lists are exactly the frozen flat layout split per vertex, which
+is why :meth:`~repro.labeling.label.Labeling.freeze` can concatenate them
+into the query-time arrays without any re-sorting.  Pass
+``freeze=True`` to get the flat backend straight out of the build.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from repro.exceptions import LabelingError
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.labeling.label import Labeling
 from repro.order.ordering import VertexOrdering
@@ -24,17 +35,33 @@ from repro.order.strategies import by_degree
 _UNSET = -1
 
 
-def build_pll(graph: Graph, ordering: Optional[VertexOrdering] = None) -> Labeling:
+def _csr_ordering_by_degree(csr: CSRGraph) -> VertexOrdering:
+    """Degree-descending ordering straight from CSR degrees."""
+    degrees = csr.degrees()
+    vertices = sorted(range(csr.num_vertices), key=lambda v: (-int(degrees[v]), v))
+    return VertexOrdering(vertices)
+
+
+def build_pll(
+    graph: Union[Graph, CSRGraph],
+    ordering: Optional[VertexOrdering] = None,
+    freeze: bool = False,
+) -> Labeling:
     """Build a well-ordered 2-hop distance cover of ``graph``.
 
     Parameters
     ----------
     graph:
-        Undirected, unweighted graph.
+        Undirected, unweighted graph — a mutable :class:`Graph` or an
+        immutable :class:`CSRGraph` snapshot (the build runs on the CSR
+        form either way).
     ordering:
         Vertex ordering ``σ``; defaults to degree-descending, the
         paper-standard choice.  The labeling is well-ordered w.r.t. this
         ordering.
+    freeze:
+        When True, return the labeling already converted to the flat
+        numpy backend (ready for batch queries).
 
     Returns
     -------
@@ -42,15 +69,26 @@ def build_pll(graph: Graph, ordering: Optional[VertexOrdering] = None) -> Labeli
         For every pair, ``dist_query(labeling, s, t)`` equals the true
         BFS distance (``INF`` across components).
     """
+    if isinstance(graph, CSRGraph):
+        csr = graph
+    else:
+        csr = CSRGraph.from_graph(graph)
     if ordering is None:
-        ordering = by_degree(graph)
-    if len(ordering) != graph.num_vertices:
-        raise LabelingError(
-            f"ordering covers {len(ordering)} vertices, "
-            f"graph has {graph.num_vertices}"
+        ordering = (
+            _csr_ordering_by_degree(csr)
+            if isinstance(graph, CSRGraph)
+            else by_degree(graph)
         )
-    n = graph.num_vertices
-    adj = graph.adjacency()
+    n = csr.num_vertices
+    if len(ordering) != n:
+        raise LabelingError(
+            f"ordering covers {len(ordering)} vertices, graph has {n}"
+        )
+    # Flat CSR adjacency as Python ints: one offsets list + one neighbor
+    # stream.  Slicing the stream per vertex avoids both the list-of-lists
+    # pointer chase and numpy's per-element boxing in the BFS hot loop.
+    indptr, adj = csr.adjacency_flat()
+
     labeling = Labeling.empty(ordering)
     hub_ranks = labeling.hub_ranks
     hub_dists = labeling.hub_dists
@@ -86,7 +124,7 @@ def build_pll(graph: Graph, ordering: Optional[VertexOrdering] = None) -> Labeli
             ranks_v.append(rank)
             dists_v.append(d)
             nd = d + 1
-            for w in adj[v]:
+            for w in adj[indptr[v] : indptr[v + 1]]:
                 if dist[w] == _UNSET:
                     dist[w] = nd
                     touched.append(w)
@@ -99,4 +137,4 @@ def build_pll(graph: Graph, ordering: Optional[VertexOrdering] = None) -> Labeli
             dist[v] = _UNSET
         touched.clear()
 
-    return labeling
+    return labeling.freeze() if freeze else labeling

@@ -50,7 +50,7 @@ def prune_redundant(labeling: Labeling) -> Tuple[Labeling, int]:
     so the result still answers every query exactly (the Lemma 4 proof
     shows the witnessing lower-ranked hub keeps covering the pair).
     """
-    pruned = labeling.copy()
+    pruned = labeling.copy().thaw()  # pruning rewrites rows in place
     vertex_of = pruned.ordering.vertex
     removed = 0
     for v in range(pruned.num_vertices):

@@ -1,4 +1,4 @@
-"""Labeling persistence: compact binary (numpy) and JSON.
+"""Labeling persistence: compact binary (numpy), native npz, and JSON.
 
 Binary layout (little-endian), after an 8-byte magic:
 
@@ -10,6 +10,13 @@ Binary layout (little-endian), after an 8-byte magic:
 
 8 bytes per entry — exactly the byte model of
 :mod:`repro.labeling.stats`, so file size ≈ modelled size.
+
+The **npz format** (:func:`save_labeling_npz`) stores the frozen flat
+arrays natively — ``offsets``/``hubs``/``dists`` plus the ordering and a
+``format_version`` field — so a load lands directly in the flat backend
+with zero list reconstruction.  The **JSON format** stays
+human-inspectable; it now carries ``format_version`` too (documents
+written before the field, "version 1", still load).
 """
 
 from __future__ import annotations
@@ -28,10 +35,25 @@ from repro.order.ordering import VertexOrdering
 MAGIC = b"SIEFLBL1"
 PathLike = Union[str, Path]
 
+JSON_FORMAT_VERSION = 2
+"""Current JSON document version (1 = pre-version-field documents)."""
 
-def labeling_to_bytes(labeling: Labeling) -> bytes:
-    """Serialize to the compact binary format."""
+NPZ_FORMAT_VERSION = 1
+"""Current npz (flat-array) format version."""
+
+
+def _flat_arrays(labeling: Labeling):
+    """``(sizes, ranks, dists)`` int32 concatenations for serialization.
+
+    Frozen labelings hand over their flat arrays directly; thawed ones
+    concatenate the per-vertex lists.
+    """
     n = labeling.num_vertices
+    if labeling.offsets is not None:
+        sizes = np.diff(labeling.offsets).astype(np.int32)
+        ranks = labeling.hubs_flat.astype(np.int32, copy=False)
+        dists = labeling.dists_flat.astype(np.int32, copy=False)
+        return sizes, ranks, dists
     sizes = np.fromiter(
         (len(r) for r in labeling.hub_ranks), count=n, dtype=np.int32
     )
@@ -44,6 +66,13 @@ def labeling_to_bytes(labeling: Labeling) -> bytes:
         ranks[pos : pos + k] = labeling.hub_ranks[v]
         dists[pos : pos + k] = labeling.hub_dists[v]
         pos += k
+    return sizes, ranks, dists
+
+
+def labeling_to_bytes(labeling: Labeling) -> bytes:
+    """Serialize to the compact binary format."""
+    n = labeling.num_vertices
+    sizes, ranks, dists = _flat_arrays(labeling)
     buf = io.BytesIO()
     buf.write(MAGIC)
     buf.write(np.int64(n).tobytes())
@@ -55,7 +84,7 @@ def labeling_to_bytes(labeling: Labeling) -> bytes:
 
 
 def labeling_from_bytes(data: bytes) -> Labeling:
-    """Inverse of :func:`labeling_to_bytes`."""
+    """Inverse of :func:`labeling_to_bytes` (returns the list backend)."""
     if data[: len(MAGIC)] != MAGIC:
         raise SerializationError("bad magic: not a SIEF labeling blob")
     offset = len(MAGIC)
@@ -94,9 +123,55 @@ def load_labeling(path: PathLike) -> Labeling:
     return labeling_from_bytes(Path(path).read_bytes())
 
 
+def save_labeling_npz(labeling: Labeling, path: PathLike) -> None:
+    """Write the native flat-array (npz) format to ``path``.
+
+    Stores the frozen CSR-style arrays directly (freezing a copy of the
+    backend state if the labeling is thawed); loading lands straight in
+    the flat backend.
+    """
+    if labeling.offsets is not None:
+        offsets, hubs, dists = (
+            labeling.offsets,
+            labeling.hubs_flat,
+            labeling.dists_flat,
+        )
+    else:
+        frozen = labeling.copy().freeze()
+        offsets, hubs, dists = frozen.offsets, frozen.hubs_flat, frozen.dists_flat
+    np.savez_compressed(
+        str(path),
+        format_version=np.int64(NPZ_FORMAT_VERSION),
+        order=np.asarray(labeling.ordering.sequence(), dtype=np.int32),
+        offsets=offsets,
+        hubs=hubs,
+        dists=dists,
+    )
+
+
+def load_labeling_npz(path: PathLike) -> Labeling:
+    """Read a labeling written by :func:`save_labeling_npz` (frozen backend)."""
+    try:
+        with np.load(str(path)) as doc:
+            version = int(doc["format_version"])
+            if version != NPZ_FORMAT_VERSION:
+                raise SerializationError(
+                    f"unsupported labeling npz format version {version}"
+                )
+            ordering = VertexOrdering([int(v) for v in doc["order"]])
+            return Labeling.from_flat(
+                ordering, doc["offsets"], doc["hubs"], doc["dists"]
+            )
+    except SerializationError:
+        raise
+    except (OSError, KeyError, ValueError) as exc:
+        raise SerializationError(f"bad labeling npz file: {exc}") from exc
+
+
 def labeling_to_json(labeling: Labeling) -> str:
     """Human-inspectable JSON: hubs as vertex ids, per vertex."""
     doc = {
+        "format_version": JSON_FORMAT_VERSION,
         "order": labeling.ordering.sequence(),
         "labels": {
             str(v): [[e.hub, e.distance] for e in labeling.entries(v)]
@@ -107,9 +182,18 @@ def labeling_to_json(labeling: Labeling) -> str:
 
 
 def labeling_from_json(text: str) -> Labeling:
-    """Inverse of :func:`labeling_to_json`."""
+    """Inverse of :func:`labeling_to_json`.
+
+    Accepts both current (``format_version`` 2) documents and the
+    pre-version-field layout (treated as version 1).
+    """
     try:
         doc = json.loads(text)
+        version = int(doc.get("format_version", 1))
+        if version not in (1, JSON_FORMAT_VERSION):
+            raise SerializationError(
+                f"unsupported labeling JSON format version {version}"
+            )
         ordering = VertexOrdering([int(v) for v in doc["order"]])
         rank_of = ordering.rank
         n = len(doc["order"])
@@ -120,6 +204,8 @@ def labeling_from_json(text: str) -> Labeling:
             pairs = sorted((rank_of(int(h)), int(d)) for h, d in entries)
             hub_ranks[v] = [r for r, _ in pairs]
             hub_dists[v] = [d for _, d in pairs]
+    except SerializationError:
+        raise
     except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
         raise SerializationError(f"bad labeling JSON: {exc}") from exc
     return Labeling(ordering, hub_ranks, hub_dists)

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+import numpy as np
+
 from repro.labeling.label import Labeling
 
 BYTES_PER_ENTRY = 8
@@ -59,15 +61,24 @@ def labeling_bytes(total_entries: int, num_vertices: int) -> int:
 
 
 def labeling_stats(labeling: Labeling) -> LabelingStats:
-    """Compute :class:`LabelingStats` for ``labeling``."""
-    sizes = [labeling.label_size(v) for v in range(labeling.num_vertices)]
-    total = sum(sizes)
+    """Compute :class:`LabelingStats` for ``labeling`` (either backend)."""
     n = labeling.num_vertices
+    if labeling.offsets is not None:
+        # Frozen backend: sizes are one vectorized diff over the offsets.
+        sizes_arr = np.diff(labeling.offsets)
+        total = int(sizes_arr.sum())
+        max_e = int(sizes_arr.max()) if n else 0
+        min_e = int(sizes_arr.min()) if n else 0
+    else:
+        sizes = [labeling.label_size(v) for v in range(n)]
+        total = sum(sizes)
+        max_e = max(sizes) if sizes else 0
+        min_e = min(sizes) if sizes else 0
     return LabelingStats(
         num_vertices=n,
         total_entries=total,
         avg_entries=total / n if n else 0.0,
-        max_entries=max(sizes) if sizes else 0,
-        min_entries=min(sizes) if sizes else 0,
+        max_entries=max_e,
+        min_entries=min_e,
         bytes_modelled=labeling_bytes(total, n),
     )

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterator, List, Sequence
 
+import numpy as np
+
 from repro.exceptions import ReproError
 
 
@@ -23,7 +25,7 @@ class VertexOrdering:
         rank ``r``.  Must be a permutation of ``0..n-1``.
     """
 
-    __slots__ = ("_vertex_at", "_rank_of")
+    __slots__ = ("_vertex_at", "_rank_of", "_vertex_np", "_rank_np")
 
     def __init__(self, vertex_at: Sequence[int]) -> None:
         n = len(vertex_at)
@@ -37,6 +39,8 @@ class VertexOrdering:
             rank_of[v] = rank
         self._vertex_at: List[int] = list(vertex_at)
         self._rank_of: List[int] = rank_of
+        self._vertex_np = None  # numpy mirrors, built lazily for batch paths
+        self._rank_np = None
 
     def __len__(self) -> int:
         return len(self._vertex_at)
@@ -60,6 +64,26 @@ class VertexOrdering:
     def sequence(self) -> List[int]:
         """Copy of the ordered vertex sequence (index = rank)."""
         return list(self._vertex_at)
+
+    def rank_array(self):
+        """Read-only numpy view of the rank array (cached).
+
+        ``rank_array()[v] == rank(v)``; the batch query paths use this to
+        classify whole pair arrays in one vectorized comparison.
+        """
+        if self._rank_np is None:
+            arr = np.asarray(self._rank_of, dtype=np.int64)
+            arr.setflags(write=False)
+            self._rank_np = arr
+        return self._rank_np
+
+    def vertex_array(self):
+        """Read-only numpy view of the vertex sequence (cached)."""
+        if self._vertex_np is None:
+            arr = np.asarray(self._vertex_at, dtype=np.int64)
+            arr.setflags(write=False)
+            self._vertex_np = arr
+        return self._vertex_np
 
     def precedes(self, u: int, v: int) -> bool:
         """Whether ``σ[u] < σ[v]``."""

@@ -1,0 +1,91 @@
+"""Property-based parity: flat backend ≡ list backend ≡ BFS ground truth.
+
+The acceptance bar for the flat storage refactor is *exact* agreement —
+no tolerance — between (a) the scalar list-backend merge join, (b) the
+scalar frozen-backend evaluation, (c) the vectorized batch join, and
+(d) plain BFS on the graph, over random graphs including disconnected
+pairs (``INF``) and ``s == t``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import UNREACHED, bfs_distances
+from repro.labeling.pll import build_pll
+from repro.labeling.query import INF, batch_dist_query, dist_query
+from repro.order.strategies import random_order
+from repro.core.builder import SIEFBuilder
+from repro.core.query import SIEFQueryEngine
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, min_vertices=2, max_vertices=16):
+    """Random simple graphs with at least one edge (disconnection likely)."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    seed = draw(st.integers(0, 2**20))
+    density = draw(st.floats(0.05, 0.7))
+    rng = random.Random(seed)
+    edges = [e for e in possible if rng.random() < density]
+    if not edges:
+        edges = [possible[seed % len(possible)]]
+    return Graph(n, edges)
+
+
+@given(g=graphs(), order_seed=st.integers(0, 1000))
+@settings(max_examples=50, **COMMON)
+def test_flat_scalar_and_batch_agree_with_lists_and_bfs(g, order_seed):
+    n = g.num_vertices
+    listed = build_pll(g, random_order(g, seed=order_seed))
+    frozen = listed.copy().freeze()
+
+    pairs = [(s, t) for s in range(n) for t in range(n)]
+    batch = batch_dist_query(frozen, pairs)
+
+    i = 0
+    for s in range(n):
+        truth = bfs_distances(g, s)
+        for t in range(n):
+            expected = truth[t] if truth[t] != UNREACHED else INF
+            assert dist_query(listed, s, t) == expected
+            assert dist_query(frozen, s, t) == expected
+            assert batch[i] == expected
+            i += 1
+
+
+@given(g=graphs(min_vertices=3, max_vertices=12), seed=st.integers(0, 2**20))
+@settings(max_examples=25, **COMMON)
+def test_engine_batch_agrees_with_scalar_engine(g, seed):
+    index, _ = SIEFBuilder(g).build()
+    engine = SIEFQueryEngine(index)
+    rng = random.Random(seed)
+    n = g.num_vertices
+    edges = list(g.edges())
+    edge = edges[rng.randrange(len(edges))]
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(40)]
+    pairs += [(v, v) for v in range(n)]
+    got = engine.batch_query(edge, pairs)
+    expected = np.array(
+        [engine.distance(s, t, edge) for s, t in pairs], dtype=np.float64
+    )
+    assert np.array_equal(got, expected)
+
+
+@given(g=graphs(min_vertices=2, max_vertices=14))
+@settings(max_examples=25, **COMMON)
+def test_freeze_thaw_round_trip_preserves_equality(g):
+    listed = build_pll(g)
+    frozen = listed.copy().freeze()
+    assert frozen == listed
+    assert frozen.copy().thaw() == listed
+    assert frozen.validate() == []

@@ -79,3 +79,23 @@ def test_chunks_cover_everything():
 
 def test_chunks_single():
     assert _chunks([(0, 1)], 8) == [[(0, 1)]]
+
+
+def test_chunks_balanced():
+    """Chunk sizes differ by at most one — no worker idles on a stub."""
+    for n_items in range(0, 40):
+        items = [(i, i + 1) for i in range(n_items)]
+        for count in range(1, 12):
+            chunks = _chunks(items, count)
+            # partition invariant
+            assert [e for c in chunks for e in c] == items
+            # no empty chunks, never more than `count` of them
+            assert all(chunks)
+            assert len(chunks) <= count
+            if chunks:
+                sizes = [len(c) for c in chunks]
+                assert max(sizes) - min(sizes) <= 1
+
+
+def test_chunks_empty():
+    assert _chunks([], 4) == []
