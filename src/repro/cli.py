@@ -173,6 +173,57 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.serialize import load_index
+    from repro.core.verify import VERIFY_LEVELS, verify_index
+    from repro.graph.io import read_edge_list
+
+    graph, _names = read_edge_list(args.graph)
+    index = load_index(args.index)
+    levels = args.level or list(VERIFY_LEVELS)
+    problems = verify_index(
+        index,
+        graph,
+        sample_cases=None if args.sample < 0 else args.sample,
+        queries_per_case=args.queries,
+        seed=args.seed,
+        levels=levels,
+    )
+    if problems:
+        for p in problems:
+            print(f"PROBLEM: {p}")
+        print(f"{len(problems)} problem(s) at levels {', '.join(levels)}")
+        return 1
+    print(
+        f"ok: levels {', '.join(levels)} passed "
+        f"({index.num_cases} cases, sampled "
+        f"{'all' if args.sample < 0 else args.sample})"
+    )
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.testing import fuzz, parse_budget
+    from repro.testing.fuzz import FuzzConfig
+
+    try:
+        config = FuzzConfig(
+            seed=args.seed,
+            budget_seconds=parse_budget(args.budget),
+            adapters=args.adapter or None,
+            generators=args.generator or None,
+            corpus_dir=None if args.no_corpus else args.corpus,
+            do_shrink=not args.no_shrink,
+            max_counterexamples=args.max_counterexamples,
+        )
+        report = fuzz(config)
+    except ValueError as exc:  # unknown adapter/generator, bad budget
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.graph.io import read_edge_list
     from repro.graph.validation import validate_graph
@@ -261,6 +312,60 @@ def build_parser() -> argparse.ArgumentParser:
     validate = sub.add_parser("validate", help="check an edge-list file")
     validate.add_argument("graph")
     validate.set_defaults(func=_cmd_validate)
+
+    verify = sub.add_parser(
+        "verify",
+        help="run the structural/affected/queries verification levels",
+    )
+    verify.add_argument("graph")
+    verify.add_argument("index")
+    verify.add_argument(
+        "--level",
+        action="append",
+        choices=["structural", "affected", "queries"],
+        help="run only this level (repeatable; default: all three)",
+    )
+    verify.add_argument(
+        "--sample",
+        type=int,
+        default=25,
+        help="failure cases to sample per level (-1 = all)",
+    )
+    verify.add_argument("--queries", type=int, default=20)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.set_defaults(func=_cmd_verify)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing of every query engine",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--budget", default="30s", help="time budget, e.g. 30s or 2m"
+    )
+    fuzz.add_argument(
+        "--adapter",
+        action="append",
+        help="fuzz only this engine adapter (repeatable; default: all)",
+    )
+    fuzz.add_argument(
+        "--generator",
+        action="append",
+        help="fuzz only this graph generator (repeatable; default: all)",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default="tests/corpus",
+        help="directory for shrunk counterexamples (default: tests/corpus)",
+    )
+    fuzz.add_argument(
+        "--no-corpus",
+        action="store_true",
+        help="report counterexamples without persisting them",
+    )
+    fuzz.add_argument("--no-shrink", action="store_true")
+    fuzz.add_argument("--max-counterexamples", type=int, default=10)
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     return parser
 

@@ -25,7 +25,13 @@ import numpy as np
 
 from repro.core.index import SIEFIndex
 from repro.core.supplemental import SupplementalLabels
-from repro.labeling.query import INF, _ragged_gather, batch_dist_query, dist_query
+from repro.labeling.query import (
+    INF,
+    _ragged_gather,
+    batch_dist_query,
+    dist_query,
+    validate_pairs,
+)
 
 Distance = Union[int, float]
 
@@ -101,12 +107,10 @@ class SIEFQueryEngine:
         Returns a ``float64`` array (``numpy.inf`` for disconnected
         pairs) with exactly the values :meth:`distance` returns pairwise.
         """
-        p = np.asarray(pairs, dtype=np.int64)
+        index = self.index
+        p = validate_pairs(pairs, index.labeling.num_vertices)
         if p.size == 0:
             return np.zeros(0, dtype=np.float64)
-        if p.ndim != 2 or p.shape[1] != 2:
-            raise ValueError(f"pairs must have shape (k, 2), got {p.shape}")
-        index = self.index
         labeling = index.labeling
         if labeling.offsets is None:
             labeling.freeze()

@@ -2,28 +2,46 @@
 
 A SIEF index loaded from disk (or received from elsewhere) should be
 checkable against the graph it claims to cover before being trusted —
-the moral equivalent of a checksum, but semantic.  Three levels:
+the moral equivalent of a checksum, but semantic.  Three levels, each
+exposed as its own function so callers (the ``sief verify`` CLI, the
+conformance harness in :mod:`repro.testing`) can run them selectively:
 
-* **structural** — the labeling validates, every supplement's edge
-  exists in the graph, affected arrays are sorted/disjoint, supplemental
-  hubs respect well-ordering and sit on the opposite side;
-* **affected** — recompute Algorithm 1 for sampled cases and compare;
-* **queries** — sample (s, t) per sampled case and compare against BFS.
+* :func:`structural_problems` — the labeling validates, every
+  supplement's edge exists in the graph, affected arrays are
+  sorted/disjoint, supplemental hubs respect well-ordering and sit on
+  the opposite side;
+* :func:`affected_problems` — recompute Algorithm 1 for sampled cases
+  and compare against the stored affected sets;
+* :func:`query_problems` — sample (s, t) per sampled case and compare
+  engine answers against BFS on ``G - e``.
 
-`verify_index` runs all three and returns a report of problems (empty
-means the index is consistent with the graph at the checked sample).
+:func:`verify_index` runs all three (or a chosen subset) and returns a
+report of problems (empty means the index is consistent with the graph
+at the checked sample).
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.affected import identify_affected
 from repro.core.index import SIEFIndex
 from repro.graph.graph import Graph
 from repro.graph.traversal import UNREACHED, bfs_distances_avoiding_edge
-from repro.labeling.query import INF, dist_query
+from repro.labeling.query import INF
+
+VERIFY_LEVELS: Tuple[str, ...] = ("structural", "affected", "queries")
+"""The three verification levels, cheapest first."""
+
+
+def _sampled_cases(
+    index: SIEFIndex, sample_cases: Optional[int], seed: int
+) -> List[Tuple[int, int]]:
+    cases = [edge for edge, _ in index.iter_cases()]
+    if sample_cases is not None and sample_cases < len(cases):
+        cases = random.Random(seed).sample(cases, sample_cases)
+    return cases
 
 
 def structural_problems(index: SIEFIndex, graph: Graph) -> List[str]:
@@ -72,29 +90,18 @@ def structural_problems(index: SIEFIndex, graph: Graph) -> List[str]:
     return problems
 
 
-def verify_index(
+def affected_problems(
     index: SIEFIndex,
     graph: Graph,
     sample_cases: Optional[int] = 25,
-    queries_per_case: int = 20,
     seed: int = 0,
 ) -> List[str]:
-    """Run all three verification levels; returns problems (empty = ok).
+    """Level 2: stored affected sets vs a fresh Algorithm 1 run.
 
-    ``sample_cases=None`` checks every indexed case (exhaustive but
-    proportionally slower).
+    ``sample_cases=None`` checks every indexed case.
     """
-    problems = structural_problems(index, graph)
-    if problems:
-        return problems
-
-    rng = random.Random(seed)
-    cases = [edge for edge, _ in index.iter_cases()]
-    if sample_cases is not None and sample_cases < len(cases):
-        cases = rng.sample(cases, sample_cases)
-
-    n = graph.num_vertices
-    for edge in cases:
+    problems: List[str] = []
+    for edge in _sampled_cases(index, sample_cases, seed):
         si = index.supplement(*edge)
         recomputed = identify_affected(graph, *edge)
         if (
@@ -105,13 +112,30 @@ def verify_index(
                 f"case {edge}: stored affected sets disagree with "
                 "Algorithm 1"
             )
-            continue
-        from repro.core.query import SIEFQueryEngine
+    return problems
 
-        engine = SIEFQueryEngine(index)
-        # Supplements only answer cross-side (Case 4) pairs, so check
-        # those deliberately — exhaustively when the side product is
-        # small enough — and pad with uniform pairs for the other cases.
+
+def query_problems(
+    index: SIEFIndex,
+    graph: Graph,
+    sample_cases: Optional[int] = 25,
+    queries_per_case: int = 20,
+    seed: int = 0,
+) -> List[str]:
+    """Level 3: sampled engine answers vs BFS on ``G - e``.
+
+    Supplements only answer cross-side (Case 4) pairs, so those are
+    checked deliberately — exhaustively when the side product is small
+    enough — padded with uniform pairs for the other cases.
+    """
+    from repro.core.query import SIEFQueryEngine
+
+    problems: List[str] = []
+    rng = random.Random(seed)
+    engine = SIEFQueryEngine(index)
+    n = graph.num_vertices
+    for edge in _sampled_cases(index, sample_cases, seed):
+        si = index.supplement(*edge)
         side_u, side_v = si.affected.side_u, si.affected.side_v
         cross_total = len(side_u) * len(side_v)
         pairs = []
@@ -132,4 +156,38 @@ def verify_index(
                     f"BFS says {truth}"
                 )
                 break
+    return problems
+
+
+def verify_index(
+    index: SIEFIndex,
+    graph: Graph,
+    sample_cases: Optional[int] = 25,
+    queries_per_case: int = 20,
+    seed: int = 0,
+    levels: Sequence[str] = VERIFY_LEVELS,
+) -> List[str]:
+    """Run the requested verification levels; returns problems (empty = ok).
+
+    Levels run cheapest-first; structural problems short-circuit the
+    deeper levels (an index that fails level 1 produces noise, not
+    signal, at levels 2–3).  ``sample_cases=None`` checks every indexed
+    case (exhaustive but proportionally slower).
+    """
+    unknown = [lv for lv in levels if lv not in VERIFY_LEVELS]
+    if unknown:
+        raise ValueError(
+            f"unknown verify levels {unknown}; choose from {VERIFY_LEVELS}"
+        )
+    problems: List[str] = []
+    if "structural" in levels:
+        problems = structural_problems(index, graph)
+        if problems:
+            return problems
+    if "affected" in levels:
+        problems.extend(affected_problems(index, graph, sample_cases, seed))
+    if "queries" in levels:
+        problems.extend(
+            query_problems(index, graph, sample_cases, queries_per_case, seed)
+        )
     return problems

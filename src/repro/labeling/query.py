@@ -172,6 +172,29 @@ def dist_query_directed(dlabeling, s: int, t: int) -> Distance:
     )
 
 
+def validate_pairs(pairs: Sequence[Tuple[int, int]], n: int) -> np.ndarray:
+    """Normalize a pairs argument to an ``(k, 2)`` int64 array, checked.
+
+    Shared by every batch entry point so malformed input fails with one
+    clear message instead of a numpy index error deep in the join (or —
+    worse — a silently wrong answer from negative-index wraparound).
+    An empty input is allowed and returns an empty ``(0, 2)`` array.
+    """
+    p = np.asarray(pairs, dtype=np.int64)
+    if p.size == 0:
+        return p.reshape(0, 2)
+    if p.ndim != 2 or p.shape[1] != 2:
+        raise ValueError(f"pairs must have shape (k, 2), got {p.shape}")
+    lo = int(p.min())
+    hi = int(p.max())
+    if lo < 0 or hi >= n:
+        raise IndexError(
+            f"pair vertex out of range for {n} vertices: "
+            f"ids span [{lo}, {hi}], valid range is [0, {n - 1}]"
+        )
+    return p
+
+
 def _ragged_gather(
     offsets: np.ndarray, vertices: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -346,11 +369,9 @@ def batch_dist_query(labeling, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
         disconnected pairs and ``0.0`` the ``s == t`` pairs.  Values are
         exact — identical to looping :func:`dist_query`.
     """
-    p = np.asarray(pairs, dtype=np.int64)
+    p = validate_pairs(pairs, labeling.num_vertices)
     if p.size == 0:
         return np.zeros(0, dtype=np.float64)
-    if p.ndim != 2 or p.shape[1] != 2:
-        raise ValueError(f"pairs must have shape (k, 2), got {p.shape}")
     if labeling.offsets is None:
         labeling.freeze()
     k = len(p)
@@ -363,10 +384,6 @@ def batch_dist_query(labeling, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
     s = p[:, 0]
     t = p[:, 1]
     n = labeling.num_vertices
-    if k and (int(p.min()) < 0 or int(p.max()) >= n):
-        raise IndexError(
-            f"pair vertex out of range for labeling with {n} vertices"
-        )
     offsets = labeling.offsets
     hubs = labeling.hubs_flat
     dists = labeling.dists_flat

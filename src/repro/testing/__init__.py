@@ -1,0 +1,53 @@
+"""Differential fuzzing & conformance harness for every SIEF query path.
+
+The correctness story of this library (Theorems 1–3: original labeling +
+supplement answers ``d_{G-(u,v)}`` exactly) is enforced here the way PLL
+implementations are validated against plain BFS: every registered query
+engine is *differentially* compared against a brute-force oracle on
+randomized graphs, counterexamples are shrunk to minimal quadruples, and
+the minimized cases persist as a pytest-replayed regression corpus.
+
+Layers (see ``docs/testing.md`` for the full oracle hierarchy):
+
+* :mod:`repro.testing.oracles` — brute-force BFS/Dijkstra ground truth;
+* :mod:`repro.testing.adapters` — the ``QueryOracle`` adapter protocol
+  and the registry of ~14 query paths behind it;
+* :mod:`repro.testing.fuzz` — the seeded generator × ordering × engine
+  fuzz loop (``sief fuzz`` in the CLI);
+* :mod:`repro.testing.shrink` — greedy counterexample minimization;
+* :mod:`repro.testing.corpus` — persisted minimal counterexamples under
+  ``tests/corpus/``.
+"""
+
+from repro.testing.adapters import ADAPTERS, ORDERING_NAMES, WorldContext
+from repro.testing.cases import Counterexample, recheck
+from repro.testing.corpus import (
+    iter_corpus,
+    load_counterexample,
+    save_counterexample,
+)
+from repro.testing.fuzz import (
+    GENERATORS,
+    FuzzConfig,
+    FuzzReport,
+    fuzz,
+    parse_budget,
+)
+from repro.testing.shrink import shrink
+
+__all__ = [
+    "ADAPTERS",
+    "GENERATORS",
+    "ORDERING_NAMES",
+    "WorldContext",
+    "Counterexample",
+    "FuzzConfig",
+    "FuzzReport",
+    "fuzz",
+    "parse_budget",
+    "recheck",
+    "shrink",
+    "iter_corpus",
+    "load_counterexample",
+    "save_counterexample",
+]

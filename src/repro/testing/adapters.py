@@ -1,0 +1,474 @@
+"""Engine adapters: every query path behind one ``QueryOracle`` protocol.
+
+The harness treats each way of answering a failure distance query —
+scalar SIEF, batch SIEF, lazy SIEF, weighted, directed, the node/dual
+oracles, and the brute-force baselines — as an interchangeable
+*adapter*.  An adapter declares
+
+* which derived graph **family** it runs on (``undirected``,
+  ``weighted``, ``directed``),
+* which **failure kind** it understands (``edge``, ``arc``, ``node``,
+  ``dual``), and
+* a ``distances(ctx, failure, pairs)`` method returning one float per
+  pair.
+
+A :class:`WorldContext` owns one generated graph instance (plus its
+weighted and directed derivations) and memoizes the expensive build
+artifacts — the PLL labeling, the SIEF index, the weighted/directed
+indexes — so all adapters of a family share one build per fuzz round.
+Contexts reconstruct deterministically from ``(family, n, edges,
+ordering, ordering_seed)``, which is what lets the shrinker and the
+corpus replay a counterexample from its serialized form alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+from repro.graph.weighted import WeightedGraph
+from repro.order.ordering import VertexOrdering
+from repro.order.strategies import STRATEGIES, make_ordering
+from repro.testing import oracles
+
+Pair = Tuple[int, int]
+Failure = Tuple  # ("edge", u, v) | ("arc", u, v) | ("node", w) | ("dual", (u,v), (x,y))
+
+ORDERING_NAMES: Tuple[str, ...] = tuple(sorted(STRATEGIES))
+"""All registered vertex-ordering strategies, cycled by the fuzzer."""
+
+
+class WorldContext:
+    """One fuzz instance: a graph family member plus memoized indexes."""
+
+    def __init__(
+        self,
+        family: str,
+        num_vertices: int,
+        edges: Sequence[Tuple],
+        ordering_name: str = "degree",
+        ordering_seed: int = 0,
+    ) -> None:
+        if family not in ("undirected", "weighted", "directed"):
+            raise ValueError(f"unknown world family {family!r}")
+        self.family = family
+        self.num_vertices = num_vertices
+        self.edges = [tuple(e) for e in edges]
+        self.ordering_name = ordering_name
+        self.ordering_seed = ordering_seed
+        self._cache: Dict[str, object] = {}
+        if family == "undirected":
+            self.graph = Graph(num_vertices, self.edges)
+        elif family == "weighted":
+            self.graph = WeightedGraph(num_vertices, self.edges)
+        else:
+            self.graph = DiGraph(num_vertices, self.edges)
+
+    # -- derivations ------------------------------------------------------
+
+    def skeleton(self) -> Graph:
+        """Undirected unweighted view used to compute orderings."""
+        g = self._cache.get("skeleton")
+        if g is None:
+            if self.family == "undirected":
+                g = self.graph
+            elif self.family == "weighted":
+                g = self.graph.to_unweighted()
+            else:
+                g = self.graph.to_undirected()
+            self._cache["skeleton"] = g
+        return g
+
+    def ordering(self) -> VertexOrdering:
+        """The vertex ordering shared by every index of this context."""
+        o = self._cache.get("ordering")
+        if o is None:
+            if self.ordering_name == "random":
+                o = make_ordering(
+                    self.skeleton(), "random", seed=self.ordering_seed
+                )
+            else:
+                o = make_ordering(self.skeleton(), self.ordering_name)
+            self._cache["ordering"] = o
+        return o
+
+    def _memo(self, key: str, build: Callable[[], object]) -> object:
+        value = self._cache.get(key)
+        if value is None:
+            value = build()
+            self._cache[key] = value
+        return value
+
+    def labeling(self):
+        from repro.labeling.pll import build_pll
+
+        return self._memo("labeling", lambda: build_pll(self.graph, self.ordering()))
+
+    def sief_index(self):
+        from repro.core.builder import build_sief
+
+        return self._memo(
+            "sief_index", lambda: build_sief(self.graph, self.labeling())
+        )
+
+    def sief_engine(self):
+        from repro.core.query import SIEFQueryEngine
+
+        return self._memo(
+            "sief_engine", lambda: SIEFQueryEngine(self.sief_index())
+        )
+
+    def lazy_index(self):
+        from repro.core.lazy import LazySIEFIndex
+        from repro.labeling.pll import build_pll
+
+        # Own graph copy and labeling: the lazy index owns (and may
+        # mutate) both, and sharing the main labeling would let one
+        # adapter's freeze/thaw state leak into another's timings.
+        return self._memo(
+            "lazy_index",
+            lambda: LazySIEFIndex(
+                self.graph.copy(),
+                labeling=build_pll(self.graph, self.ordering()),
+            ),
+        )
+
+    def unit_weighted_index(self):
+        from repro.failures.weighted import build_weighted_sief
+        from repro.labeling.pll_weighted import build_weighted_pll
+
+        def build():
+            wg = WeightedGraph.from_unweighted(self.graph)
+            return build_weighted_sief(
+                wg, build_weighted_pll(wg, self.ordering())
+            )
+
+        return self._memo("unit_weighted_index", build)
+
+    def weighted_index(self):
+        from repro.failures.weighted import build_weighted_sief
+        from repro.labeling.pll_weighted import build_weighted_pll
+
+        return self._memo(
+            "weighted_index",
+            lambda: build_weighted_sief(
+                self.graph, build_weighted_pll(self.graph, self.ordering())
+            ),
+        )
+
+    def directed_index(self):
+        from repro.failures.directed import build_directed_sief
+        from repro.labeling.pll_directed import build_directed_pll
+
+        return self._memo(
+            "directed_index",
+            lambda: build_directed_sief(
+                self.graph, build_directed_pll(self.graph, self.ordering())
+            ),
+        )
+
+
+class EngineAdapter:
+    """Base class: one registered query path under conformance test."""
+
+    name: str = "?"
+    family: str = "undirected"
+    failure_kind: str = "edge"
+    #: Adapters too slow for big instances opt out above this edge count.
+    max_edges: Optional[int] = None
+
+    def distances(
+        self, ctx: WorldContext, failure: Failure, pairs: Sequence[Pair]
+    ) -> List[float]:
+        raise NotImplementedError
+
+    def truth(
+        self, ctx: WorldContext, failure: Failure, pairs: Sequence[Pair]
+    ) -> List[float]:
+        """Ground truth for this adapter's family and failure kind."""
+        if self.failure_kind == "edge":
+            if self.family == "weighted":
+                return oracles.weighted_truth(ctx.graph, failure[1:3], pairs)
+            return oracles.undirected_truth(ctx.graph, failure[1:3], pairs)
+        if self.failure_kind == "arc":
+            return oracles.directed_truth(ctx.graph, failure[1:3], pairs)
+        if self.failure_kind == "node":
+            return oracles.node_truth(ctx.graph, failure[1], pairs)
+        if self.failure_kind == "dual":
+            return oracles.dual_truth(ctx.graph, failure[1], failure[2], pairs)
+        raise ValueError(f"unknown failure kind {self.failure_kind!r}")
+
+    def agree(self, got: float, expected: float) -> bool:
+        """Whether an answer matches ground truth (exact by default)."""
+        return got == expected
+
+
+def _scalar_loop(fn, pairs: Sequence[Pair]) -> List[float]:
+    return [float(fn(s, t)) for s, t in pairs]
+
+
+class SIEFScalarAdapter(EngineAdapter):
+    """``SIEFQueryEngine.distance`` — the paper's Table 4 hot path."""
+
+    name = "sief-scalar"
+
+    def distances(self, ctx, failure, pairs):
+        engine = ctx.sief_engine()
+        edge = failure[1:3]
+        return _scalar_loop(lambda s, t: engine.distance(s, t, edge), pairs)
+
+
+class SIEFCaseAdapter(EngineAdapter):
+    """``distance_with_case`` — must agree with ``distance`` and truth."""
+
+    name = "sief-case"
+
+    def distances(self, ctx, failure, pairs):
+        engine = ctx.sief_engine()
+        edge = failure[1:3]
+        return _scalar_loop(
+            lambda s, t: engine.distance_with_case(s, t, edge)[0], pairs
+        )
+
+
+class SIEFBatchAdapter(EngineAdapter):
+    """``SIEFQueryEngine.batch_query`` — the vectorized §4.4 path."""
+
+    name = "sief-batch"
+
+    def distances(self, ctx, failure, pairs):
+        engine = ctx.sief_engine()
+        return [float(d) for d in engine.batch_query(failure[1:3], list(pairs))]
+
+
+class SIEFFrozenAdapter(EngineAdapter):
+    """Scalar queries against the frozen (flat numpy) index backend."""
+
+    name = "sief-frozen"
+
+    def distances(self, ctx, failure, pairs):
+        engine = ctx.sief_engine()
+        ctx.sief_index().freeze()
+        edge = failure[1:3]
+        return _scalar_loop(lambda s, t: engine.distance(s, t, edge), pairs)
+
+
+class LazySIEFAdapter(EngineAdapter):
+    """``LazySIEFIndex.distance`` — cases materialized on first use."""
+
+    name = "sief-lazy"
+
+    def distances(self, ctx, failure, pairs):
+        lazy = ctx.lazy_index()
+        edge = failure[1:3]
+        return _scalar_loop(lambda s, t: lazy.distance(s, t, edge), pairs)
+
+
+class UnitWeightedAdapter(EngineAdapter):
+    """Weighted SIEF on unit weights — must equal unweighted BFS truth."""
+
+    name = "weighted-unit"
+    max_edges = 80
+
+    def distances(self, ctx, failure, pairs):
+        index = ctx.unit_weighted_index()
+        edge = failure[1:3]
+        return _scalar_loop(lambda s, t: index.distance(s, t, edge), pairs)
+
+
+class BFSBaselineAdapter(EngineAdapter):
+    """Index-free BFS-per-query baseline (one-sided)."""
+
+    name = "bfs-baseline"
+
+    def distances(self, ctx, failure, pairs):
+        from repro.baselines.bfs_query import BFSQueryBaseline
+
+        baseline = BFSQueryBaseline(ctx.graph)
+        edge = failure[1:3]
+        return _scalar_loop(lambda s, t: baseline.distance(s, t, edge), pairs)
+
+
+class BidirectionalBFSAdapter(EngineAdapter):
+    """Bidirectional BFS baseline — exercises the meet-in-middle cutoff."""
+
+    name = "bfs-bidirectional"
+
+    def distances(self, ctx, failure, pairs):
+        from repro.baselines.bfs_query import BFSQueryBaseline
+
+        baseline = BFSQueryBaseline(ctx.graph, bidirectional=True)
+        edge = failure[1:3]
+        return _scalar_loop(lambda s, t: baseline.distance(s, t, edge), pairs)
+
+
+class NaiveRebuildAdapter(EngineAdapter):
+    """Full PLL rebuild per failure case (the paper's naive method)."""
+
+    name = "naive-rebuild"
+    max_edges = 48
+
+    def distances(self, ctx, failure, pairs):
+        from repro.baselines.naive_rebuild import NaiveRebuildBaseline
+
+        baseline = ctx._memo(
+            "naive_rebuild", lambda: NaiveRebuildBaseline(ctx.graph)
+        )
+        edge = failure[1:3]
+        return _scalar_loop(lambda s, t: baseline.distance(s, t, edge), pairs)
+
+
+class WeightedSIEFAdapter(EngineAdapter):
+    """Weighted SIEF vs avoiding-Dijkstra, under float tolerance."""
+
+    name = "weighted-sief"
+    family = "weighted"
+    max_edges = 80
+
+    def distances(self, ctx, failure, pairs):
+        index = ctx.weighted_index()
+        edge = failure[1:3]
+        return _scalar_loop(lambda s, t: index.distance(s, t, edge), pairs)
+
+    def agree(self, got, expected):
+        from repro.failures.weighted import close
+
+        return close(got, expected)
+
+
+class DijkstraBaselineAdapter(EngineAdapter):
+    """Index-free Dijkstra baseline on the weighted family."""
+
+    name = "dijkstra-baseline"
+    family = "weighted"
+
+    def distances(self, ctx, failure, pairs):
+        from repro.baselines.dijkstra_query import DijkstraQueryBaseline
+
+        baseline = DijkstraQueryBaseline(ctx.graph)
+        edge = failure[1:3]
+        return _scalar_loop(lambda s, t: baseline.distance(s, t, edge), pairs)
+
+    def agree(self, got, expected):
+        from repro.failures.weighted import close
+
+        return close(got, expected)
+
+
+class DirectedSIEFAdapter(EngineAdapter):
+    """Directed SIEF (single-arc failures) vs directed BFS."""
+
+    name = "directed-sief"
+    family = "directed"
+    failure_kind = "arc"
+    max_edges = 80
+
+    def distances(self, ctx, failure, pairs):
+        index = ctx.directed_index()
+        arc = failure[1:3]
+        return _scalar_loop(lambda s, t: index.distance(s, t, arc), pairs)
+
+
+class NodeFailureAdapter(EngineAdapter):
+    """Node-failure oracle vs avoid-vertex BFS."""
+
+    name = "node-oracle"
+    failure_kind = "node"
+    max_edges = 60
+
+    def distances(self, ctx, failure, pairs):
+        from repro.failures.node import NodeFailureOracle
+
+        oracle = ctx._memo(
+            "node_oracle", lambda: NodeFailureOracle(ctx.graph, ctx.sief_index())
+        )
+        w = failure[1]
+        return _scalar_loop(lambda s, t: oracle.distance(s, t, w), pairs)
+
+
+class DualFailureAdapter(EngineAdapter):
+    """Dual-edge oracle vs avoid-two-edges BFS (and its lower bound)."""
+
+    name = "dual-oracle"
+    failure_kind = "dual"
+    max_edges = 60
+
+    def distances(self, ctx, failure, pairs):
+        from repro.failures.dual import DualFailureOracle
+        from repro.labeling.query import INF
+
+        oracle = ctx._memo(
+            "dual_oracle", lambda: DualFailureOracle(ctx.graph, ctx.sief_index())
+        )
+        e1, e2 = failure[1], failure[2]
+        out = []
+        for s, t in pairs:
+            exact = oracle.distance(s, t, e1, e2)
+            # The certified lower bound must never exceed the exact
+            # answer; surface a violation as a wrong answer.
+            bound = oracle.lower_bound(s, t, e1, e2)
+            if exact != INF and bound > exact:
+                out.append(float(bound))
+            else:
+                out.append(float(exact))
+        return out
+
+
+ADAPTERS: Dict[str, EngineAdapter] = {
+    adapter.name: adapter
+    for adapter in (
+        SIEFScalarAdapter(),
+        SIEFCaseAdapter(),
+        SIEFBatchAdapter(),
+        SIEFFrozenAdapter(),
+        LazySIEFAdapter(),
+        UnitWeightedAdapter(),
+        BFSBaselineAdapter(),
+        BidirectionalBFSAdapter(),
+        NaiveRebuildAdapter(),
+        WeightedSIEFAdapter(),
+        DijkstraBaselineAdapter(),
+        DirectedSIEFAdapter(),
+        NodeFailureAdapter(),
+        DualFailureAdapter(),
+    )
+}
+"""Registry of every conformance-checked query path, keyed by name."""
+
+
+def derive_weighted_edges(
+    edges: Sequence[Tuple[int, int]], seed: int
+) -> List[Tuple[int, int, float]]:
+    """Attach deterministic pseudo-random weights to an edge list.
+
+    Weights are multiples of 0.5 in [0.5, 4.0]: varied enough to force
+    genuine Dijkstra orderings, exactly representable so the weighted
+    engines' tolerance comparisons never mask real logic errors.
+    """
+    rng = random.Random(seed)
+    return [(u, v, 0.5 * rng.randint(1, 8)) for u, v in edges]
+
+
+def derive_directed_arcs(
+    edges: Sequence[Tuple[int, int]], seed: int
+) -> List[Tuple[int, int]]:
+    """Orient an undirected edge list into a digraph arc list.
+
+    Each edge becomes a forward arc, a backward arc, or both — so the
+    derived digraphs mix one-way streets with reciprocal links, the
+    regime where the directed engine's overlapping-sides logic is
+    actually exercised.
+    """
+    rng = random.Random(seed)
+    arcs: List[Tuple[int, int]] = []
+    for u, v in edges:
+        roll = rng.random()
+        if roll < 0.4:
+            arcs.append((u, v))
+        elif roll < 0.8:
+            arcs.append((v, u))
+        else:
+            arcs.extend(((u, v), (v, u)))
+    return arcs

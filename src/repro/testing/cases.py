@@ -1,0 +1,94 @@
+"""Counterexample records: self-contained, replayable failure reports.
+
+A :class:`Counterexample` captures everything needed to reproduce one
+conformance mismatch with no reference to the fuzz run that found it:
+the graph family and edge list, the ordering strategy (plus seed for the
+``random`` strategy), the failure, the query pair, and the adapter that
+answered wrongly.  :func:`recheck` rebuilds the world from scratch and
+re-runs the single failing query — the primitive both the shrinker and
+the corpus replay are built on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.testing.adapters import ADAPTERS, WorldContext
+
+Failure = Tuple
+
+
+@dataclass
+class Counterexample:
+    """One minimal (graph, failure, s, t) conformance violation."""
+
+    adapter: str
+    family: str
+    num_vertices: int
+    edges: List[Tuple]
+    failure: Failure
+    s: int
+    t: int
+    ordering: str = "degree"
+    ordering_seed: int = 0
+    expected: float = math.nan
+    got: float = math.nan
+    #: Where it came from (generator name, fuzz seed, round) — enough to
+    #: re-run the originating fuzz round from the CLI.
+    provenance: dict = field(default_factory=dict)
+
+    def context(self) -> WorldContext:
+        """Rebuild the world this counterexample lives in."""
+        return WorldContext(
+            self.family,
+            self.num_vertices,
+            self.edges,
+            ordering_name=self.ordering,
+            ordering_seed=self.ordering_seed,
+        )
+
+    def describe(self) -> str:
+        f = self.failure
+        return (
+            f"[{self.adapter}] n={self.num_vertices} m={len(self.edges)} "
+            f"ordering={self.ordering} failure={f} query=({self.s},{self.t}) "
+            f"expected={self.expected} got={self.got}"
+        )
+
+
+class RecheckResult:
+    """Outcome of replaying one counterexample against current code."""
+
+    __slots__ = ("mismatch", "expected", "got", "error")
+
+    def __init__(
+        self,
+        mismatch: bool,
+        expected: float = math.nan,
+        got: float = math.nan,
+        error: Optional[str] = None,
+    ) -> None:
+        self.mismatch = mismatch
+        self.expected = expected
+        self.got = got
+        self.error = error
+
+
+def recheck(cx: Counterexample) -> RecheckResult:
+    """Rebuild the counterexample's world and re-run its single query.
+
+    Returns a mismatch (True) when the adapter still disagrees with the
+    brute-force oracle — or crashes, which the shrinker treats as just
+    as interesting as a wrong answer.
+    """
+    adapter = ADAPTERS[cx.adapter]
+    pairs = [(cx.s, cx.t)]
+    try:
+        ctx = cx.context()
+        expected = adapter.truth(ctx, cx.failure, pairs)[0]
+        got = adapter.distances(ctx, cx.failure, pairs)[0]
+    except Exception as exc:  # crash == conformance failure
+        return RecheckResult(True, error=f"{type(exc).__name__}: {exc}")
+    return RecheckResult(not adapter.agree(got, expected), expected, got)

@@ -1,0 +1,128 @@
+"""Regression corpus: persisted minimal counterexamples.
+
+Every counterexample the fuzzer finds (after shrinking) is written as a
+small JSON file under ``tests/corpus/``.  The normal pytest run replays
+each file (``tests/test_corpus.py``): a mismatch that once slipped
+through stays fixed forever, the way fuzzing corpora work in OSS-Fuzz
+and AFL projects.
+
+Files are content-addressed (adapter name + digest of the canonical
+payload), so re-finding the same minimal counterexample is idempotent
+and merge conflicts between fuzz runs cannot happen.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from pathlib import Path
+from typing import Iterator, List, Tuple, Union
+
+from repro.testing.cases import Counterexample
+
+FORMAT_VERSION = 1
+
+
+def _encode_dist(x: float) -> Union[float, str]:
+    if math.isinf(x):
+        return "inf"
+    if math.isnan(x):
+        return "nan"
+    return x
+
+
+def _decode_dist(x: Union[float, str]) -> float:
+    if x == "inf":
+        return math.inf
+    if x == "nan":
+        return math.nan
+    return float(x)
+
+
+def _decode_failure(raw: List) -> Tuple:
+    kind = raw[0]
+    if kind == "dual":
+        return (kind, tuple(raw[1]), tuple(raw[2]))
+    return tuple([kind] + [int(x) for x in raw[1:]])
+
+
+def to_payload(cx: Counterexample) -> dict:
+    """JSON-safe dict for one counterexample."""
+    return {
+        "format": FORMAT_VERSION,
+        "adapter": cx.adapter,
+        "family": cx.family,
+        "num_vertices": cx.num_vertices,
+        "edges": [list(e) for e in cx.edges],
+        "failure": list(
+            cx.failure
+            if cx.failure[0] != "dual"
+            else (cx.failure[0], list(cx.failure[1]), list(cx.failure[2]))
+        ),
+        "s": cx.s,
+        "t": cx.t,
+        "ordering": cx.ordering,
+        "ordering_seed": cx.ordering_seed,
+        "expected": _encode_dist(cx.expected),
+        "got": _encode_dist(cx.got),
+        "provenance": cx.provenance,
+    }
+
+
+def from_payload(payload: dict) -> Counterexample:
+    """Rebuild a counterexample from its JSON payload."""
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported corpus format {payload.get('format')!r} "
+            f"(this build reads format {FORMAT_VERSION})"
+        )
+    return Counterexample(
+        adapter=payload["adapter"],
+        family=payload["family"],
+        num_vertices=int(payload["num_vertices"]),
+        edges=[tuple(e) for e in payload["edges"]],
+        failure=_decode_failure(payload["failure"]),
+        s=int(payload["s"]),
+        t=int(payload["t"]),
+        ordering=payload.get("ordering", "degree"),
+        ordering_seed=int(payload.get("ordering_seed", 0)),
+        expected=_decode_dist(payload.get("expected", "nan")),
+        got=_decode_dist(payload.get("got", "nan")),
+        provenance=payload.get("provenance", {}),
+    )
+
+
+def corpus_name(cx: Counterexample) -> str:
+    """Content-addressed filename for a counterexample."""
+    payload = to_payload(cx)
+    payload.pop("provenance", None)  # provenance varies run to run
+    payload.pop("got", None)  # depends on the buggy code, not the case
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode()).hexdigest()[:12]
+    return f"{cx.adapter}-{digest}.json"
+
+
+def save_counterexample(cx: Counterexample, directory: Union[str, Path]) -> Path:
+    """Write one counterexample; returns its path (idempotent)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / corpus_name(cx)
+    path.write_text(json.dumps(to_payload(cx), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_counterexample(path: Union[str, Path]) -> Counterexample:
+    """Read one corpus file back into a counterexample."""
+    return from_payload(json.loads(Path(path).read_text()))
+
+
+def iter_corpus(
+    directory: Union[str, Path]
+) -> Iterator[Tuple[Path, Counterexample]]:
+    """Yield ``(path, counterexample)`` for every corpus file, sorted."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        yield path, load_counterexample(path)

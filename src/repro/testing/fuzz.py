@@ -1,0 +1,471 @@
+"""The differential fuzz loop: generators × orderings × engines × oracles.
+
+One fuzz *round* draws a random graph from a generator family, derives
+its weighted and directed siblings, builds every applicable engine, and
+compares each registered adapter (:data:`repro.testing.adapters.ADAPTERS`)
+against its brute-force oracle:
+
+* on small graphs, **every** edge failure and **every** (s, t) pair is
+  checked exhaustively — the regime where Theorems 1–3 are fully
+  enumerable;
+* on larger graphs the harness falls back to stratified samples that
+  always include the highest-degree edge (the failure most likely to
+  produce large affected sets) plus uniform picks.
+
+Everything is seeded: round ``i`` of ``fuzz(seed=s)`` always generates
+the same graphs, failures and pairs, so a counterexample's provenance
+(seed, round, generator) reproduces the raw finding and the shrunk
+corpus file reproduces the minimal one.
+
+Graph self-loops and parallel edges are rejected by :class:`Graph`
+itself, so the adversarial generators lean on the other degenerate
+shapes: disconnected multi-component unions, isolated vertices, trees
+(every edge a bridge), and star-fringed tails.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.testing.adapters import (
+    ADAPTERS,
+    ORDERING_NAMES,
+    WorldContext,
+    derive_directed_arcs,
+    derive_weighted_edges,
+)
+from repro.testing.cases import Counterexample
+from repro.testing.corpus import save_counterexample
+from repro.testing.shrink import shrink
+
+Pair = Tuple[int, int]
+
+EXHAUSTIVE_EDGE_LIMIT = 40
+"""Check every edge failure when the graph has at most this many edges."""
+
+EXHAUSTIVE_PAIR_LIMIT = 12
+"""Check every (s, t) pair when the graph has at most this many vertices."""
+
+SAMPLED_FAILURES = 20
+SAMPLED_PAIRS = 60
+
+
+# ---------------------------------------------------------------------------
+# Graph generator registry
+# ---------------------------------------------------------------------------
+
+
+def _seed(rng: random.Random) -> int:
+    return rng.randrange(2**31)
+
+
+def _gen_er(rng: random.Random) -> Graph:
+    n = rng.randint(8, 20)
+    m = rng.randint(n - 1, min(2 * n, n * (n - 1) // 2))
+    return generators.erdos_renyi_gnm(n, m, seed=_seed(rng))
+
+
+def _gen_ba(rng: random.Random) -> Graph:
+    n = rng.randint(8, 20)
+    return generators.barabasi_albert(n, rng.randint(1, 3), seed=_seed(rng))
+
+
+def _gen_ws(rng: random.Random) -> Graph:
+    n = rng.randint(8, 20)
+    return generators.watts_strogatz(
+        n, k=rng.choice((2, 4)), beta=rng.random(), seed=_seed(rng)
+    )
+
+
+def _gen_powerlaw(rng: random.Random) -> Graph:
+    n = rng.randint(8, 20)
+    return generators.powerlaw_cluster(
+        n, rng.randint(1, 3), p=rng.random(), seed=_seed(rng)
+    )
+
+
+def _gen_community(rng: random.Random) -> Graph:
+    n = rng.randint(9, 18)
+    return generators.planted_partition(
+        n, communities=rng.randint(2, 3), p_in=0.7, p_out=0.1, seed=_seed(rng)
+    )
+
+
+def _gen_grid(rng: random.Random) -> Graph:
+    return generators.grid_graph(rng.randint(2, 4), rng.randint(3, 5))
+
+
+def _gen_tree(rng: random.Random) -> Graph:
+    return generators.random_tree(rng.randint(6, 18), seed=_seed(rng))
+
+
+def _gen_geometric(rng: random.Random) -> Graph:
+    return generators.random_geometric(
+        rng.randint(10, 20), radius=0.35, seed=_seed(rng)
+    )
+
+
+def _gen_disconnected(rng: random.Random) -> Graph:
+    """Adversarial: multi-component disjoint union."""
+    parts = []
+    for _ in range(rng.randint(2, 3)):
+        n = rng.randint(4, 8)
+        m = rng.randint(3, min(9, n * (n - 1) // 2))
+        parts.append(generators.erdos_renyi_gnm(n, m, seed=_seed(rng)))
+    return generators.compose_disjoint(parts)
+
+
+def _gen_tailed(rng: random.Random) -> Graph:
+    """Adversarial: dense core with a star-heavy degree-1 fringe."""
+    core = generators.erdos_renyi_gnm(rng.randint(6, 10), rng.randint(8, 14), seed=_seed(rng))
+    return generators.attach_tail(core, extra=rng.randint(2, 6), seed=_seed(rng))
+
+
+def _gen_isolated(rng: random.Random) -> Graph:
+    """Adversarial: random graph plus unreachable isolated vertices."""
+    base = generators.erdos_renyi_gnm(
+        rng.randint(6, 12), rng.randint(6, 16), seed=_seed(rng)
+    )
+    extra = rng.randint(1, 4)
+    g = Graph(base.num_vertices + extra)
+    for u, v in base.edges():
+        g.add_edge(u, v)
+    return g
+
+
+GENERATORS: Dict[str, Callable[[random.Random], Graph]] = {
+    "er": _gen_er,
+    "ba": _gen_ba,
+    "ws": _gen_ws,
+    "powerlaw": _gen_powerlaw,
+    "community": _gen_community,
+    "grid": _gen_grid,
+    "tree": _gen_tree,
+    "geometric": _gen_geometric,
+    "disconnected": _gen_disconnected,
+    "tailed": _gen_tailed,
+    "isolated": _gen_isolated,
+}
+"""Registry of fuzzable graph families (classic + adversarial shapes)."""
+
+
+# ---------------------------------------------------------------------------
+# Configuration and report
+# ---------------------------------------------------------------------------
+
+
+def parse_budget(text: str) -> float:
+    """``"30s"`` / ``"2m"`` / ``"45"`` → seconds as float."""
+    text = text.strip().lower()
+    try:
+        if text.endswith("ms"):
+            return float(text[:-2]) / 1000.0
+        if text.endswith("s"):
+            return float(text[:-1])
+        if text.endswith("m"):
+            return float(text[:-1]) * 60.0
+        return float(text)
+    except ValueError:
+        raise ValueError(f"unparseable budget {text!r} (try '30s' or '2m')") from None
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs of one fuzz run; defaults match ``sief fuzz``."""
+
+    seed: int = 0
+    budget_seconds: float = 30.0
+    max_rounds: int = 1_000_000
+    adapters: Optional[Sequence[str]] = None  # None = all registered
+    generators: Optional[Sequence[str]] = None  # None = all registered
+    corpus_dir: Optional[str] = None
+    do_shrink: bool = True
+    max_counterexamples: int = 10
+    shrink_checks: int = 400
+
+
+@dataclass
+class FuzzReport:
+    """What one fuzz run covered and what it found."""
+
+    seed: int = 0
+    rounds: int = 0
+    failures_checked: int = 0
+    queries_checked: int = 0
+    adapters_covered: Set[str] = field(default_factory=set)
+    generators_covered: Set[str] = field(default_factory=set)
+    orderings_covered: Set[str] = field(default_factory=set)
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    corpus_paths: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz seed={self.seed}: {self.rounds} rounds, "
+            f"{self.failures_checked} failure cases, "
+            f"{self.queries_checked} differential queries "
+            f"in {self.elapsed_seconds:.1f}s",
+            f"  engines:    {len(self.adapters_covered)} "
+            f"({', '.join(sorted(self.adapters_covered))})",
+            f"  generators: {len(self.generators_covered)} "
+            f"({', '.join(sorted(self.generators_covered))})",
+            f"  orderings:  {len(self.orderings_covered)} "
+            f"({', '.join(sorted(self.orderings_covered))})",
+        ]
+        if self.counterexamples:
+            lines.append(f"  MISMATCHES: {len(self.counterexamples)}")
+            for cx in self.counterexamples:
+                lines.append(f"    {cx.describe()}")
+            for path in self.corpus_paths:
+                lines.append(f"    persisted: {path}")
+        else:
+            lines.append("  no mismatches found")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The loop
+# ---------------------------------------------------------------------------
+
+
+def _sample_failures(
+    graph: Graph, rng: random.Random
+) -> List[Tuple[int, int]]:
+    """All edges when small; stratified sample (max-degree + uniform) else."""
+    edges = list(graph.edges())
+    if len(edges) <= EXHAUSTIVE_EDGE_LIMIT:
+        return edges
+    # Stratify: always include the edge at the highest-degree vertex —
+    # it has the largest affected sets — then fill uniformly.
+    edges.sort(key=lambda e: -(graph.degree(e[0]) + graph.degree(e[1])))
+    picked = edges[:2]
+    picked.extend(rng.sample(edges[2:], SAMPLED_FAILURES - 2))
+    return picked
+
+
+def _sample_pairs(n: int, rng: random.Random) -> List[Pair]:
+    """All n² pairs when small (incl. s == t); a uniform sample else."""
+    if n <= EXHAUSTIVE_PAIR_LIMIT:
+        return [(s, t) for s in range(n) for t in range(n)]
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(SAMPLED_PAIRS - 2)]
+    pairs.append((0, n - 1))
+    pairs.append((n - 1, n - 1))  # s == t must stay covered
+    return pairs
+
+
+def _adapter_run(
+    adapter, ctx: WorldContext, failure, pairs: List[Pair]
+) -> Tuple[List[float], List[float], Optional[int]]:
+    """(truth, got, crashed_pair_index) for one adapter × failure."""
+    truth = adapter.truth(ctx, failure, pairs)
+    try:
+        got = adapter.distances(ctx, failure, pairs)
+        return truth, got, None
+    except Exception:
+        # Batch crashed: bisect to the first offending pair so the
+        # counterexample pins a single query.
+        got = []
+        for i, pair in enumerate(pairs):
+            try:
+                got.extend(adapter.distances(ctx, failure, [pair]))
+            except Exception:
+                return truth, got + [math.nan], i
+        return truth, got, None
+
+
+def _record(
+    report: FuzzReport,
+    config: FuzzConfig,
+    adapter,
+    ctx: WorldContext,
+    failure,
+    pair: Pair,
+    expected: float,
+    got: float,
+    provenance: dict,
+) -> None:
+    cx = Counterexample(
+        adapter=adapter.name,
+        family=ctx.family,
+        num_vertices=ctx.num_vertices,
+        edges=list(ctx.edges),
+        failure=failure,
+        s=pair[0],
+        t=pair[1],
+        ordering=ctx.ordering_name,
+        ordering_seed=ctx.ordering_seed,
+        expected=expected,
+        got=got,
+        provenance=provenance,
+    )
+    if config.do_shrink:
+        cx = shrink(cx, max_checks=config.shrink_checks)
+    # Different raw findings frequently shrink to the same minimal case;
+    # keep one representative of each.
+    from repro.testing.corpus import corpus_name
+
+    if any(corpus_name(c) == corpus_name(cx) for c in report.counterexamples):
+        return
+    report.counterexamples.append(cx)
+    if config.corpus_dir:
+        path = save_counterexample(cx, config.corpus_dir)
+        report.corpus_paths.append(str(path))
+
+
+def fuzz(config: Optional[FuzzConfig] = None, **kwargs) -> FuzzReport:
+    """Run the differential conformance fuzz loop.
+
+    Accepts a :class:`FuzzConfig` or its fields as keyword arguments;
+    returns a :class:`FuzzReport`.  The loop stops when the time budget
+    is exhausted, ``max_rounds`` is hit, or ``max_counterexamples``
+    mismatches were found (whichever first).
+    """
+    if config is None:
+        config = FuzzConfig(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a FuzzConfig or keyword fields, not both")
+
+    adapter_names = list(config.adapters or ADAPTERS)
+    unknown = [a for a in adapter_names if a not in ADAPTERS]
+    if unknown:
+        raise ValueError(
+            f"unknown adapters {unknown}; registered: {sorted(ADAPTERS)}"
+        )
+    gen_names = list(config.generators or GENERATORS)
+    unknown = [g for g in gen_names if g not in GENERATORS]
+    if unknown:
+        raise ValueError(
+            f"unknown generators {unknown}; registered: {sorted(GENERATORS)}"
+        )
+
+    report = FuzzReport(seed=config.seed)
+    started = time.monotonic()
+    deadline = started + config.budget_seconds
+
+    for round_idx in range(config.max_rounds):
+        if time.monotonic() >= deadline:
+            break
+        if len(report.counterexamples) >= config.max_counterexamples:
+            break
+        rng = random.Random(f"{config.seed}:{round_idx}")
+        gen_name = gen_names[round_idx % len(gen_names)]
+        ordering_name = ORDERING_NAMES[round_idx % len(ORDERING_NAMES)]
+        ordering_seed = _seed(rng)
+        base = GENERATORS[gen_name](rng)
+        if base.num_edges == 0:
+            continue
+        provenance = {
+            "seed": config.seed,
+            "round": round_idx,
+            "generator": gen_name,
+        }
+        report.rounds += 1
+        report.generators_covered.add(gen_name)
+        report.orderings_covered.add(ordering_name)
+
+        base_edges = list(base.edges())
+        contexts: Dict[str, WorldContext] = {
+            "undirected": WorldContext(
+                "undirected", base.num_vertices, base_edges,
+                ordering_name, ordering_seed,
+            ),
+            "weighted": WorldContext(
+                "weighted", base.num_vertices,
+                derive_weighted_edges(base_edges, _seed(rng)),
+                ordering_name, ordering_seed,
+            ),
+            "directed": WorldContext(
+                "directed", base.num_vertices,
+                derive_directed_arcs(base_edges, _seed(rng)),
+                ordering_name, ordering_seed,
+            ),
+        }
+
+        # Failure schedule per (family, kind).
+        n = base.num_vertices
+        pairs = _sample_pairs(n, rng)
+        edge_failures = [
+            ("edge", u, v) for u, v in _sample_failures(base, rng)
+        ]
+        arcs = contexts["directed"].edges
+        if len(arcs) <= EXHAUSTIVE_EDGE_LIMIT:
+            arc_failures = [("arc", u, v) for u, v in arcs]
+        else:
+            arc_failures = [
+                ("arc", u, v)
+                for u, v in rng.sample(arcs, SAMPLED_FAILURES)
+            ]
+        node_failures = [
+            ("node", w) for w in rng.sample(range(n), min(n, 5))
+        ]
+        dual_failures = []
+        if base.num_edges >= 2:
+            for _ in range(5):
+                e1, e2 = rng.sample(base_edges, 2)
+                dual_failures.append(("dual", e1, e2))
+
+        schedule = {
+            ("undirected", "edge"): edge_failures,
+            ("weighted", "edge"): [
+                ("edge", u, v) for (_k, u, v) in edge_failures
+            ],
+            ("directed", "arc"): arc_failures,
+            ("undirected", "node"): node_failures,
+            ("undirected", "dual"): dual_failures,
+        }
+
+        for name in adapter_names:
+            adapter = ADAPTERS[name]
+            if time.monotonic() >= deadline:
+                break
+            if len(report.counterexamples) >= config.max_counterexamples:
+                break
+            if (
+                adapter.max_edges is not None
+                and len(contexts[adapter.family].edges) > adapter.max_edges
+            ):
+                continue
+            ctx = contexts[adapter.family]
+            failures = schedule.get((adapter.family, adapter.failure_kind), [])
+            for failure in failures:
+                if time.monotonic() >= deadline:
+                    break
+                if adapter.failure_kind == "node":
+                    w = failure[1]
+                    use_pairs = [p for p in pairs if w not in p]
+                else:
+                    use_pairs = pairs
+                if not use_pairs:
+                    continue
+                truth, got, crashed = _adapter_run(
+                    adapter, ctx, failure, use_pairs
+                )
+                report.failures_checked += 1
+                report.queries_checked += len(got)
+                report.adapters_covered.add(name)
+                for i, got_i in enumerate(got):
+                    bad = (
+                        (crashed is not None and i == crashed)
+                        or not adapter.agree(got_i, truth[i])
+                    )
+                    if bad:
+                        _record(
+                            report, config, adapter, ctx, failure,
+                            use_pairs[i], truth[i], got_i, provenance,
+                        )
+                        break  # one counterexample per failure case
+                if len(report.counterexamples) >= config.max_counterexamples:
+                    break
+
+    report.elapsed_seconds = time.monotonic() - started
+    return report

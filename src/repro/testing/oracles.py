@@ -1,0 +1,129 @@
+"""Brute-force ground-truth oracles for the conformance harness.
+
+Every engine the harness checks is differentially compared against a
+re-computation from first principles: BFS (or Dijkstra) on the graph
+with the failure applied.  These oracles are deliberately naive — their
+only job is to be *obviously* correct, the way PLL implementations are
+validated against plain BFS (Akiba et al.) and fault-tolerant oracles
+against exhaustive recomputation.
+
+Each oracle answers a list of ``(s, t)`` pairs for one failure, grouping
+pairs by source so a single traversal serves every target of that
+source.  Distances are floats with ``inf`` for disconnected pairs,
+matching the engines' query contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.failures.search import bfs_avoiding
+from repro.graph.traversal import (
+    UNREACHED,
+    bfs_distances,
+    bfs_distances_avoiding_edge,
+    dijkstra_distances,
+)
+from repro.labeling.query import INF
+
+Pair = Tuple[int, int]
+
+
+def _by_source(pairs: Sequence[Pair]) -> Dict[int, List[int]]:
+    grouped: Dict[int, List[int]] = {}
+    for i, (s, _t) in enumerate(pairs):
+        grouped.setdefault(s, []).append(i)
+    return grouped
+
+
+def undirected_truth(
+    graph, failed_edge: Tuple[int, int], pairs: Sequence[Pair]
+) -> List[float]:
+    """``d_{G-(u,v)}(s, t)`` by one avoiding-BFS per distinct source."""
+    out = [INF] * len(pairs)
+    for s, idxs in _by_source(pairs).items():
+        dist = bfs_distances_avoiding_edge(graph, s, failed_edge)
+        for i in idxs:
+            d = dist[pairs[i][1]]
+            out[i] = float(d) if d != UNREACHED else INF
+    return out
+
+
+def no_failure_truth(graph, pairs: Sequence[Pair]) -> List[float]:
+    """Plain ``d_G(s, t)`` — ground truth for the original labeling."""
+    out = [INF] * len(pairs)
+    for s, idxs in _by_source(pairs).items():
+        dist = bfs_distances(graph, s)
+        for i in idxs:
+            d = dist[pairs[i][1]]
+            out[i] = float(d) if d != UNREACHED else INF
+    return out
+
+
+def weighted_truth(
+    wgraph, failed_edge: Tuple[int, int], pairs: Sequence[Pair]
+) -> List[float]:
+    """``d_{G-(u,v)}(s, t)`` on a weighted graph by avoiding-Dijkstra."""
+    out = [INF] * len(pairs)
+    for s, idxs in _by_source(pairs).items():
+        dist = dijkstra_distances(wgraph, s, avoid=failed_edge)
+        for i in idxs:
+            out[i] = float(dist[pairs[i][1]])
+    return out
+
+
+def directed_truth(
+    dgraph, failed_arc: Tuple[int, int], pairs: Sequence[Pair]
+) -> List[float]:
+    """``d_{G-(u→v)}(s → t)`` by directed BFS skipping the failed arc."""
+    from collections import deque
+
+    a, b = failed_arc
+    out = [INF] * len(pairs)
+    n = dgraph.num_vertices
+    for s, idxs in _by_source(pairs).items():
+        dist = [UNREACHED] * n
+        dist[s] = 0
+        queue = deque((s,))
+        while queue:
+            x = queue.popleft()
+            d = dist[x] + 1
+            for y in dgraph.successors(x):
+                if x == a and y == b:
+                    continue
+                if dist[y] == UNREACHED:
+                    dist[y] = d
+                    queue.append(y)
+        for i in idxs:
+            d = dist[pairs[i][1]]
+            out[i] = float(d) if d != UNREACHED else INF
+    return out
+
+
+def node_truth(
+    graph, failed_vertex: int, pairs: Sequence[Pair]
+) -> List[float]:
+    """``d_{G-w}(s, t)`` by BFS that never enters the failed vertex."""
+    out = [INF] * len(pairs)
+    for s, idxs in _by_source(pairs).items():
+        dist = bfs_avoiding(graph, s, avoid_vertices=(failed_vertex,))
+        for i in idxs:
+            d = dist[pairs[i][1]]
+            out[i] = float(d) if d != UNREACHED else INF
+    return out
+
+
+def dual_truth(
+    graph,
+    e1: Tuple[int, int],
+    e2: Tuple[int, int],
+    pairs: Sequence[Pair],
+) -> List[float]:
+    """``d_{G-e1-e2}(s, t)`` by BFS skipping both failed edges."""
+    out = [INF] * len(pairs)
+    for s, idxs in _by_source(pairs).items():
+        dist = bfs_avoiding(graph, s, avoid_edges=(e1, e2))
+        for i in idxs:
+            d = dist[pairs[i][1]]
+            out[i] = float(d) if d != UNREACHED else INF
+    return out

@@ -1,0 +1,141 @@
+"""Greedy counterexample minimization.
+
+A raw fuzz counterexample arrives on a ~20-vertex random graph; nobody
+debugs those.  The shrinker reduces it to a locally minimal
+``(graph, failure, s, t)`` quadruple the way hypothesis/QuickCheck
+shrink: propose a structurally smaller candidate, replay the single
+failing query from scratch (:func:`repro.testing.cases.recheck`), keep
+the candidate iff the mismatch survives, repeat to a fixed point.
+
+Two move kinds, applied in alternating passes until neither helps:
+
+* **vertex deletion** — drop one non-pinned vertex and every incident
+  edge, compacting ids (the failure endpoints and the query pair are
+  pinned);
+* **edge deletion** — drop one non-failed edge.
+
+Every candidate rebuilds its index from nothing, so a shrunk
+counterexample is replayable in isolation — no shared state with the
+fuzz run that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Sequence, Set, Tuple
+
+from repro.testing.cases import Counterexample, recheck
+
+Failure = Tuple
+
+
+def _pinned_vertices(cx: Counterexample) -> Set[int]:
+    pinned = {cx.s, cx.t}
+    kind = cx.failure[0]
+    if kind in ("edge", "arc"):
+        pinned.update(cx.failure[1:3])
+    elif kind == "node":
+        pinned.add(cx.failure[1])
+    elif kind == "dual":
+        pinned.update(cx.failure[1])
+        pinned.update(cx.failure[2])
+    return pinned
+
+
+def _protected_edges(cx: Counterexample) -> Set[Tuple[int, int]]:
+    """Edges the candidate graph must keep (both orientations listed)."""
+    kind = cx.failure[0]
+    protected: Set[Tuple[int, int]] = set()
+    if kind == "edge":
+        u, v = cx.failure[1:3]
+        protected.update(((u, v), (v, u)))
+    elif kind == "arc":
+        protected.add(tuple(cx.failure[1:3]))
+    elif kind == "dual":
+        for u, v in (cx.failure[1], cx.failure[2]):
+            protected.update(((u, v), (v, u)))
+    return protected
+
+
+def _remap_failure(failure: Failure, remap) -> Failure:
+    kind = failure[0]
+    if kind in ("edge", "arc"):
+        return (kind, remap(failure[1]), remap(failure[2]))
+    if kind == "node":
+        return (kind, remap(failure[1]))
+    if kind == "dual":
+        (a, b), (c, d) = failure[1], failure[2]
+        return (kind, (remap(a), remap(b)), (remap(c), remap(d)))
+    raise ValueError(f"unknown failure kind {kind!r}")
+
+
+def _without_vertex(cx: Counterexample, v: int) -> Counterexample:
+    """Candidate with vertex ``v`` (and incident edges) removed."""
+
+    def remap(x: int) -> int:
+        return x - 1 if x > v else x
+
+    edges = [
+        (remap(e[0]), remap(e[1]), *e[2:])
+        for e in cx.edges
+        if v not in e[:2]
+    ]
+    return replace(
+        cx,
+        num_vertices=cx.num_vertices - 1,
+        edges=edges,
+        failure=_remap_failure(cx.failure, remap),
+        s=remap(cx.s),
+        t=remap(cx.t),
+    )
+
+
+def _without_edge(cx: Counterexample, i: int) -> Counterexample:
+    edges = list(cx.edges)
+    del edges[i]
+    return replace(cx, edges=edges)
+
+
+def shrink(cx: Counterexample, max_checks: int = 500) -> Counterexample:
+    """Minimize ``cx`` while its recheck keeps failing.
+
+    ``max_checks`` bounds the number of from-scratch replays (each one
+    rebuilds an index); the result is locally minimal when the budget
+    allows a full quiet pass, and simply smaller otherwise.
+    """
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+
+        # Vertex pass, highest id first so compaction never disturbs the
+        # vertices still queued for trial.
+        pinned = _pinned_vertices(cx)
+        for v in range(cx.num_vertices - 1, -1, -1):
+            if v in pinned or checks >= max_checks:
+                continue
+            candidate = _without_vertex(cx, v)
+            checks += 1
+            result = recheck(candidate)
+            if result.mismatch:
+                cx = replace(
+                    candidate, expected=result.expected, got=result.got
+                )
+                pinned = _pinned_vertices(cx)
+                improved = True
+
+        # Edge pass.
+        protected = _protected_edges(cx)
+        i = len(cx.edges) - 1
+        while i >= 0 and checks < max_checks:
+            if tuple(cx.edges[i][:2]) not in protected:
+                candidate = _without_edge(cx, i)
+                checks += 1
+                result = recheck(candidate)
+                if result.mismatch:
+                    cx = replace(
+                        candidate, expected=result.expected, got=result.got
+                    )
+                    improved = True
+            i -= 1
+    return cx

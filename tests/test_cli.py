@@ -141,6 +141,92 @@ def test_impact_command(graph_file, tmp_path, capsys):
     assert "resilience over 50" in out
 
 
+class TestVerifyCommand:
+    def _build(self, graph_file, tmp_path):
+        path, _ = graph_file
+        index_file = tmp_path / "g.sief"
+        assert main(["build", str(path), "-o", str(index_file)]) == 0
+        return path, index_file
+
+    def test_verify_ok_all_levels(self, graph_file, tmp_path, capsys):
+        path, index_file = self._build(graph_file, tmp_path)
+        capsys.readouterr()
+        rc = main(["verify", str(path), str(index_file), "--sample", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ok: levels structural, affected, queries passed" in out
+
+    def test_verify_single_level(self, graph_file, tmp_path, capsys):
+        path, index_file = self._build(graph_file, tmp_path)
+        capsys.readouterr()
+        rc = main(
+            ["verify", str(path), str(index_file), "--level", "structural"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ok: levels structural passed" in out
+
+    def test_verify_mismatched_graph_exits_nonzero(
+        self, graph_file, tmp_path, capsys
+    ):
+        """An index verified against the wrong graph must fail loudly."""
+        path, index_file = self._build(graph_file, tmp_path)
+        other = generators.erdos_renyi_gnm(15, 32, seed=99)
+        other_path = tmp_path / "other.txt"
+        write_edge_list(other, other_path)
+        capsys.readouterr()
+        rc = main(["verify", str(other_path), str(index_file), "--sample", "5"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "PROBLEM:" in out
+        assert "problem(s)" in out
+
+
+class TestFuzzCommand:
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["fuzz"])
+        assert args.seed == 0
+        assert args.budget == "30s"
+        assert args.corpus == "tests/corpus"
+
+    def test_clean_fuzz_run_exits_zero(self, capsys):
+        rc = main(
+            [
+                "fuzz",
+                "--seed", "3",
+                "--budget", "2s",
+                "--adapter", "sief-scalar",
+                "--generator", "tree",
+                "--no-corpus",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no mismatches found" in out
+        assert "engines:    1 (sief-scalar)" in out
+
+    def test_clean_run_writes_no_corpus_files(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        rc = main(
+            [
+                "fuzz",
+                "--seed", "3",
+                "--budget", "1s",
+                "--adapter", "bfs-baseline",
+                "--generator", "er",
+                "--corpus", str(corpus),
+            ]
+        )
+        assert rc == 0
+        assert not list(corpus.glob("*.json")) if corpus.exists() else True
+
+    def test_unknown_adapter_is_a_clean_error(self, capsys):
+        rc = main(["fuzz", "--budget", "1s", "--adapter", "nope"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
 def test_error_reported_as_exit_code_2(tmp_path, capsys):
     missing = tmp_path / "missing.sief"
     missing.write_bytes(b"garbage!")

@@ -1,0 +1,46 @@
+"""Regression replay of the fuzz corpus (``tests/corpus/*.json``).
+
+Every file is a shrunk counterexample some past fuzz run found — a
+(graph, failure, s, t) quadruple on which an engine once disagreed with
+its brute-force oracle.  Replaying them on every test run keeps those
+bugs fixed forever, OSS-Fuzz style.  New files appear via
+``sief fuzz`` (or :func:`repro.testing.fuzz` with a ``corpus_dir``);
+they are content-addressed, so re-finding a known case is a no-op.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.testing import iter_corpus, recheck
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+CORPUS = list(iter_corpus(CORPUS_DIR))
+
+
+def test_corpus_is_seeded():
+    """The repo ships at least the ISSUE acceptance counterexamples."""
+    assert len(CORPUS) >= 1
+
+
+@pytest.mark.parametrize(
+    "path,cx", CORPUS, ids=[p.name for p, _cx in CORPUS]
+)
+def test_corpus_case_stays_fixed(path, cx):
+    result = recheck(cx)
+    assert not result.mismatch, (
+        f"{path.name} regressed: {cx.describe()} — "
+        f"recheck expected={result.expected} got={result.got} "
+        f"error={result.error}"
+    )
+
+
+@pytest.mark.parametrize(
+    "path,cx", CORPUS, ids=[p.name for p, _cx in CORPUS]
+)
+def test_corpus_case_is_small(path, cx):
+    """Corpus files are *shrunk* counterexamples; keep them debuggable."""
+    assert cx.num_vertices <= 12, f"{path.name} was committed unshrunk"

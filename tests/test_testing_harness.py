@@ -1,0 +1,361 @@
+"""Tests *of* the conformance harness itself (``repro.testing``).
+
+A differential fuzzer is only trustworthy if the harness around it is:
+the oracles must be right, the registries complete, the shrinker must
+preserve mismatches while minimizing, the corpus must roundtrip — and,
+most importantly, the whole loop must actually *catch* an injected bug
+and shrink it to a debuggable size.  That last property is checked here
+by monkeypatching an off-by-one into the Case-4 evaluation and running
+the real fuzz loop against it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import replace
+
+import pytest
+
+import repro.core.query as core_query
+from repro.graph.graph import Graph
+from repro.graph.digraph import DiGraph
+from repro.graph.weighted import WeightedGraph
+from repro.testing import (
+    ADAPTERS,
+    GENERATORS,
+    ORDERING_NAMES,
+    Counterexample,
+    FuzzConfig,
+    fuzz,
+    iter_corpus,
+    load_counterexample,
+    parse_budget,
+    recheck,
+    save_counterexample,
+    shrink,
+)
+from repro.testing import oracles
+from repro.testing.corpus import corpus_name, from_payload, to_payload
+
+INF = math.inf
+
+
+# ---------------------------------------------------------------------------
+# Registries
+# ---------------------------------------------------------------------------
+
+
+class TestRegistries:
+    def test_adapter_coverage_floor(self):
+        """ISSUE acceptance: at least 8 engines behind the protocol."""
+        assert len(ADAPTERS) >= 8
+
+    def test_adapters_span_families_and_failure_kinds(self):
+        families = {a.family for a in ADAPTERS.values()}
+        kinds = {a.failure_kind for a in ADAPTERS.values()}
+        assert families == {"undirected", "weighted", "directed"}
+        assert kinds == {"edge", "arc", "node", "dual"}
+
+    def test_generator_coverage_floor(self):
+        """ISSUE acceptance: at least 5 graph families."""
+        assert len(GENERATORS) >= 5
+        assert {"er", "ba", "ws", "grid", "tree", "disconnected"} <= set(
+            GENERATORS
+        )
+
+    def test_every_ordering_strategy_is_cycled(self):
+        from repro.order.strategies import STRATEGIES
+
+        assert set(ORDERING_NAMES) == set(STRATEGIES)
+
+    def test_adapter_names_match_registry_keys(self):
+        for name, adapter in ADAPTERS.items():
+            assert adapter.name == name
+
+
+# ---------------------------------------------------------------------------
+# Oracles — checked against hand-computed answers
+# ---------------------------------------------------------------------------
+
+
+class TestOracles:
+    def test_undirected_truth_on_cycle(self):
+        # C4: cutting (0, 1) forces the long way round.
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        pairs = [(0, 1), (1, 0), (0, 2), (0, 0)]
+        assert oracles.undirected_truth(g, (0, 1), pairs) == [3.0, 3.0, 2.0, 0.0]
+
+    def test_undirected_truth_bridge_disconnects(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        out = oracles.undirected_truth(g, (1, 2), [(0, 3), (0, 1), (2, 3)])
+        assert out == [INF, 1.0, 1.0]
+
+    def test_weighted_truth_prefers_light_detour(self):
+        # Direct edge weight 5, detour 0.5 + 0.5 = 1.
+        wg = WeightedGraph(3, [(0, 1, 5.0), (0, 2, 0.5), (2, 1, 0.5)])
+        out = oracles.weighted_truth(wg, (0, 2), [(0, 1), (0, 2)])
+        assert out == [5.0, 5.5]
+
+    def test_directed_truth_respects_orientation(self):
+        # Directed triangle 0→1→2→0; failing 0→1 leaves only the long way.
+        dg = DiGraph(3, [(0, 1), (1, 2), (2, 0)])
+        out = oracles.directed_truth(dg, (0, 1), [(0, 1), (1, 0), (0, 2)])
+        assert out == [INF, 2.0, INF]
+
+    def test_node_truth_excludes_failed_vertex_paths(self):
+        # Star around 1 plus a bypass 0-2: removing 1 keeps 0-2 only.
+        g = Graph(4, [(0, 1), (1, 2), (1, 3), (0, 2)])
+        out = oracles.node_truth(g, 1, [(0, 2), (0, 3), (2, 0)])
+        assert out == [1.0, INF, 1.0]
+
+    def test_dual_truth_removes_both_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        out = oracles.dual_truth(g, (0, 1), (0, 2), [(0, 2), (0, 1)])
+        assert out == [2.0, 3.0]
+
+    def test_no_failure_truth_matches_bfs(self):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        out = oracles.no_failure_truth(g, [(0, 2), (0, 3), (4, 3)])
+        assert out == [2.0, INF, 1.0]
+
+
+# ---------------------------------------------------------------------------
+# Budget parsing and config validation
+# ---------------------------------------------------------------------------
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [("30s", 30.0), ("2m", 120.0), ("45", 45.0), ("500ms", 0.5)],
+    )
+    def test_parse_budget(self, text, seconds):
+        assert parse_budget(text) == seconds
+
+    def test_parse_budget_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_budget("soon")
+
+    def test_unknown_adapter_rejected(self):
+        with pytest.raises(ValueError, match="unknown adapters"):
+            fuzz(budget_seconds=0.1, adapters=["sief-scalar", "nope"])
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ValueError, match="unknown generators"):
+            fuzz(budget_seconds=0.1, generators=["er", "nope"])
+
+    def test_config_and_kwargs_are_exclusive(self):
+        with pytest.raises(TypeError, match="not both"):
+            fuzz(FuzzConfig(), seed=1)
+
+
+# ---------------------------------------------------------------------------
+# A clean mini fuzz run
+# ---------------------------------------------------------------------------
+
+
+class TestMiniFuzz:
+    def test_clean_run_is_green_and_deterministic(self):
+        config = dict(
+            seed=11,
+            budget_seconds=600.0,
+            max_rounds=4,
+            adapters=["sief-scalar", "sief-batch", "bfs-baseline"],
+            generators=["er", "tree"],
+            do_shrink=False,
+        )
+        report = fuzz(**config)
+        assert report.ok
+        assert report.rounds == 4
+        assert report.failures_checked > 0
+        assert report.queries_checked > 0
+        assert report.adapters_covered == {
+            "sief-scalar", "sief-batch", "bfs-baseline",
+        }
+        assert report.generators_covered == {"er", "tree"}
+        assert "no mismatches" in report.summary()
+        # Same seed, same coverage counts: the loop is reproducible.
+        again = fuzz(**config)
+        assert again.queries_checked == report.queries_checked
+        assert again.failures_checked == report.failures_checked
+
+
+# ---------------------------------------------------------------------------
+# Corpus serialization
+# ---------------------------------------------------------------------------
+
+
+def _sample_cx(**overrides):
+    base = Counterexample(
+        adapter="sief-scalar",
+        family="undirected",
+        num_vertices=3,
+        edges=[(0, 1), (0, 2), (1, 2)],
+        failure=("edge", 0, 1),
+        s=0,
+        t=1,
+        ordering="closeness",
+        ordering_seed=7,
+        expected=2.0,
+        got=3.0,
+        provenance={"seed": 0, "round": 4, "generator": "er"},
+    )
+    return replace(base, **overrides)
+
+
+class TestCorpus:
+    def test_payload_roundtrip(self):
+        cx = _sample_cx()
+        assert from_payload(to_payload(cx)) == cx
+
+    def test_payload_roundtrip_dual_failure_and_inf(self):
+        cx = _sample_cx(
+            adapter="dual-oracle",
+            failure=("dual", (0, 1), (1, 2)),
+            expected=INF,
+            got=math.nan,
+        )
+        back = from_payload(to_payload(cx))
+        assert back.failure == ("dual", (0, 1), (1, 2))
+        assert back.expected == INF
+        assert math.isnan(back.got)
+
+    def test_payload_is_json_safe(self):
+        cx = _sample_cx(expected=INF)
+        text = json.dumps(to_payload(cx))  # must not need allow_nan tricks
+        assert '"inf"' in text
+
+    def test_unsupported_format_rejected(self):
+        payload = to_payload(_sample_cx())
+        payload["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            from_payload(payload)
+
+    def test_name_ignores_provenance_and_got(self):
+        a = _sample_cx()
+        b = _sample_cx(got=4.0, provenance={"seed": 9, "round": 1})
+        c = _sample_cx(t=2)
+        assert corpus_name(a) == corpus_name(b)
+        assert corpus_name(a) != corpus_name(c)
+
+    def test_save_load_iter(self, tmp_path):
+        cx = _sample_cx()
+        path = save_counterexample(cx, tmp_path)
+        assert path.parent == tmp_path
+        assert load_counterexample(path) == cx
+        # Idempotent: saving again lands on the same file.
+        assert save_counterexample(cx, tmp_path) == path
+        listing = list(iter_corpus(tmp_path))
+        assert listing == [(path, cx)]
+
+    def test_iter_missing_directory_is_empty(self, tmp_path):
+        assert list(iter_corpus(tmp_path / "nowhere")) == []
+
+
+# ---------------------------------------------------------------------------
+# Recheck and shrink
+# ---------------------------------------------------------------------------
+
+
+def _install_off_by_one(monkeypatch):
+    """Inject the ISSUE's acceptance bug: Case 4 answers are one too big."""
+    original = core_query._case4_eval
+
+    def buggy(labeling, sl, low):
+        d = original(labeling, sl, low)
+        return d if math.isinf(d) else d + 1
+
+    monkeypatch.setattr(core_query, "_case4_eval", buggy)
+
+
+class TestRecheck:
+    def test_correct_code_has_no_mismatch(self):
+        result = recheck(_sample_cx())
+        assert not result.mismatch
+        assert result.expected == 2.0 == result.got
+
+    def test_crash_counts_as_mismatch(self):
+        result = recheck(_sample_cx(s=99))  # out-of-range query vertex
+        assert result.mismatch
+        assert result.error is not None
+
+    def test_injected_bug_rechecks_as_mismatch(self, monkeypatch):
+        _install_off_by_one(monkeypatch)
+        result = recheck(_sample_cx())
+        assert result.mismatch
+        assert result.expected == 2.0
+        assert result.got == 3.0
+
+
+class TestShrink:
+    def test_shrink_strips_irrelevant_structure(self, monkeypatch):
+        """A triangle counterexample padded with a dangling path and a
+        chord must shrink back down, keeping failure and query pinned."""
+        _install_off_by_one(monkeypatch)
+        fat = _sample_cx(
+            num_vertices=6,
+            edges=[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (1, 4)],
+        )
+        assert recheck(fat).mismatch  # the padding kept it failing
+        slim = shrink(fat)
+        assert slim.num_vertices == 3
+        assert len(slim.edges) == 3
+        assert slim.failure == ("edge", 0, 1)
+        assert (slim.s, slim.t) == (0, 1)
+        assert recheck(slim).mismatch  # still a counterexample
+
+    def test_shrink_is_identity_on_minimal_case(self, monkeypatch):
+        _install_off_by_one(monkeypatch)
+        cx = _sample_cx()
+        slim = shrink(cx)
+        assert slim.num_vertices == cx.num_vertices
+        assert slim.edges == cx.edges
+
+    def test_shrink_respects_check_budget(self, monkeypatch):
+        _install_off_by_one(monkeypatch)
+        fat = _sample_cx(
+            num_vertices=6,
+            edges=[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (1, 4)],
+        )
+        slim = shrink(fat, max_checks=0)
+        assert slim.num_vertices == fat.num_vertices  # no budget, no moves
+
+
+# ---------------------------------------------------------------------------
+# End to end: the fuzzer catches an injected bug and shrinks it
+# ---------------------------------------------------------------------------
+
+
+class TestInjectedBugEndToEnd:
+    def test_fuzzer_catches_and_shrinks_case4_off_by_one(
+        self, monkeypatch, tmp_path
+    ):
+        _install_off_by_one(monkeypatch)
+        report = fuzz(
+            seed=0,
+            budget_seconds=120.0,
+            adapters=["sief-scalar"],
+            generators=["er"],
+            corpus_dir=str(tmp_path),
+            max_counterexamples=1,
+            shrink_checks=300,
+        )
+        assert not report.ok
+        assert len(report.counterexamples) == 1
+        cx = report.counterexamples[0]
+        # ISSUE acceptance: shrunk to a ≤ 12-vertex counterexample.
+        assert cx.num_vertices <= 12
+        assert cx.got == cx.expected + 1  # the injected off-by-one, exactly
+        assert cx.provenance["generator"] == "er"
+        # Persisted, content-addressed, and replayable from disk.
+        assert report.corpus_paths
+        saved = load_counterexample(report.corpus_paths[0])
+        assert recheck(saved).mismatch
+        assert "MISMATCHES" in report.summary()
+
+        # With the bug reverted the same corpus file rechecks clean —
+        # exactly the regression-replay contract tests/test_corpus.py
+        # enforces for every file in tests/corpus/.
+        monkeypatch.undo()
+        assert not recheck(saved).mismatch
