@@ -143,7 +143,40 @@ def bench_sief_queries(graph, listed, frozen, num_edges: int, count: int):
     }
 
 
-def run(vertices: int, attach: int, queries: int, sief_edges: int, out: Path):
+def run(
+    vertices: int,
+    attach: int,
+    queries: int,
+    sief_edges: int,
+    out: Path,
+    metrics_out: Path = None,
+):
+    """Run the benchmark; optionally emit a metrics sidecar.
+
+    A registry is installed only when ``metrics_out`` is given — the
+    measured throughput numbers stay instrumentation-free by default, so
+    comparing a run with and without the flag doubles as an overhead
+    measurement.
+    """
+    from repro.obs import MetricsRegistry, TraceRecorder, hooks, write_json_lines
+
+    registry = recorder = None
+    if metrics_out is not None:
+        registry = MetricsRegistry()
+        recorder = TraceRecorder(capacity=4096)
+        hooks.install(registry, recorder)
+    try:
+        report = _run_impl(vertices, attach, queries, sief_edges, out)
+    finally:
+        if registry is not None:
+            hooks.uninstall()
+    if registry is not None:
+        write_json_lines(registry, metrics_out, recorder)
+        print(f"metrics sidecar written to {metrics_out}", flush=True)
+    return report
+
+
+def _run_impl(vertices: int, attach: int, queries: int, sief_edges: int, out: Path):
     print(f"generating BA graph: n={vertices}, attach={attach}", flush=True)
     graph = generators.barabasi_albert(vertices, attach, seed=GRAPH_SEED)
 
@@ -219,6 +252,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="emit a JSON-lines metrics sidecar (installs a registry; "
+        "off by default so throughput numbers stay uninstrumented)",
+    )
+    parser.add_argument(
         "--assert-speedup",
         type=float,
         default=None,
@@ -226,7 +266,12 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     report = run(
-        args.vertices, args.attach, args.queries, args.sief_edges, args.out
+        args.vertices,
+        args.attach,
+        args.queries,
+        args.sief_edges,
+        args.out,
+        metrics_out=args.metrics_out,
     )
     if args.assert_speedup is not None:
         speedup = report["label_queries"]["batch_over_scalar_list"]

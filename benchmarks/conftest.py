@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.bench.runner import get_context
+from repro.obs import MetricsRegistry, hooks, write_json_lines
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -28,12 +29,33 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session", autouse=True)
+def obs_registry():
+    """One metrics registry active for the whole bench session.
+
+    Every build and query the benchmarks run feeds it; ``emit`` snapshots
+    it into a ``<name>.metrics.jsonl`` sidecar next to each rendered
+    result (cumulative at the moment of emission), and the full session
+    snapshot lands in ``results/session.metrics.jsonl`` at teardown.
+    """
+    registry = MetricsRegistry()
+    prev = (hooks.registry, hooks.tracer)
+    hooks.install(registry)
+    try:
+        yield registry
+    finally:
+        hooks.registry, hooks.tracer = prev
+        RESULTS_DIR.mkdir(exist_ok=True)
+        write_json_lines(registry, RESULTS_DIR / "session.metrics.jsonl")
+
+
 @pytest.fixture(scope="session")
-def emit(results_dir):
-    """Write a rendered report to disk and echo it to stdout."""
+def emit(results_dir, obs_registry):
+    """Write a rendered report to disk (plus metrics sidecar) and echo it."""
 
     def _emit(name: str, text: str) -> None:
         (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        write_json_lines(obs_registry, results_dir / f"{name}.metrics.jsonl")
         print(f"\n{text}\n")
 
     return _emit

@@ -66,6 +66,8 @@ from repro.analysis import (
     resilience_profile,
     vickrey_prices,
 )
+from repro.obs import MetricsRegistry, TraceRecorder
+from repro.obs import installed as metrics_installed
 
 __version__ = "1.0.0"
 
@@ -113,5 +115,9 @@ __all__ = [
     "edge_worth",
     "vickrey_prices",
     "resilience_profile",
+    # observability
+    "MetricsRegistry",
+    "TraceRecorder",
+    "metrics_installed",
     "__version__",
 ]

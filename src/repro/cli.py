@@ -216,12 +216,91 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             do_shrink=not args.no_shrink,
             max_counterexamples=args.max_counterexamples,
         )
-        report = fuzz(config)
+        if args.metrics_out:
+            from repro.obs import (
+                MetricsRegistry,
+                TraceRecorder,
+                installed,
+                write_json_lines,
+            )
+
+            registry = MetricsRegistry()
+            recorder = TraceRecorder(capacity=4096)
+            with installed(registry, recorder):
+                report = fuzz(config)
+            write_json_lines(registry, args.metrics_out, recorder)
+            print(f"metrics sidecar written to {args.metrics_out}")
+        else:
+            report = fuzz(config)
     except ValueError as exc:  # unknown adapter/generator, bad budget
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.core.builder import SIEFBuilder
+    from repro.core.query import SIEFQueryEngine
+    from repro.graph import generators
+    from repro.labeling.pll import build_pll
+    from repro.obs import (
+        MetricsRegistry,
+        TraceRecorder,
+        installed,
+        to_json_lines,
+        to_prometheus_text,
+    )
+
+    if args.graph:
+        from repro.graph.io import read_edge_list
+
+        graph, _names = read_edge_list(args.graph)
+    else:
+        graph = generators.barabasi_albert(
+            args.vertices, args.attach, seed=args.seed
+        )
+    print(
+        f"workload graph: n={graph.num_vertices}, m={graph.num_edges}",
+        file=sys.stderr,
+    )
+
+    rng = random.Random(args.seed)
+    edges = sorted(graph.edges())
+    cases = rng.sample(edges, min(args.cases, len(edges)))
+
+    registry = MetricsRegistry()
+    recorder = TraceRecorder(capacity=args.span_capacity)
+    with installed(registry, recorder):
+        labeling = build_pll(graph)
+        index, _report = SIEFBuilder(graph, labeling).build(edges=cases)
+        engine = SIEFQueryEngine(index)
+        n = graph.num_vertices
+        per_case = max(1, args.queries // max(1, len(cases)))
+        for edge in cases:
+            pairs = [
+                (rng.randrange(n), rng.randrange(n)) for _ in range(per_case)
+            ]
+            engine.batch_query(edge, pairs)
+            for s, t in pairs[: min(per_case, args.scalar_queries)]:
+                engine.distance(s, t, edge)
+
+    if not recorder.balanced:  # pragma: no cover - instrumentation bug
+        print("warning: span stack unbalanced after workload", file=sys.stderr)
+    if args.format == "prom":
+        text = to_prometheus_text(registry)
+    else:
+        text = to_json_lines(registry, recorder)
+    if args.out == "-":
+        print(text, end="")
+    else:
+        from pathlib import Path
+
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"metrics written to {args.out}", file=sys.stderr)
+    return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -365,7 +444,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--no-shrink", action="store_true")
     fuzz.add_argument("--max-counterexamples", type=int, default=10)
+    fuzz.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write a JSON-lines metrics sidecar for the whole run",
+    )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run an instrumented workload and dump a metrics snapshot",
+    )
+    metrics.add_argument(
+        "--graph",
+        default=None,
+        help="edge-list file to load (default: generated BA graph)",
+    )
+    metrics.add_argument("--vertices", type=int, default=400)
+    metrics.add_argument("--attach", type=int, default=3)
+    metrics.add_argument(
+        "--cases", type=int, default=5, help="failure cases to build"
+    )
+    metrics.add_argument(
+        "--queries", type=int, default=2000, help="total batch queries"
+    )
+    metrics.add_argument(
+        "--scalar-queries",
+        type=int,
+        default=200,
+        help="scalar queries per failure case (cap)",
+    )
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument(
+        "--format",
+        choices=["jsonl", "prom"],
+        default="jsonl",
+        help="jsonl sidecar or Prometheus text exposition",
+    )
+    metrics.add_argument(
+        "--out", "-o", default="-", help="output path ('-' = stdout)"
+    )
+    metrics.add_argument("--span-capacity", type=int, default=1024)
+    metrics.set_defaults(func=_cmd_metrics)
 
     return parser
 

@@ -25,6 +25,8 @@ from repro.graph.graph import Graph, normalize_edge
 from repro.graph.traversal import bfs_distances
 from repro.labeling.label import Labeling
 from repro.labeling.pll import build_pll
+from repro.obs import hooks as _obs
+from repro.obs.metrics import SIZE_EDGES
 
 Edge = Tuple[int, int]
 
@@ -32,6 +34,37 @@ RELABEL_ALGORITHMS: Dict[str, Callable] = {
     "bfs_aff": build_supplemental_bfs_aff,
     "bfs_all": build_supplemental_bfs_all,
 }
+
+
+def record_case_obs(reg, record: "EdgeBuildRecord") -> None:
+    """Record one built failure case into a metrics registry.
+
+    The single definition serves the serial builder, the lazy index and
+    the parallel workers — which is what makes the parallel-vs-serial
+    metrics-parity invariant (worker registries merged at join must sum
+    to the serial totals) hold by construction for the deterministic
+    counters.  Timing histograms are recorded too but are machine-
+    dependent; parity is only promised for the counters.
+    """
+    reg.counter("sief.build.cases").inc()
+    reg.counter("sief.build.relabel_invocations").inc()
+    reg.counter("sief.build.affected_vertices").inc(record.affected_total)
+    reg.counter("sief.build.supplemental_entries").inc(
+        record.supplemental_entries
+    )
+    reg.counter("sief.build.relabel_expanded").inc(record.relabel_expanded)
+    reg.histogram("sief.build.affected_per_case", SIZE_EDGES).observe(
+        record.affected_total
+    )
+    reg.histogram("sief.build.entries_per_case", SIZE_EDGES).observe(
+        record.supplemental_entries
+    )
+    reg.histogram("sief.build.identify_seconds").observe(
+        record.identify_seconds
+    )
+    reg.histogram("sief.build.relabel_seconds").observe(
+        record.relabel_seconds
+    )
 
 
 @dataclass(frozen=True)
@@ -151,6 +184,9 @@ class SIEFBuilder:
             relabel_seconds=t2 - t1,
             relabel_expanded=si.search_expanded,
         )
+        reg = _obs.registry
+        if reg is not None:
+            record_case_obs(reg, record)
         return si, record
 
     # -- full build ----------------------------------------------------------
@@ -173,21 +209,26 @@ class SIEFBuilder:
         records: List[EdgeBuildRecord] = []
         dist_buf = [-1] * self.graph.num_vertices
 
+        reg = _obs.registry
         current_u = -1
         du: Optional[List[int]] = None
-        for u, v in edge_list:
-            t0 = time.perf_counter()
-            if u != current_u:
-                current_u = u
-                du = bfs_distances(self.graph, u)
-            dv = bfs_distances(self.graph, v)
-            affected = identify_affected(self.graph, u, v, dist_u=du, dist_v=dv)
-            t1 = time.perf_counter()
-            si = self._relabel(self.graph, self.labeling, affected, dist_buf=dist_buf)
-            t2 = time.perf_counter()
-            index.add_supplement((u, v), si)
-            records.append(
-                EdgeBuildRecord(
+        with _obs.span("sief.build"):
+            for u, v in edge_list:
+                t0 = time.perf_counter()
+                if u != current_u:
+                    current_u = u
+                    du = bfs_distances(self.graph, u)
+                dv = bfs_distances(self.graph, v)
+                affected = identify_affected(
+                    self.graph, u, v, dist_u=du, dist_v=dv
+                )
+                t1 = time.perf_counter()
+                si = self._relabel(
+                    self.graph, self.labeling, affected, dist_buf=dist_buf
+                )
+                t2 = time.perf_counter()
+                index.add_supplement((u, v), si)
+                record = EdgeBuildRecord(
                     edge=(u, v),
                     affected_u=len(affected.side_u),
                     affected_v=len(affected.side_v),
@@ -196,7 +237,9 @@ class SIEFBuilder:
                     relabel_seconds=t2 - t1,
                     relabel_expanded=si.search_expanded,
                 )
-            )
+                records.append(record)
+                if reg is not None:
+                    record_case_obs(reg, record)
         return index, BuildReport(self.algorithm, tuple(records))
 
 

@@ -22,8 +22,10 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional, Tuple, Union
 
-from repro.core.builder import RELABEL_ALGORITHMS
+from repro.core.builder import RELABEL_ALGORITHMS, record_case_obs
+from repro.core.builder import EdgeBuildRecord
 from repro.core.affected import identify_affected
+from repro.obs import hooks as _obs
 from repro.core.index import SIEFIndex
 from repro.core.query import SIEFQueryEngine
 from repro.exceptions import EdgeNotFound, IndexError_
@@ -86,17 +88,40 @@ class LazySIEFIndex:
         return self._engine.distance(s, t, failed_edge)
 
     def _ensure_case(self, u: int, v: int) -> None:
+        reg = _obs.registry
         if self._index.has_case(u, v):
             self.cache_hits += 1
+            if reg is not None:
+                reg.counter("sief.lazy.cache_hits").inc()
             return
         if not self.graph.has_edge(u, v):
             raise EdgeNotFound(u, v)
-        started = time.perf_counter()
-        affected = identify_affected(self.graph, u, v)
-        si = self._relabel(self.graph, self._index.labeling, affected)
-        self.build_seconds += time.perf_counter() - started
-        self._index.add_supplement((u, v), si)
-        self.cases_built += 1
+        if reg is not None:
+            reg.counter("sief.lazy.cache_misses").inc()
+        with _obs.span("sief.lazy.build_case"):
+            started = time.perf_counter()
+            t0 = started
+            affected = identify_affected(self.graph, u, v)
+            t1 = time.perf_counter()
+            si = self._relabel(self.graph, self._index.labeling, affected)
+            t2 = time.perf_counter()
+            self.build_seconds += t2 - started
+            self._index.add_supplement((u, v), si)
+            self.cases_built += 1
+        if reg is not None:
+            record_case_obs(
+                reg,
+                EdgeBuildRecord(
+                    edge=normalize_edge(u, v),
+                    affected_u=len(affected.side_u),
+                    affected_v=len(affected.side_v),
+                    supplemental_entries=si.total_entries(),
+                    identify_seconds=t1 - t0,
+                    relabel_seconds=t2 - t1,
+                    relabel_expanded=si.search_expanded,
+                ),
+            )
+            reg.gauge("sief.lazy.cached_cases").set(self._index.num_cases)
 
     # -- mutation --------------------------------------------------------------
 
@@ -109,6 +134,9 @@ class LazySIEFIndex:
         wrong §4.4 case), so per-case salvage is unsafe.
         """
         _dynamic_insert(self.graph, self._index.labeling, a, b)
+        reg = _obs.registry
+        if reg is not None:
+            reg.counter("sief.lazy.insertions").inc()
         self._invalidate()
 
     def commit_failure(self, u: int, v: int) -> None:
@@ -119,13 +147,29 @@ class LazySIEFIndex:
         shrunk graph with the same ordering strategy.
         """
         self.graph.remove_edge(u, v)
+        reg = _obs.registry
+        if reg is not None:
+            reg.counter("sief.lazy.rebuilds").inc()
+            dropped = self._index.num_cases
+            if dropped:
+                reg.counter("sief.lazy.invalidated_cases").inc(dropped)
         started = time.perf_counter()
-        self._index = SIEFIndex(build_pll(self.graph))
-        self._engine = SIEFQueryEngine(self._index)
+        with _obs.span("sief.lazy.rebuild"):
+            self._index = SIEFIndex(build_pll(self.graph))
+            self._engine = SIEFQueryEngine(self._index)
         self.build_seconds += time.perf_counter() - started
         self.cases_built = 0
+        if reg is not None:
+            reg.gauge("sief.lazy.cached_cases").set(0)
 
     def _invalidate(self) -> None:
+        reg = _obs.registry
+        if reg is not None:
+            reg.counter("sief.lazy.invalidations").inc()
+            dropped = len(self._index.supplements)
+            if dropped:
+                reg.counter("sief.lazy.invalidated_cases").inc(dropped)
+            reg.gauge("sief.lazy.cached_cases").set(0)
         self._index.supplements.clear()
         self.cases_built = 0
 

@@ -24,12 +24,15 @@ from repro.core.builder import (
     RELABEL_ALGORITHMS,
     BuildReport,
     EdgeBuildRecord,
+    record_case_obs,
 )
 from repro.core.index import SIEFIndex
 from repro.exceptions import IndexError_
 from repro.graph.graph import Graph, normalize_edge
 from repro.labeling.label import Labeling
 from repro.labeling.pll import build_pll
+from repro.obs import hooks as _obs
+from repro.obs.metrics import MetricsRegistry
 
 Edge = Tuple[int, int]
 
@@ -37,17 +40,29 @@ Edge = Tuple[int, int]
 _STATE: dict = {}
 
 
-def _init_worker(graph: Graph, labeling: Labeling, algorithm: str) -> None:
+def _init_worker(
+    graph: Graph, labeling: Labeling, algorithm: str, obs: bool = False
+) -> None:
     _STATE["graph"] = graph
     _STATE["labeling"] = labeling
     _STATE["relabel"] = RELABEL_ALGORITHMS[algorithm]
+    _STATE["obs"] = obs
 
 
 def _build_chunk(edges: Sequence[Edge]):
-    """Build every case in the chunk; returns (edge, si, record) triples."""
+    """Build every case in the chunk.
+
+    Returns ``(triples, metrics_snapshot)`` where ``triples`` is the
+    list of ``(si, record)`` pairs and ``metrics_snapshot`` is the
+    chunk-local registry's snapshot (or ``None`` when observability is
+    off).  Each chunk gets its **own** registry — worker processes never
+    write the parent's — and the parent merges the snapshots at join,
+    so parallel builds report exactly the counters a serial build would.
+    """
     graph = _STATE["graph"]
     labeling = _STATE["labeling"]
     relabel = _STATE["relabel"]
+    chunk_reg = MetricsRegistry() if _STATE.get("obs") else None
     out = []
     for u, v in edges:
         t0 = time.perf_counter()
@@ -64,8 +79,10 @@ def _build_chunk(edges: Sequence[Edge]):
             relabel_seconds=t2 - t1,
             relabel_expanded=si.search_expanded,
         )
+        if chunk_reg is not None:
+            record_case_obs(chunk_reg, record)
         out.append((si, record))
-    return out
+    return out, (chunk_reg.snapshot() if chunk_reg is not None else None)
 
 
 def _chunks(items: List[Edge], count: int) -> List[List[Edge]]:
@@ -117,25 +134,32 @@ def build_sief_parallel(
 
     index = SIEFIndex(labeling)
     records: List[EdgeBuildRecord] = []
+    parent_reg = _obs.registry
+    obs_enabled = parent_reg is not None
 
-    if workers <= 1 or len(edge_list) < 4:
-        _init_worker(graph, labeling, algorithm)
-        results = [_build_chunk(edge_list)]
-    else:
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(graph, labeling, algorithm),
-        ) as pool:
-            results = pool.map(_build_chunk, _chunks(edge_list, workers * 4))
+    with _obs.span("sief.build.parallel"):
+        if workers <= 1 or len(edge_list) < 4:
+            _init_worker(graph, labeling, algorithm, obs=obs_enabled)
+            results = [_build_chunk(edge_list)]
+        else:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                ctx = multiprocessing.get_context("spawn")
+            with ctx.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(graph, labeling, algorithm, obs_enabled),
+            ) as pool:
+                results = pool.map(
+                    _build_chunk, _chunks(edge_list, workers * 4)
+                )
 
-    for chunk in results:
-        for si, record in chunk:
-            index.add_supplement(record.edge, si)
-            records.append(record)
+        for chunk, snapshot in results:
+            if snapshot is not None and parent_reg is not None:
+                parent_reg.merge_snapshot(snapshot)
+            for si, record in chunk:
+                index.add_supplement(record.edge, si)
+                records.append(record)
     records.sort(key=lambda r: r.edge)
     return index, BuildReport(algorithm, tuple(records))

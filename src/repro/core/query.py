@@ -19,6 +19,7 @@ by affected-side membership (binary search on the sorted sides):
 from __future__ import annotations
 
 import enum
+import time
 from typing import Sequence, Tuple, Union
 
 import numpy as np
@@ -32,6 +33,8 @@ from repro.labeling.query import (
     dist_query,
     validate_pairs,
 )
+from repro.obs import hooks as _obs
+from repro.obs.metrics import SIZE_EDGES
 
 Distance = Union[int, float]
 
@@ -72,8 +75,13 @@ class SIEFQueryEngine:
 
         Same answer as :meth:`distance_with_case` without the case report
         — this is the latency-critical entry point Table 4 measures, so
-        it avoids the tuple allocation and duplicate branching.
+        it avoids the tuple allocation and duplicate branching.  With no
+        metrics registry installed the only instrumentation cost is the
+        ``is None`` test below.
         """
+        reg = _obs.registry
+        if reg is not None:
+            return self._distance_instrumented(s, t, failed_edge, reg)
         index = self.index
         si = index.supplement(*failed_edge)
         affected = si.affected
@@ -88,6 +96,47 @@ class SIEFQueryEngine:
                     return _case4_eval(labeling, si.get(t), s)
                 return _case4_eval(labeling, si.get(s), t)
         return dist_query(index.labeling, s, t)
+
+    def _distance_instrumented(
+        self, s: int, t: int, failed_edge: Tuple[int, int], reg
+    ) -> Distance:
+        """:meth:`distance` with per-query metrics (registry installed).
+
+        Mirrors the classification in :meth:`distance` exactly; the
+        conformance harness's instrumented adapters assert metrics-on
+        answers equal metrics-off answers, which pins the two bodies
+        together.
+        """
+        t0 = time.perf_counter()
+        index = self.index
+        si = index.supplement(*failed_edge)
+        affected = si.affected
+        side_s = affected.contains(s)
+        cross = False
+        if side_s is not None:
+            side_t = affected.contains(t)
+            cross = side_t is not None and side_t != side_s
+        if not cross:
+            result = dist_query(index.labeling, s, t)
+        elif s == t:
+            result = 0
+        else:
+            labeling = index.labeling
+            if labeling.ordering.precedes(s, t):
+                sl, low = si.get(t), s
+            else:
+                sl, low = si.get(s), t
+            reg.histogram("sief.query.case4_hubs", SIZE_EDGES).observe(
+                len(sl.ranks)
+            )
+            result = _case4_eval(labeling, sl, low)
+        if cross:
+            reg.counter("sief.query.cross_side").inc()
+        reg.counter("sief.query.scalar").inc()
+        reg.histogram("sief.query.scalar_seconds").observe(
+            time.perf_counter() - t0
+        )
+        return result
 
     def batch_query(
         self,
@@ -107,6 +156,8 @@ class SIEFQueryEngine:
         Returns a ``float64`` array (``numpy.inf`` for disconnected
         pairs) with exactly the values :meth:`distance` returns pairwise.
         """
+        reg = _obs.registry
+        t_start = time.perf_counter() if reg is not None else 0.0
         index = self.index
         p = validate_pairs(pairs, index.labeling.num_vertices)
         if p.size == 0:
@@ -115,22 +166,31 @@ class SIEFQueryEngine:
         if labeling.offsets is None:
             labeling.freeze()
         si = index.supplement(*failed_edge)
-        s = p[:, 0]
-        t = p[:, 1]
+        with _obs.span("sief.query.batch"):
+            s = p[:, 0]
+            t = p[:, 1]
 
-        side_u = np.asarray(si.affected.side_u, dtype=np.int64)
-        side_v = np.asarray(si.affected.side_v, dtype=np.int64)
-        s_in_u = _member_sorted(side_u, s)
-        s_in_v = _member_sorted(side_v, s)
-        t_in_u = _member_sorted(side_u, t)
-        t_in_v = _member_sorted(side_v, t)
-        cross = ((s_in_u & t_in_v) | (s_in_v & t_in_u)) & (s != t)
+            side_u = np.asarray(si.affected.side_u, dtype=np.int64)
+            side_v = np.asarray(si.affected.side_v, dtype=np.int64)
+            s_in_u = _member_sorted(side_u, s)
+            s_in_v = _member_sorted(side_v, s)
+            t_in_u = _member_sorted(side_u, t)
+            t_in_v = _member_sorted(side_v, t)
+            cross = ((s_in_u & t_in_v) | (s_in_v & t_in_u)) & (s != t)
 
-        out = np.empty(len(p), dtype=np.float64)
-        if not cross.all():
-            out[~cross] = batch_dist_query(labeling, p[~cross])
-        if cross.any():
-            out[cross] = self._batch_case4(si, s[cross], t[cross])
+            out = np.empty(len(p), dtype=np.float64)
+            if not cross.all():
+                out[~cross] = batch_dist_query(labeling, p[~cross])
+            if cross.any():
+                out[cross] = self._batch_case4(si, s[cross], t[cross])
+        if reg is not None:
+            reg.counter("sief.query.batch_calls").inc()
+            reg.counter("sief.query.batch_pairs").inc(len(p))
+            reg.counter("sief.query.cross_side").inc(int(cross.sum()))
+            reg.histogram("sief.query.batch_size", SIZE_EDGES).observe(len(p))
+            reg.histogram("sief.query.batch_seconds").observe(
+                time.perf_counter() - t_start
+            )
         return out
 
     def _batch_case4(
@@ -181,6 +241,17 @@ class SIEFQueryEngine:
         self, s: int, t: int, failed_edge: Tuple[int, int]
     ) -> Tuple[Distance, QueryCase]:
         """Like :meth:`distance` but also reports the §4.4 case taken."""
+        result = self._distance_with_case_impl(s, t, failed_edge)
+        reg = _obs.registry
+        if reg is not None:
+            reg.counter(
+                f"sief.query.case.{result[1].name.lower()}"
+            ).inc()
+        return result
+
+    def _distance_with_case_impl(
+        self, s: int, t: int, failed_edge: Tuple[int, int]
+    ) -> Tuple[Distance, QueryCase]:
         labeling = self.index.labeling
         si = self.index.supplement(*failed_edge)
         affected = si.affected

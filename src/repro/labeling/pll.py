@@ -29,10 +29,38 @@ from repro.exceptions import LabelingError
 from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.labeling.label import Labeling
+from repro.obs import hooks as _obs
+from repro.obs.metrics import SIZE_EDGES
 from repro.order.ordering import VertexOrdering
 from repro.order.strategies import by_degree
 
 _UNSET = -1
+
+
+def record_labeling_obs(labeling, kind: str, seconds: float) -> None:
+    """Record one finished labeling build into the active registry.
+
+    Shared by all ``build_*pll`` variants so the metric names stay
+    uniform; a no-op when no registry is installed.  Runs one pass over
+    the per-vertex labels — after the build, never inside its hot loop.
+    """
+    reg = _obs.registry
+    if reg is None:
+        return
+    reg.counter(f"pll.build.{kind}").inc()
+    reg.histogram("pll.build.seconds").observe(seconds)
+    rows = getattr(labeling, "hub_ranks", None)
+    if rows is None:  # directed labelings carry out/in label pairs
+        rows = list(labeling.out_ranks) + list(labeling.in_ranks)
+    entries = 0
+    label_size = reg.histogram("pll.label_size", SIZE_EDGES)
+    for ranks in rows:
+        size = len(ranks)
+        entries += size
+        label_size.observe(size)
+    reg.counter("pll.build.label_entries").inc(entries)
+    reg.gauge("pll.last_build.label_entries").set(entries)
+    reg.gauge("pll.last_build.vertices").set(labeling.num_vertices)
 
 
 def _csr_ordering_by_degree(csr: CSRGraph) -> VertexOrdering:
@@ -69,6 +97,22 @@ def build_pll(
         For every pair, ``dist_query(labeling, s, t)`` equals the true
         BFS distance (``INF`` across components).
     """
+    if _obs.registry is not None or _obs.tracer is not None:
+        import time
+
+        with _obs.span("pll.build"):
+            t0 = time.perf_counter()
+            labeling = _build_pll_impl(graph, ordering, freeze=False)
+            record_labeling_obs(labeling, "bfs", time.perf_counter() - t0)
+        return labeling.freeze() if freeze else labeling
+    return _build_pll_impl(graph, ordering, freeze)
+
+
+def _build_pll_impl(
+    graph: Union[Graph, CSRGraph],
+    ordering: Optional[VertexOrdering],
+    freeze: bool,
+) -> Labeling:
     if isinstance(graph, CSRGraph):
         csr = graph
     else:

@@ -139,6 +139,23 @@ def build_directed_pll(
             dist[v] = _UNSET
         touched.clear()
 
+    from repro.obs import hooks as _obs
+
+    if _obs.registry is not None or _obs.tracer is not None:
+        import time
+
+        from repro.labeling.pll import record_labeling_obs
+
+        with _obs.span("pll.build.directed"):
+            t0 = time.perf_counter()
+            for rank, root in enumerate(ordering):
+                sweep(root, rank, forward=True)
+                sweep(root, rank, forward=False)
+            record_labeling_obs(
+                labeling, "directed_bfs", time.perf_counter() - t0
+            )
+        return labeling
+
     for rank, root in enumerate(ordering):
         sweep(root, rank, forward=True)
         sweep(root, rank, forward=False)

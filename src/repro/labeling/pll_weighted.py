@@ -48,6 +48,26 @@ def build_weighted_pll(
             f"ordering covers {len(ordering)} vertices, "
             f"graph has {wgraph.num_vertices}"
         )
+    from repro.obs import hooks as _obs
+
+    if _obs.registry is not None or _obs.tracer is not None:
+        import time
+
+        from repro.labeling.pll import record_labeling_obs
+
+        with _obs.span("pll.build.weighted"):
+            t0 = time.perf_counter()
+            labeling = _build_weighted_impl(wgraph, ordering)
+            record_labeling_obs(
+                labeling, "dijkstra", time.perf_counter() - t0
+            )
+        return labeling
+    return _build_weighted_impl(wgraph, ordering)
+
+
+def _build_weighted_impl(
+    wgraph: WeightedGraph, ordering: VertexOrdering
+) -> WeightedLabeling:
     n = wgraph.num_vertices
     base = Labeling.empty(ordering)
     labeling = WeightedLabeling(ordering, base.hub_ranks, base.hub_dists)

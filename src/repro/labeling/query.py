@@ -38,9 +38,13 @@ Two evaluation paths share this module:
 
 from __future__ import annotations
 
+import time
 from typing import List, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.obs import hooks as _obs
+from repro.obs.metrics import SIZE_EDGES
 
 INF = float("inf")
 """Distance reported for disconnected pairs."""
@@ -148,6 +152,18 @@ def dist_query(labeling, s: int, t: int) -> Distance:
     both backends; see the module docstring for how the frozen path
     evaluates.
     """
+    reg = _obs.registry
+    if reg is not None:
+        # Hub-scan length: entries Equation 1 walks for this pair.
+        if labeling.offsets is not None:
+            offsets = labeling.offsets
+            scanned = int(
+                (offsets[s + 1] - offsets[s]) + (offsets[t + 1] - offsets[t])
+            )
+        else:
+            scanned = len(labeling.hub_ranks[s]) + len(labeling.hub_ranks[t])
+        reg.counter("label.query.scalar").inc()
+        reg.histogram("label.query.hub_scan", SIZE_EDGES).observe(scanned)
     if s == t:
         return 0
     if labeling.offsets is not None:
@@ -369,6 +385,8 @@ def batch_dist_query(labeling, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
         disconnected pairs and ``0.0`` the ``s == t`` pairs.  Values are
         exact — identical to looping :func:`dist_query`.
     """
+    reg = _obs.registry
+    t_start = time.perf_counter() if reg is not None else 0.0
     p = validate_pairs(pairs, labeling.num_vertices)
     if p.size == 0:
         return np.zeros(0, dtype=np.float64)
@@ -390,11 +408,24 @@ def batch_dist_query(labeling, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
     cache = _get_batch_cache(labeling)
     wide = np.float64 if dists.dtype.kind == "f" else np.int64
 
+    chunk_hist = (
+        reg.histogram("label.query.batch_chunk_size", SIZE_EDGES)
+        if reg is not None
+        else None
+    )
     out = np.full(k, np.inf, dtype=np.float64)
     for lo in range(0, k, _BATCH_CHUNK):
         hi = min(lo + _BATCH_CHUNK, k)
+        if chunk_hist is not None:
+            chunk_hist.observe(hi - lo)
         _batch_chunk(
             out[lo:hi], s[lo:hi], t[lo:hi], offsets, hubs, dists, n, cache, wide
         )
     out[s == t] = 0.0
+    if reg is not None:
+        reg.counter("label.query.batch_calls").inc()
+        reg.counter("label.query.batch_pairs").inc(k)
+        reg.histogram("label.query.batch_seconds").observe(
+            time.perf_counter() - t_start
+        )
     return out

@@ -1,0 +1,62 @@
+"""Observability: process-local metrics, trace spans, and exporters.
+
+The ``repro.obs`` subsystem gives the build and query pipelines the
+telemetry PLL-family deployments run on — label sizes, affected-set
+sizes, cache hit rates, per-query and per-case latencies — without
+perturbing them: every instrumentation point in the hot paths is a
+single ``is None`` check until a :class:`MetricsRegistry` is installed
+via :mod:`repro.obs.hooks`.
+
+Layers:
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms,
+  snapshot/merge (the merge is what combines per-worker registries from
+  parallel builds);
+* :mod:`repro.obs.trace` — nestable spans into a bounded ring buffer,
+  with a balance check the conformance harness enforces;
+* :mod:`repro.obs.hooks` — the module-global install seam hot paths read;
+* :mod:`repro.obs.export` — JSON-lines sidecars and Prometheus text.
+
+See ``docs/observability.md`` for the metric catalog and usage.
+"""
+
+from repro.obs.hooks import disabled, install, installed, span, uninstall
+from repro.obs.metrics import (
+    LATENCY_SECONDS_EDGES,
+    SIZE_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.export import (
+    read_json_lines,
+    sanitize_name,
+    to_json_lines,
+    to_prometheus_text,
+    write_json_lines,
+    write_prometheus_text,
+)
+from repro.obs.trace import SpanRecord, TraceRecorder
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_SECONDS_EDGES",
+    "SIZE_EDGES",
+    "TraceRecorder",
+    "SpanRecord",
+    "install",
+    "uninstall",
+    "installed",
+    "disabled",
+    "span",
+    "sanitize_name",
+    "to_json_lines",
+    "write_json_lines",
+    "read_json_lines",
+    "to_prometheus_text",
+    "write_prometheus_text",
+]

@@ -1,0 +1,164 @@
+"""Exporters: registry snapshots as JSON-lines and Prometheus text.
+
+Two formats cover the two consumers this library has today:
+
+* **JSON-lines** — one self-describing object per line (``{"type":
+  "counter", "name": ..., "value": ...}``), the sidecar format the
+  bench runner and ``sief fuzz --metrics-out`` write next to their
+  results.  Line-oriented so sidecars concatenate and grep cleanly.
+* **Prometheus text exposition (0.0.4)** — for scraping a future
+  serving deployment.  Metric names are sanitized (dots and dashes to
+  underscores), histograms render the cumulative ``_bucket{le=...}`` /
+  ``_sum`` / ``_count`` triplet with a closing ``+Inf`` bucket.
+
+Both exporters read one :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+so a single consistent view feeds every output.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """Map an internal dotted metric name to a Prometheus-legal one."""
+    out = _NAME_RE.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+# ---------------------------------------------------------------------------
+# JSON lines
+# ---------------------------------------------------------------------------
+
+
+def to_json_lines(
+    registry: MetricsRegistry, tracer: Optional[TraceRecorder] = None
+) -> str:
+    """One JSON object per line for every instrument (and span, if given)."""
+    snap = registry.snapshot()
+    lines: List[str] = []
+    for name, value in snap["counters"].items():
+        lines.append(
+            json.dumps({"type": "counter", "name": name, "value": value})
+        )
+    for name, value in snap["gauges"].items():
+        lines.append(
+            json.dumps({"type": "gauge", "name": name, "value": value})
+        )
+    for name, data in snap["histograms"].items():
+        lines.append(
+            json.dumps(
+                {
+                    "type": "histogram",
+                    "name": name,
+                    "edges": data["edges"],
+                    "counts": data["counts"],
+                    "sum": data["sum"],
+                    "count": data["count"],
+                }
+            )
+        )
+    if tracer is not None:
+        for rec in tracer.records():
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "span",
+                        "name": rec.name,
+                        "depth": rec.depth,
+                        "seconds": rec.seconds,
+                    }
+                )
+            )
+        lines.append(
+            json.dumps(
+                {
+                    "type": "trace_summary",
+                    "started": tracer.total_started,
+                    "finished": tracer.total_finished,
+                    "balanced": tracer.balanced,
+                }
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_json_lines(
+    registry: MetricsRegistry,
+    path: Union[str, Path],
+    tracer: Optional[TraceRecorder] = None,
+) -> Path:
+    """Write :func:`to_json_lines` output to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_json_lines(registry, tracer), encoding="utf-8")
+    return path
+
+
+def read_json_lines(path: Union[str, Path]) -> List[dict]:
+    """Parse a JSON-lines sidecar back into a list of dicts."""
+    out: List[dict] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format 0.0.4."""
+    snap = registry.snapshot()
+    lines: List[str] = []
+    for name, value in snap["counters"].items():
+        pname = sanitize_name(name)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_fmt(value)}")
+    for name, value in snap["gauges"].items():
+        pname = sanitize_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_fmt(value)}")
+    for name, data in snap["histograms"].items():
+        pname = sanitize_name(name)
+        lines.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        for edge, count in zip(data["edges"], data["counts"]):
+            cumulative += count
+            lines.append(
+                f'{pname}_bucket{{le="{_fmt(edge)}"}} {cumulative}'
+            )
+        cumulative += data["counts"][-1]
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{pname}_sum {_fmt(data['sum'])}")
+        lines.append(f"{pname}_count {data['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus_text(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> Path:
+    """Write :func:`to_prometheus_text` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_prometheus_text(registry), encoding="utf-8")
+    return path

@@ -1,0 +1,143 @@
+"""Lightweight nestable trace spans with a bounded ring-buffer recorder.
+
+A *span* is one timed region of the build or query pipeline ("pll.build",
+"sief.build.case", "sief.query.batch").  Spans nest: entering a span
+while another is open records the child at ``depth + 1``, which is
+enough structure to reconstruct the call tree of one operation without
+the cost of full IDs/links.
+
+Finished spans land in a fixed-capacity ring buffer — the recorder's
+memory use is bounded no matter how many spans a long fuzz run or build
+produces; old spans are overwritten, and ``total_finished`` keeps the
+true count.  The recorder also tracks the open-span stack, so the
+conformance harness can assert after every case that **every span
+entered was exited** (``balanced``) — an unbalanced stack means an
+instrumentation bug (a span leaked past an exception or early return).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: what ran, how deep, and for how long."""
+
+    name: str
+    depth: int
+    seconds: float
+
+
+class _Span:
+    """Context manager for one open span; always pops, even on error."""
+
+    __slots__ = ("_recorder", "name")
+
+    def __init__(self, recorder: "TraceRecorder", name: str) -> None:
+        self._recorder = recorder
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        self._recorder._push(self.name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._recorder._pop(self.name)
+
+
+class TraceRecorder:
+    """Bounded recorder of nested spans.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum finished spans kept; older ones are overwritten
+        ring-buffer style.
+    clock:
+        Monotonic time source (seconds).  Injectable so tests can drive
+        deterministic durations instead of asserting on wall-clock.
+    """
+
+    def __init__(self, capacity: int = 1024, clock=time.perf_counter) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._clock = clock
+        self._ring: List[Optional[SpanRecord]] = [None] * capacity
+        self._next = 0
+        self.total_started = 0
+        self.total_finished = 0
+        self._stack: List[tuple] = []  # (name, start_time)
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def span(self, name: str) -> _Span:
+        """A context manager recording one span named ``name``."""
+        return _Span(self, name)
+
+    def _push(self, name: str) -> None:
+        self.total_started += 1
+        self._stack.append((name, self._clock()))
+
+    def _pop(self, expected_name: str) -> None:
+        if not self._stack:
+            raise RuntimeError(
+                f"span {expected_name!r} exited with no span open"
+            )
+        name, started = self._stack.pop()
+        if name != expected_name:
+            raise RuntimeError(
+                f"span exit order violated: closing {expected_name!r} "
+                f"but innermost open span is {name!r}"
+            )
+        record = SpanRecord(
+            name=name, depth=len(self._stack), seconds=self._clock() - started
+        )
+        self._ring[self._next] = record
+        self._next = (self._next + 1) % self.capacity
+        self.total_finished += 1
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Currently open (unfinished) spans."""
+        return len(self._stack)
+
+    @property
+    def balanced(self) -> bool:
+        """True iff every span entered has been exited."""
+        return not self._stack and self.total_started == self.total_finished
+
+    def open_spans(self) -> List[str]:
+        """Names of currently open spans, outermost first."""
+        return [name for name, _ in self._stack]
+
+    def records(self) -> List[SpanRecord]:
+        """Finished spans, oldest first (at most ``capacity`` of them)."""
+        if self.total_finished < self.capacity:
+            return [r for r in self._ring[: self._next] if r is not None]
+        return [
+            r
+            for r in self._ring[self._next :] + self._ring[: self._next]
+            if r is not None
+        ]
+
+    def clear(self) -> None:
+        """Drop all finished records.
+
+        The open-span stack and the lifetime ``total_started`` /
+        ``total_finished`` counts are untouched (``balanced`` keeps its
+        meaning across a clear).
+        """
+        self._ring = [None] * self.capacity
+        self._next = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecorder(finished={self.total_finished}, "
+            f"open={self.depth}, capacity={self.capacity})"
+        )

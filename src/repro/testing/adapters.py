@@ -416,6 +416,65 @@ class DualFailureAdapter(EngineAdapter):
         return out
 
 
+class InstrumentedAdapter(EngineAdapter):
+    """An engine adapter run with observability on — and proven harmless.
+
+    Wraps another adapter and, per case, answers the same queries twice:
+    once with instrumentation forced **off**, once with a fresh
+    :class:`~repro.obs.metrics.MetricsRegistry` and
+    :class:`~repro.obs.trace.TraceRecorder` installed.  It raises (which
+    the fuzz loop converts into a counterexample) unless
+
+    * the metrics-on answers equal the metrics-off answers bit-for-bit,
+    * the span stack is balanced after the case (every span entered was
+      exited), and
+    * the registry actually observed the workload (instrumentation that
+      silently stopped recording is also a regression).
+
+    The metrics-on answers are returned, so the differential loop
+    additionally checks them against the brute-force oracle.
+    """
+
+    def __init__(self, inner: EngineAdapter) -> None:
+        self.inner = inner
+        self.name = f"{inner.name}-obs"
+        self.family = inner.family
+        self.failure_kind = inner.failure_kind
+        self.max_edges = inner.max_edges
+
+    def agree(self, got: float, expected: float) -> bool:
+        return self.inner.agree(got, expected)
+
+    def distances(self, ctx, failure, pairs):
+        from repro.obs import MetricsRegistry, TraceRecorder
+        from repro.obs import hooks as obs_hooks
+
+        with obs_hooks.disabled():
+            baseline = self.inner.distances(ctx, failure, pairs)
+        registry = MetricsRegistry()
+        recorder = TraceRecorder(capacity=256)
+        with obs_hooks.installed(registry, recorder):
+            got = self.inner.distances(ctx, failure, pairs)
+        if not recorder.balanced:
+            raise AssertionError(
+                f"{self.name}: span stack unbalanced after case "
+                f"(open={recorder.open_spans()}, "
+                f"started={recorder.total_started}, "
+                f"finished={recorder.total_finished})"
+            )
+        if len(registry) == 0:
+            raise AssertionError(
+                f"{self.name}: registry recorded nothing — "
+                "instrumentation hooks appear disconnected"
+            )
+        if list(got) != list(baseline):
+            raise AssertionError(
+                f"{self.name}: metrics-on answers differ from metrics-off "
+                f"({got!r} != {baseline!r})"
+            )
+        return got
+
+
 ADAPTERS: Dict[str, EngineAdapter] = {
     adapter.name: adapter
     for adapter in (
@@ -433,6 +492,11 @@ ADAPTERS: Dict[str, EngineAdapter] = {
         DirectedSIEFAdapter(),
         NodeFailureAdapter(),
         DualFailureAdapter(),
+        # Instrumented variants: same engines with metrics+tracing on,
+        # proving observability never changes answers (ISSUE 3).
+        InstrumentedAdapter(SIEFScalarAdapter()),
+        InstrumentedAdapter(SIEFBatchAdapter()),
+        InstrumentedAdapter(LazySIEFAdapter()),
     )
 }
 """Registry of every conformance-checked query path, keyed by name."""

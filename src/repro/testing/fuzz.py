@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.graph import generators
 from repro.graph.graph import Graph
+from repro.obs import hooks as _obs_hooks
 from repro.testing.adapters import (
     ADAPTERS,
     ORDERING_NAMES,
@@ -263,13 +264,37 @@ def _sample_pairs(n: int, rng: random.Random) -> List[Pair]:
     return pairs
 
 
+def _check_obs_invariants(adapter_name: str, before) -> None:
+    """Observability invariants enforced after every differential case.
+
+    * adapters must restore whatever hooks state they found (a leaked
+      install would silently instrument every later adapter);
+    * any externally installed tracer (e.g. ``sief fuzz --metrics-out``)
+      must be span-balanced again — every span entered was exited.
+    """
+    now = (_obs_hooks.registry, _obs_hooks.tracer)
+    if now != before:
+        raise RuntimeError(
+            f"adapter {adapter_name!r} leaked observability hooks state: "
+            f"had {before!r}, left {now!r} installed"
+        )
+    tracer = _obs_hooks.tracer
+    if tracer is not None and tracer.depth != 0:
+        raise RuntimeError(
+            f"unbalanced span stack after adapter {adapter_name!r}: "
+            f"open spans {tracer.open_spans()}"
+        )
+
+
 def _adapter_run(
     adapter, ctx: WorldContext, failure, pairs: List[Pair]
 ) -> Tuple[List[float], List[float], Optional[int]]:
     """(truth, got, crashed_pair_index) for one adapter × failure."""
     truth = adapter.truth(ctx, failure, pairs)
+    obs_before = (_obs_hooks.registry, _obs_hooks.tracer)
     try:
         got = adapter.distances(ctx, failure, pairs)
+        _check_obs_invariants(adapter.name, obs_before)
         return truth, got, None
     except Exception:
         # Batch crashed: bisect to the first offending pair so the
@@ -280,6 +305,8 @@ def _adapter_run(
                 got.extend(adapter.distances(ctx, failure, [pair]))
             except Exception:
                 return truth, got + [math.nan], i
+            finally:
+                _check_obs_invariants(adapter.name, obs_before)
         return truth, got, None
 
 

@@ -1,0 +1,153 @@
+"""Instrumented conformance adapters and the fuzz-loop obs invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, TraceRecorder, hooks
+from repro.testing.adapters import (
+    ADAPTERS,
+    InstrumentedAdapter,
+    SIEFScalarAdapter,
+    WorldContext,
+)
+from repro.testing.fuzz import FuzzConfig, _check_obs_invariants, fuzz
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_hooks():
+    before = (hooks.registry, hooks.tracer)
+    yield
+    assert (hooks.registry, hooks.tracer) == before
+
+
+def _ctx(num_vertices=8, edges=((0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (4, 5), (5, 6), (6, 7))):
+    return WorldContext(
+        family="undirected", num_vertices=num_vertices, edges=list(edges)
+    )
+
+
+class TestRegistration:
+    def test_instrumented_variants_registered(self):
+        assert {"sief-scalar-obs", "sief-batch-obs", "sief-lazy-obs"} <= set(
+            ADAPTERS
+        )
+        for name in ("sief-scalar-obs", "sief-batch-obs", "sief-lazy-obs"):
+            assert isinstance(ADAPTERS[name], InstrumentedAdapter)
+            assert ADAPTERS[name].name == name
+
+    def test_wrapper_mirrors_inner_contract(self):
+        inner = SIEFScalarAdapter()
+        wrapped = InstrumentedAdapter(inner)
+        assert wrapped.name == "sief-scalar-obs"
+        assert wrapped.family == inner.family
+        assert wrapped.failure_kind == inner.failure_kind
+        assert wrapped.max_edges == inner.max_edges
+        assert wrapped.agree(1.0, 1.0) and not wrapped.agree(1.0, 2.0)
+
+
+class TestWrapperSemantics:
+    def test_answers_match_inner_and_oracle(self):
+        ctx = _ctx()
+        inner = SIEFScalarAdapter()
+        wrapped = InstrumentedAdapter(inner)
+        failure = ("edge", 1, 2)
+        pairs = [(0, 3), (0, 7), (2, 5)]
+        assert wrapped.distances(ctx, failure, pairs) == inner.distances(
+            ctx, failure, pairs
+        )
+        assert wrapped.distances(ctx, failure, pairs) == wrapped.truth(
+            ctx, failure, pairs
+        )
+
+    def test_detects_metrics_dependent_answers(self):
+        class MetricsSensitive(SIEFScalarAdapter):
+            """Pathological engine whose answers change when observed."""
+
+            def distances(self, ctx, failure, pairs):
+                out = super().distances(ctx, failure, pairs)
+                if hooks.registry is not None:
+                    out = [d + 1 for d in out]
+                return out
+
+        wrapped = InstrumentedAdapter(MetricsSensitive())
+        with pytest.raises(AssertionError, match="metrics-on"):
+            wrapped.distances(_ctx(), ("edge", 1, 2), [(0, 3)])
+
+    def test_detects_unbalanced_spans(self):
+        class SpanLeaker(SIEFScalarAdapter):
+            def distances(self, ctx, failure, pairs):
+                if hooks.tracer is not None:
+                    hooks.tracer.span("leaked").__enter__()
+                return super().distances(ctx, failure, pairs)
+
+        wrapped = InstrumentedAdapter(SpanLeaker())
+        with pytest.raises(AssertionError, match="unbalanced"):
+            wrapped.distances(_ctx(), ("edge", 1, 2), [(0, 3)])
+
+    def test_detects_disconnected_instrumentation(self):
+        class NothingRecorded(SIEFScalarAdapter):
+            def distances(self, ctx, failure, pairs):
+                with hooks.disabled():
+                    return super().distances(ctx, failure, pairs)
+
+        wrapped = InstrumentedAdapter(NothingRecorded())
+        with pytest.raises(AssertionError, match="recorded nothing"):
+            wrapped.distances(_ctx(), ("edge", 1, 2), [(0, 3)])
+
+
+class TestFuzzLoopInvariants:
+    def test_check_flags_leaked_install(self):
+        before = (hooks.registry, hooks.tracer)
+        hooks.install(MetricsRegistry())
+        try:
+            with pytest.raises(RuntimeError, match="leaked"):
+                _check_obs_invariants("bad-adapter", before)
+        finally:
+            hooks.uninstall()
+
+    def test_check_flags_unbalanced_outer_tracer(self):
+        rec = TraceRecorder()
+        with hooks.installed(trace=rec):
+            before = (hooks.registry, hooks.tracer)
+            span = rec.span("dangling")
+            span.__enter__()
+            try:
+                with pytest.raises(RuntimeError, match="unbalanced"):
+                    _check_obs_invariants("bad-adapter", before)
+            finally:
+                span.__exit__(None, None, None)
+
+    def test_check_passes_clean_state(self):
+        _check_obs_invariants("good-adapter", (hooks.registry, hooks.tracer))
+
+    def test_mini_fuzz_run_with_instrumented_adapters(self):
+        obs_only = [name for name in ADAPTERS if name.endswith("-obs")]
+        assert len(obs_only) == 3
+        report = fuzz(
+            FuzzConfig(
+                seed=17,
+                budget_seconds=4.0,
+                adapters=obs_only,
+                do_shrink=False,
+            )
+        )
+        assert report.counterexamples == []
+        assert report.adapters_covered >= set(obs_only)
+        assert report.queries_checked > 0
+
+    def test_mini_fuzz_under_outer_tracer_stays_balanced(self):
+        # Emulates `sief fuzz --metrics-out`: an outer registry+tracer is
+        # active for the whole run; the loop's per-case check must hold.
+        rec = TraceRecorder(capacity=512)
+        with hooks.installed(trace=rec):
+            report = fuzz(
+                FuzzConfig(
+                    seed=23,
+                    budget_seconds=2.0,
+                    adapters=["sief-scalar", "sief-batch"],
+                    do_shrink=False,
+                )
+            )
+        assert report.counterexamples == []
+        assert rec.balanced

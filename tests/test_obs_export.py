@@ -1,0 +1,131 @@
+"""Exporter tests: JSON-lines sidecars and Prometheus text exposition."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    TraceRecorder,
+    read_json_lines,
+    sanitize_name,
+    to_json_lines,
+    to_prometheus_text,
+    write_json_lines,
+    write_prometheus_text,
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("sief.build.cases").inc(3)
+    reg.gauge("pll.last_build.vertices").set(100)
+    h = reg.histogram("sief.query.batch_size", edges=(1, 10, 100))
+    h.observe(5)
+    h.observe(10)
+    h.observe(5000)
+    return reg
+
+
+class TestSanitizeName:
+    def test_dots_and_dashes_become_underscores(self):
+        assert sanitize_name("sief.build.cases") == "sief_build_cases"
+        assert sanitize_name("a-b c") == "a_b_c"
+
+    def test_leading_digit_is_prefixed(self):
+        assert sanitize_name("2hop.entries") == "_2hop_entries"
+
+    def test_colons_and_underscores_survive(self):
+        assert sanitize_name("ns:sub_total") == "ns:sub_total"
+
+
+class TestJsonLines:
+    def test_one_object_per_line_all_types(self):
+        reg = _populated_registry()
+        lines = [json.loads(x) for x in to_json_lines(reg).splitlines()]
+        by_type = {}
+        for obj in lines:
+            by_type.setdefault(obj["type"], []).append(obj)
+        assert by_type["counter"] == [
+            {"type": "counter", "name": "sief.build.cases", "value": 3}
+        ]
+        assert by_type["gauge"][0]["value"] == 100
+        (hist,) = by_type["histogram"]
+        assert hist["edges"] == [1, 10, 100]
+        assert hist["counts"] == [0, 2, 0, 1]
+        assert hist["count"] == 3
+
+    def test_tracer_spans_and_summary_appended(self):
+        reg = _populated_registry()
+        rec = TraceRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        lines = [json.loads(x) for x in to_json_lines(reg, rec).splitlines()]
+        spans = [o for o in lines if o["type"] == "span"]
+        assert [(s["name"], s["depth"]) for s in spans] == [
+            ("inner", 1),
+            ("outer", 0),
+        ]
+        (summary,) = [o for o in lines if o["type"] == "trace_summary"]
+        assert summary == {
+            "type": "trace_summary",
+            "started": 2,
+            "finished": 2,
+            "balanced": True,
+        }
+
+    def test_empty_registry_renders_empty_string(self):
+        assert to_json_lines(MetricsRegistry()) == ""
+
+    def test_write_then_read_round_trip(self, tmp_path):
+        reg = _populated_registry()
+        path = write_json_lines(reg, tmp_path / "sub" / "m.jsonl")
+        assert path.exists()
+        objs = read_json_lines(path)
+        assert {o["type"] for o in objs} == {"counter", "gauge", "histogram"}
+
+    def test_sidecars_concatenate_cleanly(self, tmp_path):
+        # The line-oriented format's contract: cat a.jsonl b.jsonl parses.
+        a = write_json_lines(_populated_registry(), tmp_path / "a.jsonl")
+        b = write_json_lines(_populated_registry(), tmp_path / "b.jsonl")
+        both = tmp_path / "both.jsonl"
+        both.write_text(a.read_text() + b.read_text())
+        assert len(read_json_lines(both)) == 2 * len(read_json_lines(a))
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        text = to_prometheus_text(_populated_registry())
+        assert "# TYPE sief_build_cases counter\nsief_build_cases 3" in text
+        assert (
+            "# TYPE pll_last_build_vertices gauge\n"
+            "pll_last_build_vertices 100" in text
+        )
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = to_prometheus_text(_populated_registry())
+        assert 'sief_query_batch_size_bucket{le="1"} 0' in text
+        assert 'sief_query_batch_size_bucket{le="10"} 2' in text
+        assert 'sief_query_batch_size_bucket{le="100"} 2' in text
+        assert 'sief_query_batch_size_bucket{le="+Inf"} 3' in text
+        assert "sief_query_batch_size_count 3" in text
+        assert "sief_query_batch_size_sum 5015" in text
+
+    def test_inf_bucket_equals_count_invariant(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", edges=(0.5,))
+        for v in (0.1, 0.9, 2.0):
+            h.observe(v)
+        text = to_prometheus_text(reg)
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_count 3" in text
+
+    def test_write_prometheus_text(self, tmp_path):
+        path = write_prometheus_text(
+            _populated_registry(), tmp_path / "metrics.prom"
+        )
+        assert "# TYPE" in path.read_text()
+
+    def test_empty_registry_renders_empty_string(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""

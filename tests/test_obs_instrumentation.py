@@ -1,0 +1,219 @@
+"""Integration tests: the hooks seam and the instrumented hot paths.
+
+These tests pin the two invariants the observability layer promises:
+
+1. **Numbers are right** — counters agree with the ground truth the
+   code already reports elsewhere (``BuildReport``, labeling stats,
+   query counts).
+2. **Answers don't change** — every query path returns bit-identical
+   results with a registry installed and without one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builder import SIEFBuilder
+from repro.core.query import SIEFQueryEngine
+from repro.graph import generators
+from repro.labeling.pll import build_pll
+from repro.labeling.query import batch_dist_query, dist_query
+from repro.labeling.stats import labeling_stats
+from repro.obs import MetricsRegistry, TraceRecorder, hooks, installed
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_hooks():
+    """Every test must leave the global seam the way it found it."""
+    before = (hooks.registry, hooks.tracer)
+    yield
+    assert (hooks.registry, hooks.tracer) == before, "test leaked hooks state"
+
+
+@pytest.fixture
+def graph():
+    return generators.erdos_renyi_gnm(24, 40, seed=11)
+
+
+class TestHooksSeam:
+    def test_install_uninstall(self):
+        assert hooks.registry is None
+        reg, trace = hooks.install()
+        assert hooks.registry is reg and isinstance(reg, MetricsRegistry)
+        assert hooks.tracer is None and trace is None
+        hooks.uninstall()
+        assert hooks.registry is None
+
+    def test_installed_restores_previous_pair(self):
+        outer = MetricsRegistry()
+        hooks.install(outer)
+        try:
+            with installed() as inner:
+                assert hooks.registry is inner
+                assert inner is not outer
+            assert hooks.registry is outer
+        finally:
+            hooks.uninstall()
+
+    def test_installed_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with installed():
+                raise RuntimeError("boom")
+        assert hooks.registry is None
+
+    def test_disabled_masks_and_restores(self):
+        reg = MetricsRegistry()
+        hooks.install(reg)
+        try:
+            with hooks.disabled():
+                assert hooks.registry is None
+            assert hooks.registry is reg
+        finally:
+            hooks.uninstall()
+
+    def test_span_is_noop_without_tracer(self):
+        assert hooks.tracer is None
+        s1 = hooks.span("x")
+        s2 = hooks.span("y")
+        assert s1 is s2  # the shared null span: zero allocation when off
+        with s1:
+            pass
+
+    def test_span_records_with_tracer(self):
+        rec = TraceRecorder()
+        with installed(trace=rec):
+            with hooks.span("x"):
+                pass
+        assert [r.name for r in rec.records()] == ["x"]
+
+
+class TestPLLInstrumentation:
+    def test_build_metrics_match_labeling_stats(self, graph):
+        with installed() as reg:
+            labeling = build_pll(graph)
+        stats = labeling_stats(labeling)
+        assert reg.counter_value("pll.build.bfs") == 1
+        assert reg.counter_value("pll.build.label_entries") == stats.total_entries
+        assert reg.gauge("pll.last_build.label_entries").value == stats.total_entries
+        assert reg.gauge("pll.last_build.vertices").value == graph.num_vertices
+        assert reg.histogram("pll.label_size").count == graph.num_vertices
+        assert reg.histogram("pll.build.seconds").count == 1
+
+    def test_build_span_emitted(self, graph):
+        rec = TraceRecorder()
+        with installed(trace=rec):
+            build_pll(graph)
+        assert "pll.build" in [r.name for r in rec.records()]
+        assert rec.balanced
+
+    def test_same_labeling_with_and_without_registry(self, graph):
+        plain = build_pll(graph)
+        with installed():
+            instrumented = build_pll(graph)
+        for v in range(graph.num_vertices):
+            assert plain.hubs(v) == instrumented.hubs(v)
+
+
+class TestSIEFBuildInstrumentation:
+    def test_counters_match_build_report(self, graph):
+        with installed() as reg:
+            index, report = SIEFBuilder(graph, build_pll(graph)).build()
+        assert reg.counter_value("sief.build.cases") == report.num_cases
+        assert (
+            reg.counter_value("sief.build.relabel_invocations")
+            == report.num_cases
+        )
+        assert reg.counter_value("sief.build.affected_vertices") == sum(
+            r.affected_total for r in report.records
+        )
+        assert reg.counter_value("sief.build.supplemental_entries") == sum(
+            r.supplemental_entries for r in report.records
+        )
+        assert (
+            reg.counter_value("sief.build.relabel_expanded")
+            == report.relabel_expanded
+        )
+        assert (
+            reg.histogram("sief.build.affected_per_case").count
+            == report.num_cases
+        )
+
+    def test_build_spans_balanced(self, graph):
+        rec = TraceRecorder()
+        with installed(trace=rec):
+            SIEFBuilder(graph, build_pll(graph)).build()
+        assert rec.balanced
+        assert "sief.build" in [r.name for r in rec.records()]
+
+
+class TestQueryInstrumentation:
+    @pytest.fixture
+    def engine(self, graph):
+        labeling = build_pll(graph)
+        index, _ = SIEFBuilder(graph, labeling).build()
+        return SIEFQueryEngine(index), graph
+
+    def test_scalar_query_counts_and_answers(self, engine):
+        eng, graph = engine
+        edge = next(iter(sorted(graph.edges())))
+        pairs = [(s, t) for s in range(6) for t in range(6)]
+        plain = [eng.distance(s, t, edge) for s, t in pairs]
+        with installed() as reg:
+            instrumented = [eng.distance(s, t, edge) for s, t in pairs]
+        assert plain == instrumented
+        assert reg.counter_value("sief.query.scalar") == len(pairs)
+        assert reg.histogram("sief.query.scalar_seconds").count == len(pairs)
+
+    def test_batch_query_counts_and_answers(self, engine):
+        eng, graph = engine
+        edge = next(iter(sorted(graph.edges())))
+        n = graph.num_vertices
+        rng = np.random.default_rng(5)
+        pairs = rng.integers(0, n, size=(64, 2))
+        plain = eng.batch_query(edge, pairs)
+        rec = TraceRecorder()
+        with installed(trace=rec) as reg:
+            instrumented = eng.batch_query(edge, pairs)
+        assert np.array_equal(plain, instrumented)
+        assert reg.counter_value("sief.query.batch_calls") == 1
+        assert reg.counter_value("sief.query.batch_pairs") == len(pairs)
+        assert reg.histogram("sief.query.batch_size").count == 1
+        assert rec.balanced
+        assert "sief.query.batch" in [r.name for r in rec.records()]
+
+    def test_case_classification_counters(self, engine):
+        eng, graph = engine
+        edge = next(iter(sorted(graph.edges())))
+        with installed() as reg:
+            for s in range(8):
+                for t in range(8):
+                    eng.distance_with_case(s, t, edge)
+        case_total = sum(
+            v
+            for name, v in reg.snapshot()["counters"].items()
+            if name.startswith("sief.query.case.")
+        )
+        assert case_total == 64
+
+    def test_label_query_hub_scan_recorded(self, graph):
+        labeling = build_pll(graph)
+        frozen = labeling.copy().freeze()
+        with installed() as reg:
+            d_list = dist_query(labeling, 0, 5)
+            d_flat = dist_query(frozen, 0, 5)
+        assert d_list == d_flat
+        assert reg.counter_value("label.query.scalar") == 2
+        assert reg.histogram("label.query.hub_scan").count == 2
+
+    def test_label_batch_query_metrics_and_answers(self, graph):
+        frozen = build_pll(graph).copy().freeze()
+        rng = np.random.default_rng(9)
+        pairs = rng.integers(0, graph.num_vertices, size=(300, 2))
+        plain = batch_dist_query(frozen, pairs)
+        with installed() as reg:
+            instrumented = batch_dist_query(frozen, pairs)
+        assert np.array_equal(plain, instrumented)
+        assert reg.counter_value("label.query.batch_calls") == 1
+        assert reg.counter_value("label.query.batch_pairs") == len(pairs)
+        assert reg.histogram("label.query.batch_chunk_size").count >= 1

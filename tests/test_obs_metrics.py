@@ -1,0 +1,192 @@
+"""Unit tests for the metrics primitives in :mod:`repro.obs.metrics`.
+
+Everything here is deterministic: histograms use fixed bucket edges and
+the tests observe hand-picked values, so no assertion depends on
+wall-clock behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_SECONDS_EDGES,
+    MetricsRegistry,
+    SIZE_EDGES,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x")
+        g.set(10)
+        g.inc(2.5)
+        g.dec(0.5)
+        assert g.value == 12.0
+
+    def test_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(-7)
+        assert g.value == -7
+
+
+class TestHistogram:
+    def test_requires_strictly_increasing_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=())
+
+    def test_bucket_assignment_le_semantics(self):
+        h = Histogram("h", edges=(1.0, 10.0, 100.0))
+        # Prometheus `le`: a value equal to an edge lands in that bucket.
+        h.observe(0.5)  # <= 1
+        h.observe(1.0)  # <= 1 (boundary)
+        h.observe(5.0)  # <= 10
+        h.observe(100.0)  # <= 100 (boundary)
+        h.observe(1e9)  # +Inf overflow bucket
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(0.5 + 1.0 + 5.0 + 100.0 + 1e9)
+
+    def test_size_edges_start_at_zero(self):
+        h = Histogram("h", edges=SIZE_EDGES)
+        h.observe(0)
+        assert h.counts[0] == 1
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_memoized_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_name_collisions_across_kinds_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_histogram_edge_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=(1.0, 2.0))
+        assert reg.histogram("h", edges=(1.0, 2.0)) is reg.histogram("h")
+        with pytest.raises(ValueError):
+            reg.histogram("h", edges=(1.0, 3.0))
+
+    def test_default_histogram_edges_are_latency_edges(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h").edges == tuple(LATENCY_SECONDS_EDGES)
+
+    def test_counter_value_missing_is_zero(self):
+        reg = MetricsRegistry()
+        assert reg.counter_value("nope") == 0
+        reg.counter("yes").inc(3)
+        assert reg.counter_value("yes") == 3
+
+    def test_len_counts_instruments(self):
+        reg = MetricsRegistry()
+        assert len(reg) == 0
+        reg.counter("a")
+        reg.gauge("b")
+        reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_snapshot_is_plain_data(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", edges=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        h = snap["histograms"]["h"]
+        assert h["edges"] == [1.0]
+        assert h["counts"] == [1, 0]
+        assert h["sum"] == 0.5
+        # Snapshot is decoupled from later mutation.
+        reg.counter("c").inc()
+        assert snap["counters"] == {"c": 2}
+
+
+class TestMerge:
+    def _populated(self, counter=1, gauge=1.0, obs=(0.5,)):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(counter)
+        reg.gauge("g").set(gauge)
+        h = reg.histogram("h", edges=(1.0, 2.0))
+        for v in obs:
+            h.observe(v)
+        return reg
+
+    def test_counters_add_and_gauges_last_write(self):
+        a = self._populated(counter=2, gauge=1.0)
+        b = self._populated(counter=5, gauge=9.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.counter_value("c") == 7
+        assert a.gauge("g").value == 9.0
+
+    def test_histogram_buckets_add(self):
+        a = self._populated(obs=(0.5, 1.5))
+        b = self._populated(obs=(0.5, 5.0))
+        a.merge_snapshot(b.snapshot())
+        h = a.histogram("h", edges=(1.0, 2.0))
+        assert h.counts == [2, 1, 1]
+        assert h.sum == pytest.approx(0.5 + 1.5 + 0.5 + 5.0)
+
+    def test_merge_rejects_mismatched_edges(self):
+        a = MetricsRegistry()
+        a.histogram("h", edges=(1.0, 2.0))
+        b = MetricsRegistry()
+        b.histogram("h", edges=(1.0, 3.0)).observe(0.1)
+        with pytest.raises(ValueError):
+            a.merge_snapshot(b.snapshot())
+
+    def test_merge_registry_object(self):
+        a = self._populated(counter=1)
+        b = self._populated(counter=2)
+        a.merge(b)
+        assert a.counter_value("c") == 3
+
+    def test_merge_creates_missing_instruments(self):
+        a = MetricsRegistry()
+        b = self._populated(counter=4, gauge=2.0, obs=(0.5,))
+        a.merge_snapshot(b.snapshot())
+        assert a.counter_value("c") == 4
+        assert a.gauge("g").value == 2.0
+        assert a.histogram("h", edges=(1.0, 2.0)).count == 1
+
+    def test_merge_is_associative_on_counters(self):
+        # Worker-chunk merge order must not matter.
+        parts = [self._populated(counter=k) for k in (1, 2, 3)]
+        left = MetricsRegistry()
+        for p in parts:
+            left.merge_snapshot(p.snapshot())
+        right = MetricsRegistry()
+        for p in reversed(parts):
+            right.merge_snapshot(p.snapshot())
+        assert left.counter_value("c") == right.counter_value("c") == 6

@@ -1,0 +1,126 @@
+"""Parallel-vs-serial build metrics parity (satellite of the obs layer).
+
+The parallel builder gives each worker chunk its own registry and merges
+the snapshots at the join; the serial builder feeds the installed
+registry directly.  Both funnel through the single
+``record_case_obs`` helper, so every *deterministic* counter — cases
+built, relabel invocations, affected-vertex totals, supplemental entry
+totals, search expansions — must agree exactly.  This test enforces
+that across three generator families and two vertex orderings (ordering
+changes the labeling, hence the supplement sizes, so parity must hold
+per-ordering, not just on one lucky labeling).
+
+Timing histograms are machine-dependent and explicitly out of scope;
+parity is promised for counters and for the deterministic size
+histograms' bucket counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import SIEFBuilder
+from repro.core.parallel import build_sief_parallel
+from repro.graph import generators
+from repro.labeling.pll import build_pll
+from repro.obs import MetricsRegistry, hooks, installed
+from repro.order.strategies import make_ordering
+
+PARITY_COUNTERS = (
+    "sief.build.cases",
+    "sief.build.relabel_invocations",
+    "sief.build.affected_vertices",
+    "sief.build.supplemental_entries",
+    "sief.build.relabel_expanded",
+)
+
+PARITY_SIZE_HISTOGRAMS = (
+    "sief.build.affected_per_case",
+    "sief.build.entries_per_case",
+)
+
+FAMILIES = {
+    "er": lambda: generators.erdos_renyi_gnm(22, 38, seed=3),
+    "ba": lambda: generators.barabasi_albert(24, 2, seed=4),
+    "tree": lambda: generators.random_tree(26, seed=5),
+}
+
+ORDERINGS = ("degree", "identity")
+
+
+def _build_serial(graph, labeling) -> MetricsRegistry:
+    with installed() as reg:
+        SIEFBuilder(graph, labeling).build()
+    return reg
+
+
+def _build_parallel(graph, labeling, workers: int) -> MetricsRegistry:
+    with installed() as reg:
+        build_sief_parallel(graph, labeling, workers=workers)
+    return reg
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_hooks():
+    before = (hooks.registry, hooks.tracer)
+    yield
+    assert (hooks.registry, hooks.tracer) == before
+
+
+@pytest.mark.parametrize("ordering", ORDERINGS)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_parallel_counters_equal_serial(family, ordering):
+    graph = FAMILIES[family]()
+    labeling = build_pll(graph, ordering=make_ordering(graph, ordering))
+    serial = _build_serial(graph, labeling)
+    parallel = _build_parallel(graph, labeling, workers=2)
+
+    assert serial.counter_value("sief.build.cases") == graph.num_edges
+    for name in PARITY_COUNTERS:
+        assert serial.counter_value(name) == parallel.counter_value(name), (
+            f"{family}/{ordering}: counter {name} diverged between "
+            "serial and parallel builds"
+        )
+    for name in PARITY_SIZE_HISTOGRAMS:
+        hs = serial.histogram(name)
+        hp = parallel.histogram(name)
+        assert hs.counts == hp.counts, (
+            f"{family}/{ordering}: histogram {name} bucket counts diverged"
+        )
+        assert hs.sum == hp.sum
+
+
+def test_single_worker_path_also_matches():
+    # workers=1 short-circuits the pool entirely; it must still count.
+    graph = FAMILIES["er"]()
+    labeling = build_pll(graph)
+    serial = _build_serial(graph, labeling)
+    inproc = _build_parallel(graph, labeling, workers=1)
+    for name in PARITY_COUNTERS:
+        assert serial.counter_value(name) == inproc.counter_value(name)
+
+
+def test_parallel_build_without_registry_records_nothing():
+    graph = FAMILIES["tree"]()
+    labeling = build_pll(graph)
+    assert hooks.registry is None
+    index, report = build_sief_parallel(graph, labeling, workers=2)
+    assert report.num_cases == graph.num_edges  # build itself unaffected
+
+
+def test_worker_snapshots_sum_not_duplicate():
+    # Total affected vertices must equal the per-record sum exactly —
+    # a double-merge or a lost chunk would break equality, not just
+    # proportionality.
+    graph = FAMILIES["ba"]()
+    labeling = build_pll(graph)
+    with installed() as reg:
+        _, report = build_sief_parallel(graph, labeling, workers=3)
+    assert reg.counter_value("sief.build.cases") == report.num_cases
+    assert reg.counter_value("sief.build.affected_vertices") == sum(
+        r.affected_total for r in report.records
+    )
+    assert (
+        reg.counter_value("sief.build.relabel_expanded")
+        == report.relabel_expanded
+    )

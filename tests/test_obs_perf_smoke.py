@@ -1,0 +1,101 @@
+"""Perf-regression smoke: the vectorized batch path must stay fast.
+
+Replays the shape of the ``BENCH_query_throughput.json`` workload (BA
+graph, uniform random pairs, Equation-1 label queries) at reduced scale
+and fails if ``batch_dist_query`` over the frozen flat backend beats the
+scalar ``dist_query`` loop by less than **3x**.  The recorded full-scale
+ratio is ~7.1x (``label_queries.batch_over_scalar_list``), so 3x leaves
+generous headroom for slow CI machines while still catching a
+de-vectorization regression (which shows up as ~1x).
+
+Marked ``slow``: deselect with ``-m 'not slow'`` for quick iterations.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.labeling.pll import build_pll
+from repro.labeling.query import batch_dist_query, dist_query
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_REPORT = REPO_ROOT / "BENCH_query_throughput.json"
+
+GRAPH_SEED = 7  # same seeds as the benchmark
+WORKLOAD_SEED = 42
+VERTICES = 1500
+ATTACH = 3
+BATCH_QUERIES = 30_000
+SCALAR_QUERIES = 3_000
+REQUIRED_SPEEDUP = 3.0
+
+
+def _workload():
+    graph = generators.barabasi_albert(VERTICES, ATTACH, seed=GRAPH_SEED)
+    listed = build_pll(graph)
+    frozen = listed.copy().freeze()
+    rng = np.random.default_rng(WORKLOAD_SEED)
+    pairs = rng.integers(0, VERTICES, size=(BATCH_QUERIES, 2)).astype(np.int64)
+    return listed, frozen, pairs
+
+
+@pytest.mark.slow
+def test_batch_beats_scalar_loop_by_3x():
+    listed, frozen, pairs = _workload()
+    scalar_pairs = pairs[:SCALAR_QUERIES]
+
+    # Best-of-3 on each side to shave scheduler noise without averaging
+    # in warm-up effects.
+    scalar_best = min(
+        _time_scalar(listed, scalar_pairs) for _ in range(3)
+    )
+    batch_best = min(_time_batch(frozen, pairs) for _ in range(3))
+
+    scalar_qps = len(scalar_pairs) / scalar_best
+    batch_qps = len(pairs) / batch_best
+    speedup = batch_qps / scalar_qps
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"vectorized batch path regressed: {speedup:.2f}x over the scalar "
+        f"loop (required {REQUIRED_SPEEDUP}x; recorded full-scale ratio "
+        "is ~7.1x)"
+    )
+
+
+@pytest.mark.slow
+def test_batch_answers_still_exact():
+    # Speed means nothing if the vectorized join drifted; pin a sample.
+    listed, frozen, pairs = _workload()
+    got = batch_dist_query(frozen, pairs[:500])
+    want = np.array(
+        [dist_query(listed, int(s), int(t)) for s, t in pairs[:500]],
+        dtype=np.float64,
+    )
+    assert np.array_equal(got, want)
+
+
+@pytest.mark.slow
+def test_recorded_benchmark_report_shape():
+    # The workload this smoke replays must keep existing at full scale.
+    report = json.loads(BENCH_REPORT.read_text())
+    label = report["label_queries"]
+    assert label["batch_over_scalar_list"] >= REQUIRED_SPEEDUP
+    assert report["graph"]["generator"] == "barabasi_albert"
+
+
+def _time_scalar(listed, pairs) -> float:
+    t0 = time.perf_counter()
+    for s, t in pairs:
+        dist_query(listed, int(s), int(t))
+    return time.perf_counter() - t0
+
+
+def _time_batch(frozen, pairs) -> float:
+    t0 = time.perf_counter()
+    batch_dist_query(frozen, pairs)
+    return time.perf_counter() - t0

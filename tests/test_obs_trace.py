@@ -1,0 +1,128 @@
+"""Unit tests for trace spans and the ring-buffer recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import SpanRecord, TraceRecorder
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each call advances by ``step``."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        t = self.now
+        self.now += self.step
+        return t
+
+
+def test_single_span_records_name_and_depth():
+    rec = TraceRecorder(clock=FakeClock())
+    with rec.span("pll.build"):
+        pass
+    (span,) = rec.records()
+    assert span.name == "pll.build"
+    assert span.depth == 0
+    assert rec.balanced
+
+
+def test_injected_clock_gives_deterministic_durations():
+    clock = FakeClock(step=1.0)
+    rec = TraceRecorder(clock=clock)
+    with rec.span("outer"):
+        pass
+    (span,) = rec.records()
+    # push reads t=0, pop reads t=1: exactly one step elapsed.
+    assert span.seconds == 1.0
+
+
+def test_nested_spans_record_depth_and_finish_inner_first():
+    rec = TraceRecorder(clock=FakeClock())
+    with rec.span("outer"):
+        with rec.span("inner"):
+            assert rec.depth == 2
+            assert rec.open_spans() == ["outer", "inner"]
+    names = [(r.name, r.depth) for r in rec.records()]
+    assert names == [("inner", 1), ("outer", 0)]
+    assert rec.balanced
+
+
+def test_span_pops_on_exception():
+    rec = TraceRecorder(clock=FakeClock())
+    with pytest.raises(RuntimeError, match="boom"):
+        with rec.span("outer"):
+            with rec.span("inner"):
+                raise RuntimeError("boom")
+    assert rec.depth == 0
+    assert rec.balanced
+    assert [r.name for r in rec.records()] == ["inner", "outer"]
+
+
+def test_out_of_order_close_is_an_error():
+    rec = TraceRecorder(clock=FakeClock())
+    outer = rec.span("outer")
+    inner = rec.span("inner")
+    outer.__enter__()
+    inner.__enter__()
+    with pytest.raises(RuntimeError, match="exit order"):
+        outer.__exit__(None, None, None)
+
+
+def test_close_with_nothing_open_is_an_error():
+    rec = TraceRecorder(clock=FakeClock())
+    s = rec.span("x")
+    with pytest.raises(RuntimeError, match="no span open"):
+        s.__exit__(None, None, None)
+
+
+def test_ring_buffer_keeps_only_newest_capacity_records():
+    rec = TraceRecorder(capacity=3, clock=FakeClock())
+    for i in range(5):
+        with rec.span(f"s{i}"):
+            pass
+    assert rec.total_finished == 5
+    assert [r.name for r in rec.records()] == ["s2", "s3", "s4"]
+    assert rec.balanced
+
+
+def test_records_before_wraparound_are_oldest_first():
+    rec = TraceRecorder(capacity=8, clock=FakeClock())
+    for i in range(3):
+        with rec.span(f"s{i}"):
+            pass
+    assert [r.name for r in rec.records()] == ["s0", "s1", "s2"]
+
+
+def test_clear_drops_records_but_keeps_lifetime_counts():
+    rec = TraceRecorder(clock=FakeClock())
+    with rec.span("a"):
+        pass
+    rec.clear()
+    assert rec.records() == []
+    assert rec.total_started == rec.total_finished == 1
+    assert rec.balanced
+
+
+def test_unbalanced_while_span_open():
+    rec = TraceRecorder(clock=FakeClock())
+    span = rec.span("open")
+    span.__enter__()
+    assert not rec.balanced
+    assert rec.open_spans() == ["open"]
+    span.__exit__(None, None, None)
+    assert rec.balanced
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        TraceRecorder(capacity=0)
+
+
+def test_span_record_is_frozen():
+    r = SpanRecord(name="x", depth=0, seconds=1.0)
+    with pytest.raises(AttributeError):
+        r.name = "y"
