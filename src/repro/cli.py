@@ -40,6 +40,22 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_algorithm(args: argparse.Namespace) -> str:
+    """Combine ``--algorithm`` with the ``--batched``/``--no-batched`` pair.
+
+    ``--batched`` selects the bit-parallel construction path regardless
+    of ``--algorithm``; ``--no-batched`` forces a scalar path (falling
+    back to ``bfs_all`` when ``--algorithm batched`` was also given).
+    With neither flag, ``--algorithm`` stands as written.
+    """
+    if getattr(args, "batched", None) is True:
+        return "batched"
+    algorithm = args.algorithm
+    if getattr(args, "batched", None) is False and algorithm == "batched":
+        return "bfs_all"
+    return algorithm
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     from repro.core.builder import SIEFBuilder
     from repro.core.serialize import save_index
@@ -55,10 +71,19 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"PLL labeling: {labeling.total_entries()} entries "
         f"in {time.perf_counter() - started:.2f}s"
     )
-    builder = SIEFBuilder(graph, labeling, algorithm=args.algorithm)
-    index, report = builder.build()
+    algorithm = _resolve_algorithm(args)
+    if args.jobs > 1:
+        from repro.core.parallel import build_sief_parallel
+
+        index, report = build_sief_parallel(
+            graph, labeling, algorithm=algorithm, workers=args.jobs
+        )
+    else:
+        builder = SIEFBuilder(graph, labeling, algorithm=algorithm)
+        index, report = builder.build()
     print(
-        f"SIEF ({args.algorithm}): {index.num_cases} failure cases, "
+        f"SIEF ({algorithm}, jobs={args.jobs}): "
+        f"{index.num_cases} failure cases, "
         f"{index.total_supplemental_entries()} supplemental entries; "
         f"identify {report.identify_seconds:.2f}s, "
         f"relabel {report.relabel_seconds:.2f}s"
@@ -273,9 +298,23 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
     registry = MetricsRegistry()
     recorder = TraceRecorder(capacity=args.span_capacity)
+    algorithm = _resolve_algorithm(args)
     with installed(registry, recorder):
         labeling = build_pll(graph)
-        index, _report = SIEFBuilder(graph, labeling).build(edges=cases)
+        if args.jobs > 1:
+            from repro.core.parallel import build_sief_parallel
+
+            index, _report = build_sief_parallel(
+                graph,
+                labeling,
+                algorithm=algorithm,
+                workers=args.jobs,
+                edges=cases,
+            )
+        else:
+            index, _report = SIEFBuilder(
+                graph, labeling, algorithm=algorithm
+            ).build(edges=cases)
         engine = SIEFQueryEngine(index)
         n = graph.num_vertices
         per_case = max(1, args.queries // max(1, len(cases)))
@@ -320,6 +359,31 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_build_path_flags(parser: argparse.ArgumentParser) -> None:
+    """Construction-path flags shared by ``build`` and ``metrics``."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the build (1 = in-process serial)",
+    )
+    batched = parser.add_mutually_exclusive_group()
+    batched.add_argument(
+        "--batched",
+        dest="batched",
+        action="store_true",
+        default=None,
+        help="use the bit-parallel batched relabel (overrides --algorithm)",
+    )
+    batched.add_argument(
+        "--no-batched",
+        dest="batched",
+        action="store_false",
+        help="force a scalar relabel even if --algorithm batched was given",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for the CLI tests)."""
     parser = argparse.ArgumentParser(
@@ -338,9 +402,12 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("graph")
     build.add_argument("--output", "-o", default="index.sief")
     build.add_argument(
-        "--algorithm", choices=["bfs_aff", "bfs_all"], default="bfs_all"
+        "--algorithm",
+        choices=["bfs_aff", "bfs_all", "batched"],
+        default="bfs_all",
     )
     build.add_argument("--ordering", default="degree")
+    _add_build_path_flags(build)
     build.set_defaults(func=_cmd_build)
 
     query = sub.add_parser("query", help="answer one failure query")
@@ -485,6 +552,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", "-o", default="-", help="output path ('-' = stdout)"
     )
     metrics.add_argument("--span-capacity", type=int, default=1024)
+    metrics.add_argument(
+        "--algorithm",
+        choices=["bfs_aff", "bfs_all", "batched"],
+        default="bfs_all",
+    )
+    _add_build_path_flags(metrics)
     metrics.set_defaults(func=_cmd_metrics)
 
     return parser

@@ -22,7 +22,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.exceptions import EdgeNotFound
+import numpy as np
+
+from repro.exceptions import EdgeNotFound, GraphError
+from repro.graph.frontier import (
+    bfs_bitparallel_csr,
+    bfs_distances_csr,
+    edge_positions,
+)
 from repro.graph.traversal import (
     UNREACHED,
     bfs_distances,
@@ -152,6 +159,72 @@ def identify_affected(
         side_u=tuple(side_u),
         side_v=tuple(side_v),
         disconnected=du_new[v] == UNREACHED,
+    )
+
+
+def identify_affected_csr(
+    csr,
+    u: int,
+    v: int,
+    du: Optional[np.ndarray] = None,
+    dv: Optional[np.ndarray] = None,
+    du_new: Optional[np.ndarray] = None,
+    dv_new: Optional[np.ndarray] = None,
+) -> AffectedVertices:
+    """Algorithm 1 on the vectorized frontier kernels — same output.
+
+    Parameters
+    ----------
+    csr:
+        A :class:`~repro.graph.csr.CSRGraph` snapshot of ``G``.
+    u, v:
+        The failed edge's endpoints; must exist in ``csr``.
+    du, dv, du_new, dv_new:
+        Optional precomputed ``int32`` distance rows (from ``u`` and
+        ``v``, on ``G`` and on ``G' = G - (u, v)`` respectively).  The
+        batched builder computes these 32 cases at a time with two
+        bit-parallel sweeps and passes them in; when omitted they are
+        computed here with the same kernels (two 2-lane sweeps).
+
+    The Lemma 7 membership test becomes one vectorized boolean
+    expression per side, and the Lemma 8 side growth is the masked
+    single-source kernel (:func:`repro.graph.frontier.bfs_distances_csr`
+    with ``allowed=``).  Output is exactly
+    :func:`identify_affected`'s — Python-int sorted side tuples — which
+    the parity suite asserts.
+    """
+    indptr = csr.indptr
+    indices = csr.indices
+    try:
+        pair = edge_positions(indptr, indices, u, v)
+    except GraphError:
+        raise EdgeNotFound(u, v) from None
+    if du is None or dv is None:
+        base, _ = bfs_bitparallel_csr(indptr, indices, (u, v))
+        du, dv = base[0], base[1]
+    if du_new is None or dv_new is None:
+        prime, _ = bfs_bitparallel_csr(
+            indptr, indices, (u, v), avoid_positions=pair
+        )
+        du_new, dv_new = prime[0], prime[1]
+
+    # Lemma 7 per side, vectorized; the root joins unconditionally via
+    # the BFS source exemption in the masked kernel.
+    near_ok = du != UNREACHED
+    elig_u = near_ok & (dv == du + 1) & (dv_new != du + 1)
+    near_ok_v = dv != UNREACHED
+    elig_v = near_ok_v & (du == dv + 1) & (du_new != dv + 1)
+
+    side_u_dist = bfs_distances_csr(indptr, indices, u, allowed=elig_u)
+    side_v_dist = bfs_distances_csr(indptr, indices, v, allowed=elig_v)
+    side_u = tuple(map(int, np.flatnonzero(side_u_dist != UNREACHED)))
+    side_v = tuple(map(int, np.flatnonzero(side_v_dist != UNREACHED)))
+    return AffectedVertices(
+        u=u,
+        v=v,
+        side_u=side_u,
+        side_v=side_v,
+        disconnected=int(du_new[v]) == UNREACHED,
     )
 
 

@@ -81,6 +81,7 @@ def build_supplemental_bfs_aff(
     labeling: Labeling,
     affected: AffectedVertices,
     dist_buf: Optional[List[int]] = None,
+    csr=None,
 ) -> SupplementalIndex:
     """Algorithm 2: build ``SI(u,v)`` with plain BFS + late pruning.
 
@@ -95,8 +96,11 @@ def build_supplemental_bfs_aff(
     dist_buf:
         Accepted for interface compatibility with the builder; unused
         (the search keeps per-root dict frontiers).
+    csr:
+        Accepted for interface compatibility with the batched relabel;
+        unused (this algorithm walks the adjacency lists).
     """
-    del dist_buf
+    del dist_buf, csr
     adj = graph.adjacency()
     si = SupplementalIndex(affected)
     if affected.disconnected:

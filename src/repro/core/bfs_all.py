@@ -126,6 +126,7 @@ def build_supplemental_bfs_all(
     labeling: Labeling,
     affected: AffectedVertices,
     dist_buf: Optional[List[int]] = None,
+    csr=None,
 ) -> SupplementalIndex:
     """Algorithm 3: build ``SI(u,v)`` with TL-pruned BFS (early pruning).
 
@@ -134,7 +135,7 @@ def build_supplemental_bfs_all(
     labels live only for the duration of one side's loop, matching the
     paper's per-failure-case ``TL`` reset.
     """
-    del dist_buf
+    del dist_buf, csr
     adj = graph.adjacency()
     si = SupplementalIndex(affected)
     if affected.disconnected:

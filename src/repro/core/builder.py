@@ -16,11 +16,14 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.affected import identify_affected
+from repro.core.affected import identify_affected, identify_affected_csr
+from repro.core.batched import build_supplemental_batched
 from repro.core.bfs_aff import build_supplemental_bfs_aff
 from repro.core.bfs_all import build_supplemental_bfs_all
 from repro.core.index import SIEFIndex
 from repro.exceptions import IndexError_
+from repro.graph.csr import CSRGraph
+from repro.graph.frontier import bfs_bitparallel_csr, edge_positions
 from repro.graph.graph import Graph, normalize_edge
 from repro.graph.traversal import bfs_distances
 from repro.labeling.label import Labeling
@@ -33,7 +36,13 @@ Edge = Tuple[int, int]
 RELABEL_ALGORITHMS: Dict[str, Callable] = {
     "bfs_aff": build_supplemental_bfs_aff,
     "bfs_all": build_supplemental_bfs_all,
+    "batched": build_supplemental_batched,
 }
+
+IDENTIFY_GROUP = 32
+"""Failure cases identified per pair of bit-parallel sweeps in the
+batched full build: each case contributes two roots (``u`` and ``v``),
+so 32 cases fill the 64 lanes of one ``uint64`` sweep."""
 
 
 def record_case_obs(reg, record: "EdgeBuildRecord") -> None:
@@ -65,6 +74,46 @@ def record_case_obs(reg, record: "EdgeBuildRecord") -> None:
     reg.histogram("sief.build.relabel_seconds").observe(
         record.relabel_seconds
     )
+
+
+def build_one_case(
+    graph,
+    labeling,
+    relabel: Callable,
+    u: int,
+    v: int,
+    csr: Optional[CSRGraph] = None,
+    dist_u=None,
+    dist_v=None,
+    dist_buf=None,
+) -> Tuple[object, "EdgeBuildRecord"]:
+    """IDENTIFY + RELABEL + measurement for one failed edge.
+
+    The single case pipeline shared by the serial builder's
+    :meth:`SIEFBuilder.build_case`, the lazy index and the parallel
+    workers, so all four build paths stay bit-identical by construction.
+    ``csr`` switches to the vectorized identify and is forwarded to the
+    relabel callable (all registered algorithms accept it; the scalar
+    ones ignore it).
+    """
+    t0 = time.perf_counter()
+    if csr is not None:
+        affected = identify_affected_csr(csr, u, v)
+    else:
+        affected = identify_affected(graph, u, v, dist_u=dist_u, dist_v=dist_v)
+    t1 = time.perf_counter()
+    si = relabel(graph, labeling, affected, dist_buf=dist_buf, csr=csr)
+    t2 = time.perf_counter()
+    record = EdgeBuildRecord(
+        edge=normalize_edge(u, v),
+        affected_u=len(affected.side_u),
+        affected_v=len(affected.side_v),
+        supplemental_entries=si.total_entries(),
+        identify_seconds=t1 - t0,
+        relabel_seconds=t2 - t1,
+        relabel_expanded=si.search_expanded,
+    )
+    return si, record
 
 
 @dataclass(frozen=True)
@@ -162,6 +211,13 @@ class SIEFBuilder:
         self.labeling = labeling if labeling is not None else build_pll(graph)
         self.algorithm = algorithm
         self._relabel = RELABEL_ALGORITHMS[algorithm]
+        self._csr_cache: Optional[CSRGraph] = None
+
+    def _csr(self) -> CSRGraph:
+        """CSR snapshot of the (immutable during a build) graph."""
+        if self._csr_cache is None:
+            self._csr_cache = CSRGraph.from_graph(self.graph)
+        return self._csr_cache
 
     # -- single case --------------------------------------------------------
 
@@ -170,19 +226,9 @@ class SIEFBuilder:
 
         Returns ``(SupplementalIndex, EdgeBuildRecord)``.
         """
-        t0 = time.perf_counter()
-        affected = identify_affected(self.graph, u, v)
-        t1 = time.perf_counter()
-        si = self._relabel(self.graph, self.labeling, affected)
-        t2 = time.perf_counter()
-        record = EdgeBuildRecord(
-            edge=normalize_edge(u, v),
-            affected_u=len(affected.side_u),
-            affected_v=len(affected.side_v),
-            supplemental_entries=si.total_entries(),
-            identify_seconds=t1 - t0,
-            relabel_seconds=t2 - t1,
-            relabel_expanded=si.search_expanded,
+        csr = self._csr() if self.algorithm == "batched" else None
+        si, record = build_one_case(
+            self.graph, self.labeling, self._relabel, u, v, csr=csr
         )
         reg = _obs.registry
         if reg is not None:
@@ -207,40 +253,103 @@ class SIEFBuilder:
 
         index = SIEFIndex(self.labeling)
         records: List[EdgeBuildRecord] = []
-        dist_buf = [-1] * self.graph.num_vertices
-
         reg = _obs.registry
+        with _obs.span("sief.build"):
+            if self.algorithm == "batched":
+                case_iter = self._iter_cases_batched(edge_list)
+            else:
+                case_iter = self._iter_cases_scalar(edge_list)
+            for edge, si, record in case_iter:
+                index.add_supplement(edge, si)
+                records.append(record)
+                if reg is not None:
+                    record_case_obs(reg, record)
+        return index, BuildReport(self.algorithm, tuple(records))
+
+    def _iter_cases_scalar(self, edge_list: Sequence[Edge]):
+        """Per-case scalar pipeline (the seed's build loop, unchanged)."""
+        dist_buf = [-1] * self.graph.num_vertices
         current_u = -1
         du: Optional[List[int]] = None
-        with _obs.span("sief.build"):
-            for u, v in edge_list:
-                t0 = time.perf_counter()
-                if u != current_u:
-                    current_u = u
-                    du = bfs_distances(self.graph, u)
-                dv = bfs_distances(self.graph, v)
-                affected = identify_affected(
-                    self.graph, u, v, dist_u=du, dist_v=dv
-                )
+        for u, v in edge_list:
+            t0 = time.perf_counter()
+            if u != current_u:
+                current_u = u
+                du = bfs_distances(self.graph, u)
+            dv = bfs_distances(self.graph, v)
+            affected = identify_affected(
+                self.graph, u, v, dist_u=du, dist_v=dv
+            )
+            t1 = time.perf_counter()
+            si = self._relabel(
+                self.graph, self.labeling, affected, dist_buf=dist_buf
+            )
+            t2 = time.perf_counter()
+            record = EdgeBuildRecord(
+                edge=(u, v),
+                affected_u=len(affected.side_u),
+                affected_v=len(affected.side_v),
+                supplemental_entries=si.total_entries(),
+                identify_seconds=t1 - t0,
+                relabel_seconds=t2 - t1,
+                relabel_expanded=si.search_expanded,
+            )
+            yield (u, v), si, record
+
+    def _iter_cases_batched(self, edge_list: Sequence[Edge]):
+        """Cross-case IDENTIFY batching + bit-parallel RELABEL.
+
+        Groups :data:`IDENTIFY_GROUP` failure cases per iteration.  Each
+        case needs four distance rows (``du``, ``dv`` on ``G`` and
+        ``d'u``, ``d'v`` on ``G'``); packing the ``(u, v)`` roots of the
+        whole group into the 64 lanes of two bit-parallel sweeps — one
+        unmasked, one with a per-lane mask on that lane's failed edge —
+        amortizes the frontier bookkeeping across the group.  The sweep
+        time is split evenly across the group's records so per-case
+        ``identify_seconds`` still sums to the true total.
+        """
+        csr = self._csr()
+        indptr, indices = csr.indptr, csr.indices
+        for g0 in range(0, len(edge_list), IDENTIFY_GROUP):
+            group = edge_list[g0 : g0 + IDENTIFY_GROUP]
+            t0 = time.perf_counter()
+            pairs = [edge_positions(indptr, indices, u, v) for u, v in group]
+            roots: List[int] = []
+            for u, v in group:
+                roots.append(u)
+                roots.append(v)
+            base, _ = bfs_bitparallel_csr(indptr, indices, roots)
+            avoid = [pairs[i // 2] for i in range(len(roots))]
+            prime, _ = bfs_bitparallel_csr(
+                indptr, indices, roots, avoid_positions=avoid
+            )
+            sweep_share = (time.perf_counter() - t0) / len(group)
+            for ci, (u, v) in enumerate(group):
                 t1 = time.perf_counter()
-                si = self._relabel(
-                    self.graph, self.labeling, affected, dist_buf=dist_buf
+                affected = identify_affected_csr(
+                    csr,
+                    u,
+                    v,
+                    du=base[2 * ci],
+                    dv=base[2 * ci + 1],
+                    du_new=prime[2 * ci],
+                    dv_new=prime[2 * ci + 1],
                 )
                 t2 = time.perf_counter()
-                index.add_supplement((u, v), si)
+                si = self._relabel(
+                    self.graph, self.labeling, affected, csr=csr
+                )
+                t3 = time.perf_counter()
                 record = EdgeBuildRecord(
                     edge=(u, v),
                     affected_u=len(affected.side_u),
                     affected_v=len(affected.side_v),
                     supplemental_entries=si.total_entries(),
-                    identify_seconds=t1 - t0,
-                    relabel_seconds=t2 - t1,
+                    identify_seconds=sweep_share + (t2 - t1),
+                    relabel_seconds=t3 - t2,
                     relabel_expanded=si.search_expanded,
                 )
-                records.append(record)
-                if reg is not None:
-                    record_case_obs(reg, record)
-        return index, BuildReport(self.algorithm, tuple(records))
+                yield (u, v), si, record
 
 
 def build_sief(

@@ -23,13 +23,13 @@ import time
 from typing import Dict, Optional, Tuple, Union
 
 from repro.core.builder import RELABEL_ALGORITHMS, record_case_obs
-from repro.core.builder import EdgeBuildRecord
-from repro.core.affected import identify_affected
+from repro.core.builder import build_one_case
+from repro.graph.csr import CSRGraph
 from repro.obs import hooks as _obs
 from repro.core.index import SIEFIndex
 from repro.core.query import SIEFQueryEngine
 from repro.exceptions import EdgeNotFound, IndexError_
-from repro.graph.graph import Graph, normalize_edge
+from repro.graph.graph import Graph
 from repro.labeling.dynamic import insert_edge as _dynamic_insert
 from repro.labeling.pll import build_pll
 from repro.labeling.label import Labeling
@@ -67,6 +67,7 @@ class LazySIEFIndex:
         self.graph = graph
         self.algorithm = algorithm
         self._relabel = RELABEL_ALGORITHMS[algorithm]
+        self._csr_cache: Optional[CSRGraph] = None
         self._index = SIEFIndex(
             labeling if labeling is not None else build_pll(graph)
         )
@@ -87,6 +88,12 @@ class LazySIEFIndex:
         self._ensure_case(*failed_edge)
         return self._engine.distance(s, t, failed_edge)
 
+    def _csr(self) -> CSRGraph:
+        """CSR snapshot of the current graph; rebuilt after each mutation."""
+        if self._csr_cache is None:
+            self._csr_cache = CSRGraph.from_graph(self.graph)
+        return self._csr_cache
+
     def _ensure_case(self, u: int, v: int) -> None:
         reg = _obs.registry
         if self._index.has_case(u, v):
@@ -99,28 +106,15 @@ class LazySIEFIndex:
         if reg is not None:
             reg.counter("sief.lazy.cache_misses").inc()
         with _obs.span("sief.lazy.build_case"):
-            started = time.perf_counter()
-            t0 = started
-            affected = identify_affected(self.graph, u, v)
-            t1 = time.perf_counter()
-            si = self._relabel(self.graph, self._index.labeling, affected)
-            t2 = time.perf_counter()
-            self.build_seconds += t2 - started
+            csr = self._csr() if self.algorithm == "batched" else None
+            si, record = build_one_case(
+                self.graph, self._index.labeling, self._relabel, u, v, csr=csr
+            )
+            self.build_seconds += record.identify_seconds + record.relabel_seconds
             self._index.add_supplement((u, v), si)
             self.cases_built += 1
         if reg is not None:
-            record_case_obs(
-                reg,
-                EdgeBuildRecord(
-                    edge=normalize_edge(u, v),
-                    affected_u=len(affected.side_u),
-                    affected_v=len(affected.side_v),
-                    supplemental_entries=si.total_entries(),
-                    identify_seconds=t1 - t0,
-                    relabel_seconds=t2 - t1,
-                    relabel_expanded=si.search_expanded,
-                ),
-            )
+            record_case_obs(reg, record)
             reg.gauge("sief.lazy.cached_cases").set(self._index.num_cases)
 
     # -- mutation --------------------------------------------------------------
@@ -147,6 +141,7 @@ class LazySIEFIndex:
         shrunk graph with the same ordering strategy.
         """
         self.graph.remove_edge(u, v)
+        self._csr_cache = None
         reg = _obs.registry
         if reg is not None:
             reg.counter("sief.lazy.rebuilds").inc()
@@ -163,6 +158,7 @@ class LazySIEFIndex:
             reg.gauge("sief.lazy.cached_cases").set(0)
 
     def _invalidate(self) -> None:
+        self._csr_cache = None
         reg = _obs.registry
         if reg is not None:
             reg.counter("sief.lazy.invalidations").inc()

@@ -6,28 +6,39 @@ full build parallelizes embarrassingly across processes.  The paper ran
 on a 32-core Xeon without exploiting this; in CPython (GIL) processes
 are the only way to.
 
-Workers inherit the graph and labeling via the process-start copy (fork)
-or one-time pickling (spawn); each returns its chunk's supplemental
-indexes, which the parent merges into a normal
-:class:`~repro.core.index.SIEFIndex` — bit-identical to a serial build
-(asserted in tests).
+Two transport modes hand workers the (read-only) build inputs:
+
+* **shared memory** (default when a pool is used): the parent publishes
+  one :mod:`repro.core.shm` arena — CSR arrays, frozen labeling arrays,
+  ordering permutation — and each worker attaches zero-copy read-only
+  views.  Startup cost is independent of index size; the parent
+  guarantees ``close()``/``unlink()`` in a ``finally`` so no ``/dev/shm``
+  segment survives success, a worker exception, or ``KeyboardInterrupt``.
+* **pickle** (``shared_memory=False``): the legacy one-time pickling of
+  the graph and labeling into the pool initializer; kept as the
+  reference transport for the three-way parity tests.
+
+Either way each worker returns its chunk's supplemental indexes, which
+the parent merges into a normal :class:`~repro.core.index.SIEFIndex` —
+bit-identical to a serial build (asserted in tests).
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import time
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.affected import identify_affected
 from repro.core.builder import (
     RELABEL_ALGORITHMS,
     BuildReport,
     EdgeBuildRecord,
+    build_one_case,
     record_case_obs,
 )
 from repro.core.index import SIEFIndex
+from repro.core.shm import attach_build_inputs, publish_build_inputs
 from repro.exceptions import IndexError_
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph, normalize_edge
 from repro.labeling.label import Labeling
 from repro.labeling.pll import build_pll
@@ -36,49 +47,78 @@ from repro.obs.metrics import MetricsRegistry
 
 Edge = Tuple[int, int]
 
-# Worker-global state, installed once per process by _init_worker.
+# Worker-global state, installed once per process by an initializer.
 _STATE: dict = {}
 
 
 def _init_worker(
     graph: Graph, labeling: Labeling, algorithm: str, obs: bool = False
 ) -> None:
+    """Legacy transport: inputs arrive pickled (or fork-copied)."""
+    _STATE.clear()
     _STATE["graph"] = graph
     _STATE["labeling"] = labeling
+    _STATE["algorithm"] = algorithm
     _STATE["relabel"] = RELABEL_ALGORITHMS[algorithm]
     _STATE["obs"] = obs
+    _STATE["csr"] = None
+
+
+def _init_worker_shm(spec: dict, algorithm: str, obs: bool = False) -> None:
+    """Shared-memory transport: attach read-only views from the spec."""
+    _STATE.clear()
+    arena, csr, labeling = attach_build_inputs(spec)
+    _STATE["arena"] = arena  # keeps the mapping alive for the views
+    _STATE["csr"] = csr
+    _STATE["labeling"] = labeling
+    _STATE["graph"] = None  # materialized lazily for scalar algorithms
+    _STATE["algorithm"] = algorithm
+    _STATE["relabel"] = RELABEL_ALGORITHMS[algorithm]
+    _STATE["obs"] = obs
+    _STATE["attached"] = True
+
+
+def _worker_graph() -> Graph:
+    """The worker's Graph, rebuilding it from shared CSR on first use.
+
+    Only the scalar relabel algorithms walk adjacency lists; the batched
+    algorithm runs straight off the shared CSR arrays, so shm workers
+    with ``algorithm="batched"`` never pay this materialization.
+    """
+    graph = _STATE.get("graph")
+    if graph is None:
+        graph = Graph.from_sorted_adjacency(_STATE["csr"].to_adjacency())
+        _STATE["graph"] = graph
+    return graph
 
 
 def _build_chunk(edges: Sequence[Edge]):
     """Build every case in the chunk.
 
-    Returns ``(triples, metrics_snapshot)`` where ``triples`` is the
-    list of ``(si, record)`` pairs and ``metrics_snapshot`` is the
-    chunk-local registry's snapshot (or ``None`` when observability is
-    off).  Each chunk gets its **own** registry — worker processes never
-    write the parent's — and the parent merges the snapshots at join,
-    so parallel builds report exactly the counters a serial build would.
+    Returns ``(pairs, metrics_snapshot)`` where ``pairs`` is the list of
+    ``(si, record)`` tuples and ``metrics_snapshot`` is the chunk-local
+    registry's snapshot (or ``None`` when observability is off).  Each
+    chunk gets its **own** registry — worker processes never write the
+    parent's — and the parent merges the snapshots at join, so parallel
+    builds report exactly the counters a serial build would.
     """
-    graph = _STATE["graph"]
     labeling = _STATE["labeling"]
     relabel = _STATE["relabel"]
     chunk_reg = MetricsRegistry() if _STATE.get("obs") else None
+    if chunk_reg is not None and _STATE.pop("attached", False):
+        chunk_reg.counter("sief.shm.worker_attaches").inc()
+    if _STATE["algorithm"] == "batched":
+        csr = _STATE.get("csr")
+        if csr is None:
+            csr = CSRGraph.from_graph(_STATE["graph"])
+            _STATE["csr"] = csr
+        graph = _STATE.get("graph")  # unused by the batched pipeline
+    else:
+        csr = None
+        graph = _worker_graph()
     out = []
     for u, v in edges:
-        t0 = time.perf_counter()
-        affected = identify_affected(graph, u, v)
-        t1 = time.perf_counter()
-        si = relabel(graph, labeling, affected)
-        t2 = time.perf_counter()
-        record = EdgeBuildRecord(
-            edge=(u, v),
-            affected_u=len(affected.side_u),
-            affected_v=len(affected.side_v),
-            supplemental_entries=si.total_entries(),
-            identify_seconds=t1 - t0,
-            relabel_seconds=t2 - t1,
-            relabel_expanded=si.search_expanded,
-        )
+        si, record = build_one_case(graph, labeling, relabel, u, v, csr=csr)
         if chunk_reg is not None:
             record_case_obs(chunk_reg, record)
         out.append((si, record))
@@ -111,12 +151,16 @@ def build_sief_parallel(
     algorithm: str = "bfs_all",
     workers: Optional[int] = None,
     edges: Optional[Sequence[Edge]] = None,
+    shared_memory: Optional[bool] = None,
 ) -> Tuple[SIEFIndex, BuildReport]:
     """Build a SIEF index using a pool of worker processes.
 
     Parameters mirror :class:`~repro.core.builder.SIEFBuilder` plus
-    ``workers`` (default: CPU count).  With one worker everything runs
-    in-process (no pool), which keeps small builds and tests cheap.
+    ``workers`` (default: CPU count) and ``shared_memory`` (default:
+    use the shm transport whenever a pool is actually spawned; pass
+    ``False`` to force the legacy pickle transport).  With one worker
+    everything runs in-process (no pool), which keeps small builds and
+    tests cheap.
     """
     if algorithm not in RELABEL_ALGORITHMS:
         raise IndexError_(
@@ -136,9 +180,12 @@ def build_sief_parallel(
     records: List[EdgeBuildRecord] = []
     parent_reg = _obs.registry
     obs_enabled = parent_reg is not None
+    use_pool = workers > 1 and len(edge_list) >= 4
+    if shared_memory is None:
+        shared_memory = use_pool
 
     with _obs.span("sief.build.parallel"):
-        if workers <= 1 or len(edge_list) < 4:
+        if not use_pool:
             _init_worker(graph, labeling, algorithm, obs=obs_enabled)
             results = [_build_chunk(edge_list)]
         else:
@@ -146,14 +193,32 @@ def build_sief_parallel(
                 ctx = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 ctx = multiprocessing.get_context("spawn")
-            with ctx.Pool(
-                processes=workers,
-                initializer=_init_worker,
-                initargs=(graph, labeling, algorithm, obs_enabled),
-            ) as pool:
-                results = pool.map(
-                    _build_chunk, _chunks(edge_list, workers * 4)
-                )
+            chunks = _chunks(edge_list, workers * 4)
+            if shared_memory:
+                csr = CSRGraph.from_graph(graph)
+                labeling.freeze()
+                arena = publish_build_inputs(csr, labeling)
+                try:
+                    with ctx.Pool(
+                        processes=workers,
+                        initializer=_init_worker_shm,
+                        initargs=(arena.spec(), algorithm, obs_enabled),
+                    ) as pool:
+                        results = pool.map(_build_chunk, chunks)
+                finally:
+                    # Runs on success, worker exception, and
+                    # KeyboardInterrupt alike; the Pool context manager
+                    # has already terminated the children, so no worker
+                    # still maps the segment.
+                    arena.close()
+                    arena.unlink()
+            else:
+                with ctx.Pool(
+                    processes=workers,
+                    initializer=_init_worker,
+                    initargs=(graph, labeling, algorithm, obs_enabled),
+                ) as pool:
+                    results = pool.map(_build_chunk, chunks)
 
         for chunk, snapshot in results:
             if snapshot is not None and parent_reg is not None:

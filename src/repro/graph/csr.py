@@ -101,6 +101,19 @@ class CSRGraph:
             for v in range(self.num_vertices)
         ]
 
+    def to_adjacency(self) -> List[List[int]]:
+        """Python adjacency lists via one bulk ``tolist`` + ``n`` slices.
+
+        Equivalent to :meth:`adjacency` but an order of magnitude faster
+        on large graphs (no per-element ``int()`` boxing); the produced
+        lists are fresh, sorted and symmetric, i.e. valid input for
+        :meth:`repro.graph.graph.Graph.from_sorted_adjacency` — the
+        shared-memory workers' zero-copy → Graph path.
+        """
+        flat = self.indices.tolist()
+        ptr = self.indptr.tolist()
+        return [flat[ptr[v] : ptr[v + 1]] for v in range(self.num_vertices)]
+
     def adjacency_flat(self) -> Tuple[List[int], List[int]]:
         """The CSR pair as two flat Python-int lists ``(indptr, indices)``.
 

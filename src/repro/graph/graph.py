@@ -51,6 +51,23 @@ class Graph:
         for u, v in edges:
             self.add_edge(u, v)
 
+    @classmethod
+    def from_sorted_adjacency(cls, adjacency: List[List[int]]) -> "Graph":
+        """Adopt a prebuilt adjacency structure without per-edge insertion.
+
+        ``adjacency[v]`` must already be the sorted, duplicate-free
+        neighbor list of ``v`` and symmetric (``u in adjacency[v]`` iff
+        ``v in adjacency[u]``) — exactly what
+        :meth:`repro.graph.csr.CSRGraph.to_adjacency` produces.  The
+        lists are adopted, not copied; the caller must not alias them.
+        Used by shared-memory workers to rebuild a ``Graph`` from CSR
+        arrays in O(n) list slices instead of O(m log d) insertions.
+        """
+        g = cls(0)
+        g._adj = adjacency
+        g._num_edges = sum(len(nbrs) for nbrs in adjacency) // 2
+        return g
+
     # -- basic accessors -------------------------------------------------
 
     @property

@@ -10,6 +10,13 @@ CPython.
 Convention: distance vectors are lists of ints where ``-1`` means
 "unreachable" (:data:`UNREACHED`).  Query-level code translates that to
 ``math.inf``.
+
+The *vectorized* counterparts — level-synchronous frontier kernels over
+CSR numpy arrays, including the bit-parallel multi-root sweep the batched
+construction path runs — live in :mod:`repro.graph.frontier` and are
+re-exported here (:func:`bfs_distances_csr`, :func:`bfs_bitparallel_csr`,
+:func:`edge_positions`) so traversal stays the single import point for
+BFS machinery.
 """
 
 from __future__ import annotations
@@ -17,6 +24,12 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.frontier import (  # noqa: F401  (re-exports)
+    bfs_bitparallel_csr,
+    bfs_distances_csr,
+    edge_positions,
+)
 
 UNREACHED = -1
 """Sentinel distance for vertices a traversal never reached."""

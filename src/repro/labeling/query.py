@@ -8,11 +8,14 @@ components" (§3.2 of the paper).
 Two evaluation paths share this module:
 
 * :func:`dist_query` — one pair at a time.  On a thawed labeling it
-  merge-joins the per-vertex lists; on a frozen labeling it works off
-  the flat arrays, switching to a ``numpy``/``searchsorted``
-  intersection when both labels are large and falling back to the
-  scalar merge join for tiny labels (where interpreter overhead beats
-  vectorization).
+  merge-joins the per-vertex lists; on a frozen labeling it reuses the
+  batch path's dense hub-prefix matrix (built lazily on first use, see
+  below): the sub-:data:`_DENSE_HUB_WIDTH` half of Equation 1 is one
+  vectorized ``min(D[s] + D[t])`` over two short rows, and only the
+  residual high-rank tails go through the scalar merge join.  Labelings
+  the dense matrix cannot represent (float or very large distances)
+  fall back to a merge join / ``searchsorted`` intersection chosen by
+  label size.
 * :func:`batch_dist_query` — many pairs per call, vectorized over the
   frozen flat arrays.  Two tricks keep it memory-friendly (the join
   touches ``O(sum of label sizes)`` data, so bandwidth, not FLOPs, is
@@ -110,14 +113,40 @@ def merge_min_sum(
 def _merge_min_sum_flat(labeling, s: int, t: int) -> Distance:
     """Frozen-backend scalar evaluation of Equation 1.
 
-    Small labels: materialize the two slices as lists and merge-join
-    (fastest in CPython).  Large labels: ``searchsorted`` intersection
-    over the int32 slices, which beats the interpreted merge once the
-    slices hold ~64+ entries.
+    With a dense hub-prefix matrix available (integral distances), the
+    low-rank half is ``min(D[s] + D[t])`` — two 256-entry rows, one
+    vectorized add — and only the residual high-rank tails are merge-
+    joined as lists.  The dense prefix absorbs roughly half of every
+    label on scale-free orderings, so the interpreted merge runs on a
+    fraction of the entries; this is what makes the frozen scalar path
+    faster than the list backend, not merely equal to it.
+
+    Ineligible labelings (float or oversized distances) fall back to
+    the original strategy: list merge join for small labels,
+    ``searchsorted`` intersection once both slices hold ~64+ entries.
     """
     offsets = labeling.offsets
     hubs = labeling.hubs_flat
     dists = labeling.dists_flat
+    cache = labeling._batch_cache
+    if cache is None:
+        cache = _get_batch_cache(labeling)
+    if cache.dense is not None:
+        res_hubs = cache.res_hubs
+        if res_hubs is None:
+            res_hubs = _materialize_residuals(labeling, cache)
+        sums = cache.dense[s] + cache.dense[t]
+        best = int(sums.min())
+        ha = res_hubs[s]
+        hb = res_hubs[t]
+        if ha and hb:
+            res_dists = cache.res_dists
+            residual = merge_min_sum(ha, res_dists[s], hb, res_dists[t])
+        else:
+            residual = INF
+        if best < _DENSE_INF:
+            return best if best <= residual else residual
+        return residual
     a0, a1 = int(offsets[s]), int(offsets[s + 1])
     b0, b1 = int(offsets[t]), int(offsets[t + 1])
     la = a1 - a0
@@ -245,13 +274,38 @@ class _BatchCache:
     ``res_start[v]`` is the flat index where the sparse residual of
     ``L(v)`` (entries with hub rank ``>= H``) begins, so the residual
     slice is ``[res_start[v], offsets[v+1])``.
+
+    ``offsets_list`` / ``res_start_list`` mirror ``offsets`` and
+    ``res_start`` as plain Python lists for the *scalar* frozen query
+    path, whose per-call budget is a few microseconds — indexing a
+    Python list there is several times cheaper than unboxing a numpy
+    scalar.  They are only materialized when ``dense`` exists (the
+    scalar fallback paths read ``offsets`` directly).
+
+    ``res_hubs`` / ``res_dists`` are the per-vertex residual label
+    slices as plain lists, filled in by the first scalar frozen query
+    (batch-only users never pay for them): with the slices
+    pre-materialized, the scalar residual merge runs straight on Python
+    lists — no per-query ``ndarray.tolist`` — which is where the frozen
+    scalar path wins over the thawed list backend.
     """
 
-    __slots__ = ("dense", "res_start")
+    __slots__ = (
+        "dense",
+        "res_start",
+        "offsets_list",
+        "res_start_list",
+        "res_hubs",
+        "res_dists",
+    )
 
-    def __init__(self, dense, res_start) -> None:
+    def __init__(self, dense, res_start, offsets_list=None, res_start_list=None) -> None:
         self.dense = dense
         self.res_start = res_start
+        self.offsets_list = offsets_list
+        self.res_start_list = res_start_list
+        self.res_hubs = None
+        self.res_dists = None
 
 
 def _get_batch_cache(labeling) -> _BatchCache:
@@ -273,7 +327,10 @@ def _get_batch_cache(labeling) -> _BatchCache:
         width > 0
         and hubs.size > 0
         and dists.dtype.kind in "iu"
-        and int(dists.max()) <= _DENSE_MAX_DIST
+        # Strict bound: two maximal distances must sum *below* the
+        # absent-hub sentinel, or a farthest valid pair would be
+        # indistinguishable from "no shared dense hub".
+        and int(dists.max()) < _DENSE_MAX_DIST
     )
     if not eligible:
         cache = _BatchCache(None, offsets[:-1])
@@ -288,9 +345,27 @@ def _get_batch_cache(labeling) -> _BatchCache:
         cum = np.zeros(hubs.size + 1, dtype=np.int64)
         np.cumsum(prefix, out=cum[1:])
         res_start = offsets[:-1] + (cum[offsets[1:]] - cum[offsets[:-1]])
-        cache = _BatchCache(dense, res_start)
+        cache = _BatchCache(
+            dense, res_start, offsets.tolist(), res_start.tolist()
+        )
     labeling._batch_cache = cache
     return cache
+
+
+def _materialize_residuals(labeling, cache: _BatchCache):
+    """Fill ``cache.res_hubs`` / ``res_dists`` (one pass, then cached).
+
+    One ``tolist`` of each flat array plus a list-slice per vertex —
+    ``O(total entries)``, paid once by the first scalar frozen query.
+    """
+    starts = cache.res_start_list
+    ends = cache.offsets_list
+    hubs_l = labeling.hubs_flat.tolist()
+    dists_l = labeling.dists_flat.tolist()
+    n = labeling.num_vertices
+    cache.res_hubs = [hubs_l[starts[v] : ends[v + 1]] for v in range(n)]
+    cache.res_dists = [dists_l[starts[v] : ends[v + 1]] for v in range(n)]
+    return cache.res_hubs
 
 
 def _batch_chunk(

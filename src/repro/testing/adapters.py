@@ -120,6 +120,42 @@ class WorldContext:
             "sief_engine", lambda: SIEFQueryEngine(self.sief_index())
         )
 
+    def sief_index_batched(self):
+        """SIEF index built with the bit-parallel batched relabel.
+
+        Building it asserts bit-identity against the scalar-built index:
+        every failure case must carry the same supplemental labels with
+        the same ``(rank, dist)`` entries in the same order.  A mismatch
+        raises, which the fuzz loop records as a counterexample — this is
+        what puts the batched construction path on the full fuzz corpus.
+        """
+        from repro.core.builder import build_sief
+
+        def build():
+            index = build_sief(
+                self.graph, self.labeling(), algorithm="batched"
+            )
+            reference = self.sief_index()
+            if set(index.supplements) != set(reference.supplements):
+                raise AssertionError(
+                    "batched build covered different failure cases"
+                )
+            for edge, si in index.supplements.items():
+                ref = reference.supplements[edge]
+                if si != ref:
+                    raise AssertionError(
+                        f"batched supplement for {edge} differs from scalar"
+                    )
+                for t, sl in si.labels.items():
+                    rl = ref.labels[t]
+                    if sl.ranks != rl.ranks or sl.dists != rl.dists:
+                        raise AssertionError(
+                            f"batched labels for {edge}/{t} not bit-identical"
+                        )
+            return index
+
+        return self._memo("sief_index_batched", build)
+
     def lazy_index(self):
         from repro.core.lazy import LazySIEFIndex
         from repro.labeling.pll import build_pll
@@ -251,6 +287,28 @@ class SIEFFrozenAdapter(EngineAdapter):
     def distances(self, ctx, failure, pairs):
         engine = ctx.sief_engine()
         ctx.sief_index().freeze()
+        edge = failure[1:3]
+        return _scalar_loop(lambda s, t: engine.distance(s, t, edge), pairs)
+
+
+class SIEFBatchedBuildAdapter(EngineAdapter):
+    """Scalar queries on an index built with the batched relabel.
+
+    Materializing the index (memoized per context) asserts bit-identity
+    with the scalar-built index, so this adapter simultaneously checks
+    the batched *construction* path on every fuzzed instance and the
+    answers it yields.
+    """
+
+    name = "sief-batched-build"
+
+    def distances(self, ctx, failure, pairs):
+        from repro.core.query import SIEFQueryEngine
+
+        engine = ctx._memo(
+            "sief_batched_engine",
+            lambda: SIEFQueryEngine(ctx.sief_index_batched()),
+        )
         edge = failure[1:3]
         return _scalar_loop(lambda s, t: engine.distance(s, t, edge), pairs)
 
@@ -482,6 +540,7 @@ ADAPTERS: Dict[str, EngineAdapter] = {
         SIEFCaseAdapter(),
         SIEFBatchAdapter(),
         SIEFFrozenAdapter(),
+        SIEFBatchedBuildAdapter(),
         LazySIEFAdapter(),
         UnitWeightedAdapter(),
         BFSBaselineAdapter(),

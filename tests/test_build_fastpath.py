@@ -1,0 +1,94 @@
+"""Construction fast-path: speedup smoke and CLI flag plumbing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cli import _resolve_algorithm, build_parser
+from repro.core.builder import SIEFBuilder
+from repro.graph.generators import barabasi_albert
+from repro.labeling.pll import build_pll
+
+
+@pytest.mark.slow
+def test_batched_build_at_least_2x_faster_than_scalar():
+    """The headline guarantee of the fast path, on a small BA graph.
+
+    The committed benchmark (BENCH_sief_build.json) demands ≥3× on the
+    10k-vertex graph; this smoke keeps CI honest at a size it can afford,
+    where the vectorization win is smaller but must still clear 2×.
+    """
+    g = barabasi_albert(1200, 3, seed=7)
+    labeling = build_pll(g)
+    import random
+
+    edges = sorted(random.Random(42).sample(sorted(g.edges()), 12))
+
+    t0 = time.perf_counter()
+    idx_scalar, _ = SIEFBuilder(g, labeling, "bfs_all").build(edges=edges)
+    scalar_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    idx_batched, _ = SIEFBuilder(g, labeling, "batched").build(edges=edges)
+    batched_s = time.perf_counter() - t0
+
+    # Equality first — a fast wrong answer is not a speedup.
+    assert set(idx_scalar.supplements) == set(idx_batched.supplements)
+    for edge, si in idx_scalar.supplements.items():
+        assert si == idx_batched.supplements[edge]
+
+    speedup = scalar_s / batched_s if batched_s else float("inf")
+    assert speedup >= 2.0, (
+        f"batched build only {speedup:.2f}x faster "
+        f"({scalar_s:.2f}s scalar vs {batched_s:.2f}s batched)"
+    )
+
+
+class TestCLIFlags:
+    def test_build_accepts_jobs_and_batched(self):
+        args = build_parser().parse_args(
+            ["build", "g.txt", "--batched", "--jobs", "4"]
+        )
+        assert args.jobs == 4
+        assert args.batched is True
+        assert _resolve_algorithm(args) == "batched"
+
+    def test_build_algorithm_batched_choice(self):
+        args = build_parser().parse_args(
+            ["build", "g.txt", "--algorithm", "batched"]
+        )
+        assert _resolve_algorithm(args) == "batched"
+
+    def test_no_batched_downgrades_batched_algorithm(self):
+        args = build_parser().parse_args(
+            ["build", "g.txt", "--algorithm", "batched", "--no-batched"]
+        )
+        assert args.batched is False
+        assert _resolve_algorithm(args) == "bfs_all"
+
+    def test_no_batched_keeps_explicit_scalar_algorithm(self):
+        args = build_parser().parse_args(
+            ["build", "g.txt", "--algorithm", "bfs_aff", "--no-batched"]
+        )
+        assert _resolve_algorithm(args) == "bfs_aff"
+
+    def test_default_is_scalar_serial(self):
+        args = build_parser().parse_args(["build", "g.txt"])
+        assert args.jobs == 1
+        assert args.batched is None
+        assert _resolve_algorithm(args) == "bfs_all"
+
+    def test_batched_flags_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["build", "g.txt", "--batched", "--no-batched"]
+            )
+
+    def test_metrics_has_same_flags(self):
+        args = build_parser().parse_args(
+            ["metrics", "--batched", "--jobs", "2"]
+        )
+        assert args.jobs == 2
+        assert _resolve_algorithm(args) == "batched"

@@ -1,0 +1,210 @@
+"""Vectorized frontier kernels vs the scalar traversal reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.frontier import (
+    UNREACHED,
+    bfs_bitparallel_csr,
+    bfs_distances_csr,
+    edge_positions,
+)
+from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_distances_avoiding_edge,
+)
+
+
+def _random_graph(seed: int):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 40))
+    m = int(rng.integers(1, min(n * (n - 1) // 2, 3 * n) + 1))
+    return erdos_renyi_gnm(n, m, seed=seed)
+
+
+@st.composite
+def graphs_with_edges(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    g = _random_graph(seed)
+    if g.num_edges == 0:
+        g.add_edge(0, 1)
+    return g
+
+
+class TestSingleSource:
+    @settings(max_examples=60, deadline=None)
+    @given(graphs_with_edges(), st.integers(min_value=0, max_value=10_000))
+    def test_plain_matches_scalar(self, g, pick):
+        csr = CSRGraph.from_graph(g)
+        source = pick % g.num_vertices
+        got = bfs_distances_csr(csr.indptr, csr.indices, source)
+        assert got.tolist() == bfs_distances(g, source)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs_with_edges(), st.integers(min_value=0, max_value=10_000))
+    def test_edge_avoid_matches_scalar(self, g, pick):
+        csr = CSRGraph.from_graph(g)
+        edges = sorted(g.edges())
+        u, v = edges[pick % len(edges)]
+        source = pick % g.num_vertices
+        pair = edge_positions(csr.indptr, csr.indices, u, v)
+        got = bfs_distances_csr(
+            csr.indptr, csr.indices, source, avoid_positions=pair
+        )
+        assert got.tolist() == bfs_distances_avoiding_edge(g, source, (u, v))
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs_with_edges(), st.integers(min_value=0, max_value=10_000))
+    def test_allowed_mask_restricts_reachability(self, g, pick):
+        csr = CSRGraph.from_graph(g)
+        n = g.num_vertices
+        source = pick % n
+        rng = np.random.default_rng(pick)
+        allowed = rng.random(n) < 0.6
+        got = bfs_distances_csr(
+            csr.indptr, csr.indices, source, allowed=allowed
+        )
+        # Reference: BFS on the subgraph induced by allowed ∪ {source}.
+        adj = g.adjacency()
+        ref = [UNREACHED] * n
+        ref[source] = 0
+        frontier = [source]
+        while frontier:
+            nxt = []
+            for x in frontier:
+                for w in adj[x]:
+                    if ref[w] == UNREACHED and allowed[w]:
+                        ref[w] = ref[x] + 1
+                        nxt.append(w)
+            frontier = nxt
+        assert got.tolist() == ref
+
+    def test_source_exempt_from_allowed_mask(self):
+        g = erdos_renyi_gnm(6, 8, seed=1)
+        csr = CSRGraph.from_graph(g)
+        allowed = np.zeros(6, dtype=bool)
+        got = bfs_distances_csr(csr.indptr, csr.indices, 2, allowed=allowed)
+        assert got[2] == 0
+        assert all(d == UNREACHED for i, d in enumerate(got) if i != 2)
+
+    def test_out_buffer_reused(self):
+        g = erdos_renyi_gnm(10, 15, seed=3)
+        csr = CSRGraph.from_graph(g)
+        buf = np.empty(10, dtype=np.int32)
+        got = bfs_distances_csr(csr.indptr, csr.indices, 0, out=buf)
+        assert got is buf
+        assert got.tolist() == bfs_distances(g, 0)
+
+
+class TestEdgePositions:
+    def test_positions_point_at_each_direction(self):
+        g = erdos_renyi_gnm(12, 20, seed=2)
+        csr = CSRGraph.from_graph(g)
+        for u, v in list(g.edges())[:10]:
+            pu, pv = edge_positions(csr.indptr, csr.indices, u, v)
+            assert csr.indices[pu] == v
+            assert csr.indptr[u] <= pu < csr.indptr[u + 1]
+            assert csr.indices[pv] == u
+            assert csr.indptr[v] <= pv < csr.indptr[v + 1]
+
+    def test_missing_edge_raises(self):
+        g = erdos_renyi_gnm(8, 8, seed=4)
+        csr = CSRGraph.from_graph(g)
+        u, v = next(iter(g.edges()))
+        missing = next(
+            (a, b)
+            for a in range(8)
+            for b in range(8)
+            if a != b and not g.has_edge(a, b)
+        )
+        with pytest.raises(GraphError):
+            edge_positions(csr.indptr, csr.indices, *missing)
+
+
+class TestBitParallel:
+    @settings(max_examples=40, deadline=None)
+    @given(graphs_with_edges(), st.integers(min_value=0, max_value=10_000))
+    def test_shared_avoid_matches_scalar_rows(self, g, pick):
+        csr = CSRGraph.from_graph(g)
+        n = g.num_vertices
+        rng = np.random.default_rng(pick)
+        k = int(rng.integers(1, min(n, 70) + 1))
+        roots = [int(r) for r in rng.integers(0, n, size=k)]
+        edges = sorted(g.edges())
+        u, v = edges[pick % len(edges)]
+        pair = edge_positions(csr.indptr, csr.indices, u, v)
+        dist, settled = bfs_bitparallel_csr(
+            csr.indptr, csr.indices, roots, avoid_positions=pair
+        )
+        assert dist.shape == (k, n)
+        assert settled >= k
+        for i, r in enumerate(roots):
+            assert dist[i].tolist() == bfs_distances_avoiding_edge(
+                g, r, (u, v)
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs_with_edges(), st.integers(min_value=0, max_value=10_000))
+    def test_per_lane_avoid_matches_scalar_rows(self, g, pick):
+        csr = CSRGraph.from_graph(g)
+        n = g.num_vertices
+        rng = np.random.default_rng(pick)
+        edges = sorted(g.edges())
+        k = int(rng.integers(1, 9))
+        roots = [int(r) for r in rng.integers(0, n, size=k)]
+        lane_edges = [edges[int(e)] for e in rng.integers(0, len(edges), k)]
+        pairs = [
+            edge_positions(csr.indptr, csr.indices, u, v)
+            for u, v in lane_edges
+        ]
+        dist, _ = bfs_bitparallel_csr(
+            csr.indptr, csr.indices, roots, avoid_positions=pairs
+        )
+        for i, r in enumerate(roots):
+            assert dist[i].tolist() == bfs_distances_avoiding_edge(
+                g, r, lane_edges[i]
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(graphs_with_edges(), st.integers(min_value=0, max_value=10_000))
+    def test_needed_early_exit_exact_on_needed_pairs(self, g, pick):
+        csr = CSRGraph.from_graph(g)
+        n = g.num_vertices
+        rng = np.random.default_rng(pick)
+        k = int(rng.integers(1, min(n, 64) + 1))
+        roots = [int(r) for r in rng.integers(0, n, size=k)]
+        needed = np.zeros(n, dtype=np.uint64)
+        wanted = []
+        for _ in range(int(rng.integers(1, 3 * n))):
+            t = int(rng.integers(0, n))
+            lane = int(rng.integers(0, k))
+            needed[t] |= np.uint64(1) << np.uint64(lane)
+            wanted.append((lane, t))
+        dist, _ = bfs_bitparallel_csr(
+            csr.indptr, csr.indices, roots, needed=needed
+        )
+        full = {r: bfs_distances(g, r) for r in set(roots)}
+        for lane, t in wanted:
+            assert dist[lane][t] == full[roots[lane]][t]
+
+    def test_more_than_64_roots_rejected(self):
+        g = erdos_renyi_gnm(80, 120, seed=5)
+        csr = CSRGraph.from_graph(g)
+        with pytest.raises(ValueError):
+            bfs_bitparallel_csr(csr.indptr, csr.indices, list(range(65)))
+
+    def test_per_lane_avoid_length_mismatch_rejected(self):
+        g = erdos_renyi_gnm(10, 15, seed=6)
+        csr = CSRGraph.from_graph(g)
+        edges = sorted(g.edges())
+        pair = edge_positions(csr.indptr, csr.indices, *edges[0])
+        with pytest.raises(ValueError):
+            bfs_bitparallel_csr(
+                csr.indptr, csr.indices, [0, 1, 2], avoid_positions=[pair]
+            )
