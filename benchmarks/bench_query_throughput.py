@@ -219,11 +219,14 @@ def _run_impl(vertices: int, attach: int, queries: int, sief_edges: int, out: Pa
         flush=True,
     )
 
+    from repro.bench.history import env_metadata
+
     report = {
         "benchmark": "query_throughput",
         "created_unix": int(time.time()),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "env": env_metadata(),
         "graph": {
             "generator": "barabasi_albert",
             "vertices": vertices,

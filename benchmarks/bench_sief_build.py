@@ -162,11 +162,14 @@ def _run_impl(
             "speedup_vs_seed": scalar_seconds / parallel_seconds,
         }
 
+    from repro.bench.history import env_metadata
+
     report = {
         "benchmark": "sief_build",
         "created_unix": int(time.time()),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "env": env_metadata(),
         "graph": {
             "generator": "barabasi_albert",
             "vertices": vertices,

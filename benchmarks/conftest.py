@@ -9,18 +9,34 @@ consume it.
 Each bench writes its rendered table/figure to
 ``benchmarks/results/<name>.txt`` *and* prints it, so results survive
 pytest's output capture.  EXPERIMENTS.md is assembled from these files.
+Every emitted artifact — rendered text and metrics sidecar alike — is
+stamped with the host/toolchain fingerprint from
+:func:`repro.bench.history.env_metadata`, because a timing number that
+doesn't name its machine cannot be compared to anything.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from repro.bench.history import env_metadata
+from repro.bench.reporting import render_env
 from repro.bench.runner import get_context
 from repro.obs import MetricsRegistry, hooks, write_json_lines
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+# One fingerprint per session; identical on every artifact it stamps.
+ENV_META = env_metadata()
+
+
+def _append_env_line(path: Path) -> None:
+    """Append the ``{"type": "env", ...}`` record to a JSONL sidecar."""
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps({"type": "env", **ENV_META}) + "\n")
 
 
 @pytest.fixture(scope="session")
@@ -39,14 +55,16 @@ def obs_registry():
     snapshot lands in ``results/session.metrics.jsonl`` at teardown.
     """
     registry = MetricsRegistry()
-    prev = (hooks.registry, hooks.tracer)
+    prev = hooks._state()
     hooks.install(registry)
     try:
         yield registry
     finally:
-        hooks.registry, hooks.tracer = prev
+        hooks._restore(prev)
         RESULTS_DIR.mkdir(exist_ok=True)
-        write_json_lines(registry, RESULTS_DIR / "session.metrics.jsonl")
+        session_path = RESULTS_DIR / "session.metrics.jsonl"
+        write_json_lines(registry, session_path)
+        _append_env_line(session_path)
 
 
 @pytest.fixture(scope="session")
@@ -54,9 +72,14 @@ def emit(results_dir, obs_registry):
     """Write a rendered report to disk (plus metrics sidecar) and echo it."""
 
     def _emit(name: str, text: str) -> None:
-        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
-        write_json_lines(obs_registry, results_dir / f"{name}.metrics.jsonl")
-        print(f"\n{text}\n")
+        stamped = text + "\n" + render_env(ENV_META)
+        (results_dir / f"{name}.txt").write_text(
+            stamped + "\n", encoding="utf-8"
+        )
+        sidecar = results_dir / f"{name}.metrics.jsonl"
+        write_json_lines(obs_registry, sidecar)
+        _append_env_line(sidecar)
+        print(f"\n{stamped}\n")
 
     return _emit
 

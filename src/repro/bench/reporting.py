@@ -102,6 +102,25 @@ def render_grouped_bars(
     return "\n".join(lines)
 
 
+def render_env(meta: dict) -> str:
+    """One-line host/toolchain footer for rendered benchmark results.
+
+    Keyed off :func:`repro.bench.history.env_metadata`; stamped under
+    every emitted table so a number in EXPERIMENTS.md always names the
+    interpreter, host and commit that produced it.
+    """
+    parts = [
+        f"python {meta.get('python')}",
+        f"numpy {meta.get('numpy')}",
+        f"{meta.get('machine')} x{meta.get('cpu_count')}",
+        f"host {meta.get('hostname')}",
+    ]
+    sha = meta.get("git_sha")
+    if sha:
+        parts.append(f"git {sha}")
+    return "env: " + ", ".join(str(p) for p in parts)
+
+
 def render_ratio_line(label: str, ours: float, paper: float) -> str:
     """One "measured vs paper" comparison line for EXPERIMENTS.md."""
     if paper == 0:

@@ -57,6 +57,8 @@ def _resolve_algorithm(args: argparse.Namespace) -> str:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    import contextlib
+
     from repro.core.builder import SIEFBuilder
     from repro.core.serialize import save_index
     from repro.graph.io import read_edge_list
@@ -72,15 +74,27 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"in {time.perf_counter() - started:.2f}s"
     )
     algorithm = _resolve_algorithm(args)
-    if args.jobs > 1:
-        from repro.core.parallel import build_sief_parallel
+    prog = None
+    if getattr(args, "progress", False):
+        from repro.obs import ProgressReporter
+        from repro.obs import hooks as obs_hooks
 
-        index, report = build_sief_parallel(
-            graph, labeling, algorithm=algorithm, workers=args.jobs
-        )
+        prog = ProgressReporter(total=graph.num_edges, label="sief build")
+        hook_ctx = obs_hooks.installed(report_progress=prog)
     else:
-        builder = SIEFBuilder(graph, labeling, algorithm=algorithm)
-        index, report = builder.build()
+        hook_ctx = contextlib.nullcontext()
+    with hook_ctx:
+        if args.jobs > 1:
+            from repro.core.parallel import build_sief_parallel
+
+            index, report = build_sief_parallel(
+                graph, labeling, algorithm=algorithm, workers=args.jobs
+            )
+        else:
+            builder = SIEFBuilder(graph, labeling, algorithm=algorithm)
+            index, report = builder.build()
+    if prog is not None:
+        prog.finish()
     print(
         f"SIEF ({algorithm}, jobs={args.jobs}): "
         f"{index.num_cases} failure cases, "
@@ -273,8 +287,10 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.labeling.pll import build_pll
     from repro.obs import (
         MetricsRegistry,
+        SpanProfiler,
         TraceRecorder,
         installed,
+        to_chrome_trace_json,
         to_json_lines,
         to_prometheus_text,
     )
@@ -298,38 +314,51 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
     registry = MetricsRegistry()
     recorder = TraceRecorder(capacity=args.span_capacity)
+    profiler = None
+    if args.profile or args.folded_out:
+        profiler = SpanProfiler(recorder, interval=args.profile_interval)
     algorithm = _resolve_algorithm(args)
-    with installed(registry, recorder):
-        labeling = build_pll(graph)
-        if args.jobs > 1:
-            from repro.core.parallel import build_sief_parallel
+    with installed(registry, recorder, profile=profiler):
+        if profiler is not None:
+            profiler.start()
+        try:
+            labeling = build_pll(graph)
+            if args.jobs > 1:
+                from repro.core.parallel import build_sief_parallel
 
-            index, _report = build_sief_parallel(
-                graph,
-                labeling,
-                algorithm=algorithm,
-                workers=args.jobs,
-                edges=cases,
-            )
-        else:
-            index, _report = SIEFBuilder(
-                graph, labeling, algorithm=algorithm
-            ).build(edges=cases)
-        engine = SIEFQueryEngine(index)
-        n = graph.num_vertices
-        per_case = max(1, args.queries // max(1, len(cases)))
-        for edge in cases:
-            pairs = [
-                (rng.randrange(n), rng.randrange(n)) for _ in range(per_case)
-            ]
-            engine.batch_query(edge, pairs)
-            for s, t in pairs[: min(per_case, args.scalar_queries)]:
-                engine.distance(s, t, edge)
+                index, _report = build_sief_parallel(
+                    graph,
+                    labeling,
+                    algorithm=algorithm,
+                    workers=args.jobs,
+                    edges=cases,
+                )
+            else:
+                index, _report = SIEFBuilder(
+                    graph, labeling, algorithm=algorithm
+                ).build(edges=cases)
+            engine = SIEFQueryEngine(index)
+            n = graph.num_vertices
+            per_case = max(1, args.queries // max(1, len(cases)))
+            for edge in cases:
+                pairs = [
+                    (rng.randrange(n), rng.randrange(n))
+                    for _ in range(per_case)
+                ]
+                engine.batch_query(edge, pairs)
+                for s, t in pairs[: min(per_case, args.scalar_queries)]:
+                    engine.distance(s, t, edge)
+        finally:
+            if profiler is not None:
+                profiler.stop()
+        recorder.sync_registry(registry)
 
     if not recorder.balanced:  # pragma: no cover - instrumentation bug
         print("warning: span stack unbalanced after workload", file=sys.stderr)
     if args.format == "prom":
-        text = to_prometheus_text(registry)
+        text = to_prometheus_text(registry, recorder)
+    elif args.format == "chrome":
+        text = to_chrome_trace_json(recorder, profiler)
     else:
         text = to_json_lines(registry, recorder)
     if args.out == "-":
@@ -339,6 +368,168 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
         Path(args.out).write_text(text, encoding="utf-8")
         print(f"metrics written to {args.out}", file=sys.stderr)
+    if args.folded_out and profiler is not None:
+        from pathlib import Path
+
+        Path(args.folded_out).write_text(
+            profiler.folded(), encoding="utf-8"
+        )
+        print(
+            f"folded stacks written to {args.folded_out}", file=sys.stderr
+        )
+    if args.profile and profiler is not None:
+        print(profiler.report(), file=sys.stderr)
+    return 0
+
+
+def _bench_workload_samples(args: argparse.Namespace) -> dict:
+    """Time the smoke-scale build/query workloads; k samples each."""
+    import random
+
+    from repro.core.builder import SIEFBuilder
+    from repro.core.query import SIEFQueryEngine
+    from repro.graph import generators
+    from repro.labeling.pll import build_pll
+
+    workloads = args.workload or ["build", "query"]
+    graph = generators.barabasi_albert(
+        args.vertices, args.attach, seed=args.seed
+    )
+    rng = random.Random(args.seed)
+    edges = sorted(graph.edges())
+    cases = rng.sample(edges, min(args.cases, len(edges)))
+    labeling = build_pll(graph)
+    out: dict = {}
+    if "build" in workloads:
+        samples = []
+        for _ in range(args.repeat):
+            started = time.perf_counter()
+            SIEFBuilder(graph, labeling, algorithm=args.algorithm).build(
+                edges=cases
+            )
+            samples.append(time.perf_counter() - started)
+        out["build"] = samples
+    if "query" in workloads:
+        index, _report = SIEFBuilder(
+            graph, labeling, algorithm=args.algorithm
+        ).build(edges=cases)
+        engine = SIEFQueryEngine(index)
+        n = graph.num_vertices
+        pairs = [
+            (rng.randrange(n), rng.randrange(n)) for _ in range(args.queries)
+        ]
+        samples = []
+        for _ in range(args.repeat):
+            started = time.perf_counter()
+            for edge in cases:
+                engine.batch_query(edge, pairs)
+            samples.append(time.perf_counter() - started)
+        out["query"] = samples
+    return out
+
+
+def _cmd_bench_record(args: argparse.Namespace) -> int:
+    from repro.bench.history import (
+        BenchHistory,
+        BenchRun,
+        default_run_label,
+        env_metadata,
+    )
+
+    if args.sample and not args.bench_id:
+        print("error: --sample requires --id", file=sys.stderr)
+        return 2
+    history = BenchHistory(args.history)
+    run_label = args.run or default_run_label()
+    meta = env_metadata()
+    if args.sample:
+        per_bench = {args.bench_id: list(args.sample)}
+    else:
+        per_bench = _bench_workload_samples(args)
+    now = time.time()
+    for bench_id, samples in sorted(per_bench.items()):
+        samples = [s * args.scale for s in samples]
+        rec = BenchRun(
+            bench_id=bench_id,
+            samples=tuple(samples),
+            run=run_label,
+            meta=meta,
+            timestamp=now,
+        )
+        history.append(rec)
+        print(
+            f"recorded {bench_id} [{run_label}]: "
+            f"min {min(samples):.6g}s over {len(samples)} samples"
+        )
+    print(f"history: {history.path}")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench.history import BenchHistory, CrossHostError, compare_runs
+
+    history = BenchHistory(args.history)
+    baseline, candidate = args.baseline, args.candidate
+    if baseline is None or candidate is None:
+        labels = history.run_labels()
+        if len(labels) < 2:
+            print(
+                f"error: need two recorded runs in {history.path} "
+                f"(found {len(labels)}); pass --baseline/--candidate",
+                file=sys.stderr,
+            )
+            return 2
+        if baseline is None:
+            baseline = labels[-2]
+        if candidate is None:
+            candidate = labels[-1]
+    try:
+        comparisons, missing = compare_runs(
+            history,
+            baseline,
+            candidate,
+            threshold=args.threshold,
+            statistic=args.statistic,
+            allow_cross_host=args.allow_cross_host,
+        )
+    except CrossHostError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"baseline={baseline}  candidate={candidate}")
+    for comp in comparisons:
+        print(comp.describe())
+    for bench_id in missing:
+        print(f"WARN {bench_id}: present in only one run")
+    regressed = any(c.regressed for c in comparisons)
+    if args.expect_regression:
+        if regressed:
+            print("expected regression detected")
+            return 0
+        print("error: expected a regression but every benchmark passed")
+        return 1
+    return 1 if regressed else 0
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    from repro.bench.history import BenchHistory
+
+    history = BenchHistory(args.history)
+    records = history.load()
+    if not records:
+        print(f"(no records in {history.path})")
+        return 0
+    for label in history.run_labels():
+        recs = [r for r in records if r.run == label]
+        hosts = sorted({str(r.meta.get("hostname")) for r in recs})
+        shas = sorted({str(r.meta.get("git_sha")) for r in recs})
+        print(
+            f"{label}: {len(recs)} benchmark(s) "
+            f"[{', '.join(r.bench_id for r in recs)}] "
+            f"host={','.join(hosts)} sha={','.join(shas)}"
+        )
     return 0
 
 
@@ -407,6 +598,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="bfs_all",
     )
     build.add_argument("--ordering", default="degree")
+    build.add_argument(
+        "--progress",
+        action="store_true",
+        help="live cases/sec + ETA progress line on stderr",
+    )
     _add_build_path_flags(build)
     build.set_defaults(func=_cmd_build)
 
@@ -544,14 +740,35 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--seed", type=int, default=0)
     metrics.add_argument(
         "--format",
-        choices=["jsonl", "prom"],
+        choices=["jsonl", "prom", "chrome"],
         default="jsonl",
-        help="jsonl sidecar or Prometheus text exposition",
+        help=(
+            "jsonl sidecar, Prometheus text exposition, or Chrome "
+            "trace-event JSON (load in Perfetto / chrome://tracing)"
+        ),
     )
     metrics.add_argument(
         "--out", "-o", default="-", help="output path ('-' = stdout)"
     )
     metrics.add_argument("--span-capacity", type=int, default=1024)
+    metrics.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the span-attributed sampling profiler; print the rollup",
+    )
+    metrics.add_argument(
+        "--profile-interval",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="profiler sampling period (default 5ms)",
+    )
+    metrics.add_argument(
+        "--folded-out",
+        default=None,
+        metavar="PATH",
+        help="write folded stacks (flamegraph input); implies --profile",
+    )
     metrics.add_argument(
         "--algorithm",
         choices=["bfs_aff", "bfs_all", "batched"],
@@ -559,6 +776,103 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_build_path_flags(metrics)
     metrics.set_defaults(func=_cmd_metrics)
+
+    bench = sub.add_parser(
+        "bench",
+        help="record benchmark runs and detect perf regressions",
+    )
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+
+    brec = bsub.add_parser(
+        "record", help="time the smoke workloads and append to the history"
+    )
+    brec.add_argument(
+        "--history",
+        default="bench_history.jsonl",
+        help="JSON-lines history file (appended; created if missing)",
+    )
+    brec.add_argument(
+        "--run", default=None, help="run label (default: run-<millis>)"
+    )
+    brec.add_argument(
+        "--id",
+        dest="bench_id",
+        default=None,
+        help="benchmark id for injected --sample values",
+    )
+    brec.add_argument(
+        "--sample",
+        action="append",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="inject a sample instead of timing (repeatable; needs --id)",
+    )
+    brec.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiply every sample (synthetic slowdowns for CI self-tests)",
+    )
+    brec.add_argument(
+        "--workload",
+        action="append",
+        choices=["build", "query"],
+        default=None,
+        help="workload(s) to time (repeatable; default: both)",
+    )
+    brec.add_argument("--vertices", type=int, default=300)
+    brec.add_argument("--attach", type=int, default=3)
+    brec.add_argument("--cases", type=int, default=5)
+    brec.add_argument("--queries", type=int, default=2000)
+    brec.add_argument(
+        "--repeat", type=int, default=3, help="samples per benchmark"
+    )
+    brec.add_argument("--seed", type=int, default=0)
+    brec.add_argument(
+        "--algorithm",
+        choices=["bfs_aff", "bfs_all", "batched"],
+        default="batched",
+    )
+    brec.set_defaults(func=_cmd_bench_record)
+
+    bcmp = bsub.add_parser(
+        "compare", help="regression verdict between two recorded runs"
+    )
+    bcmp.add_argument("--history", default="bench_history.jsonl")
+    bcmp.add_argument(
+        "--baseline", default=None, help="run label (default: second-newest)"
+    )
+    bcmp.add_argument(
+        "--candidate", default=None, help="run label (default: newest)"
+    )
+    bcmp.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative slowdown tolerated before FAIL (default 0.10)",
+    )
+    bcmp.add_argument(
+        "--statistic",
+        choices=["min", "median", "mean"],
+        default="min",
+        help="per-run representative value (default: min-of-k)",
+    )
+    bcmp.add_argument(
+        "--allow-cross-host",
+        action="store_true",
+        help="permit comparing runs recorded on different hosts",
+    )
+    bcmp.add_argument(
+        "--expect-regression",
+        action="store_true",
+        help="invert the exit code: succeed only if a regression is found",
+    )
+    bcmp.set_defaults(func=_cmd_bench_compare)
+
+    bhist = bsub.add_parser("history", help="list recorded runs")
+    bhist.add_argument("--history", default="bench_history.jsonl")
+    bhist.set_defaults(func=_cmd_bench_history)
 
     return parser
 

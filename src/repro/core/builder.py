@@ -264,6 +264,9 @@ class SIEFBuilder:
                 records.append(record)
                 if reg is not None:
                     record_case_obs(reg, record)
+                prog = _obs.progress
+                if prog is not None:
+                    prog.advance()
         return index, BuildReport(self.algorithm, tuple(records))
 
     def _iter_cases_scalar(self, edge_list: Sequence[Edge]):
@@ -272,28 +275,29 @@ class SIEFBuilder:
         current_u = -1
         du: Optional[List[int]] = None
         for u, v in edge_list:
-            t0 = time.perf_counter()
-            if u != current_u:
-                current_u = u
-                du = bfs_distances(self.graph, u)
-            dv = bfs_distances(self.graph, v)
-            affected = identify_affected(
-                self.graph, u, v, dist_u=du, dist_v=dv
-            )
-            t1 = time.perf_counter()
-            si = self._relabel(
-                self.graph, self.labeling, affected, dist_buf=dist_buf
-            )
-            t2 = time.perf_counter()
-            record = EdgeBuildRecord(
-                edge=(u, v),
-                affected_u=len(affected.side_u),
-                affected_v=len(affected.side_v),
-                supplemental_entries=si.total_entries(),
-                identify_seconds=t1 - t0,
-                relabel_seconds=t2 - t1,
-                relabel_expanded=si.search_expanded,
-            )
+            with _obs.span("sief.build.case"):
+                t0 = time.perf_counter()
+                if u != current_u:
+                    current_u = u
+                    du = bfs_distances(self.graph, u)
+                dv = bfs_distances(self.graph, v)
+                affected = identify_affected(
+                    self.graph, u, v, dist_u=du, dist_v=dv
+                )
+                t1 = time.perf_counter()
+                si = self._relabel(
+                    self.graph, self.labeling, affected, dist_buf=dist_buf
+                )
+                t2 = time.perf_counter()
+                record = EdgeBuildRecord(
+                    edge=(u, v),
+                    affected_u=len(affected.side_u),
+                    affected_v=len(affected.side_v),
+                    supplemental_entries=si.total_entries(),
+                    identify_seconds=t1 - t0,
+                    relabel_seconds=t2 - t1,
+                    relabel_expanded=si.search_expanded,
+                )
             yield (u, v), si, record
 
     def _iter_cases_batched(self, edge_list: Sequence[Edge]):
@@ -313,33 +317,37 @@ class SIEFBuilder:
         for g0 in range(0, len(edge_list), IDENTIFY_GROUP):
             group = edge_list[g0 : g0 + IDENTIFY_GROUP]
             t0 = time.perf_counter()
-            pairs = [edge_positions(indptr, indices, u, v) for u, v in group]
-            roots: List[int] = []
-            for u, v in group:
-                roots.append(u)
-                roots.append(v)
-            base, _ = bfs_bitparallel_csr(indptr, indices, roots)
-            avoid = [pairs[i // 2] for i in range(len(roots))]
-            prime, _ = bfs_bitparallel_csr(
-                indptr, indices, roots, avoid_positions=avoid
-            )
+            with _obs.span("sief.build.identify_sweep"):
+                pairs = [
+                    edge_positions(indptr, indices, u, v) for u, v in group
+                ]
+                roots: List[int] = []
+                for u, v in group:
+                    roots.append(u)
+                    roots.append(v)
+                base, _ = bfs_bitparallel_csr(indptr, indices, roots)
+                avoid = [pairs[i // 2] for i in range(len(roots))]
+                prime, _ = bfs_bitparallel_csr(
+                    indptr, indices, roots, avoid_positions=avoid
+                )
             sweep_share = (time.perf_counter() - t0) / len(group)
             for ci, (u, v) in enumerate(group):
-                t1 = time.perf_counter()
-                affected = identify_affected_csr(
-                    csr,
-                    u,
-                    v,
-                    du=base[2 * ci],
-                    dv=base[2 * ci + 1],
-                    du_new=prime[2 * ci],
-                    dv_new=prime[2 * ci + 1],
-                )
-                t2 = time.perf_counter()
-                si = self._relabel(
-                    self.graph, self.labeling, affected, csr=csr
-                )
-                t3 = time.perf_counter()
+                with _obs.span("sief.build.case"):
+                    t1 = time.perf_counter()
+                    affected = identify_affected_csr(
+                        csr,
+                        u,
+                        v,
+                        du=base[2 * ci],
+                        dv=base[2 * ci + 1],
+                        du_new=prime[2 * ci],
+                        dv_new=prime[2 * ci + 1],
+                    )
+                    t2 = time.perf_counter()
+                    si = self._relabel(
+                        self.graph, self.labeling, affected, csr=csr
+                    )
+                    t3 = time.perf_counter()
                 record = EdgeBuildRecord(
                     edge=(u, v),
                     affected_u=len(affected.side_u),

@@ -116,6 +116,9 @@ class LazySIEFIndex:
         if reg is not None:
             record_case_obs(reg, record)
             reg.gauge("sief.lazy.cached_cases").set(self._index.num_cases)
+        prog = _obs.progress
+        if prog is not None:
+            prog.advance()
 
     # -- mutation --------------------------------------------------------------
 

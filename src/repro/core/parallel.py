@@ -26,6 +26,7 @@ bit-identical to a serial build (asserted in tests).
 from __future__ import annotations
 
 import multiprocessing
+import os
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.builder import (
@@ -44,15 +45,25 @@ from repro.labeling.label import Labeling
 from repro.labeling.pll import build_pll
 from repro.obs import hooks as _obs
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SpanProfiler
+from repro.obs.trace import TraceRecorder
 
 Edge = Tuple[int, int]
+
+_WORKER_SPAN_CAPACITY = 4096
+"""Ring capacity of each worker chunk's private trace recorder."""
 
 # Worker-global state, installed once per process by an initializer.
 _STATE: dict = {}
 
 
 def _init_worker(
-    graph: Graph, labeling: Labeling, algorithm: str, obs: bool = False
+    graph: Graph,
+    labeling: Labeling,
+    algorithm: str,
+    obs: bool = False,
+    trace: bool = False,
+    profile: bool = False,
 ) -> None:
     """Legacy transport: inputs arrive pickled (or fork-copied)."""
     _STATE.clear()
@@ -61,10 +72,18 @@ def _init_worker(
     _STATE["algorithm"] = algorithm
     _STATE["relabel"] = RELABEL_ALGORITHMS[algorithm]
     _STATE["obs"] = obs
+    _STATE["trace"] = trace
+    _STATE["profile"] = profile
     _STATE["csr"] = None
 
 
-def _init_worker_shm(spec: dict, algorithm: str, obs: bool = False) -> None:
+def _init_worker_shm(
+    spec: dict,
+    algorithm: str,
+    obs: bool = False,
+    trace: bool = False,
+    profile: bool = False,
+) -> None:
     """Shared-memory transport: attach read-only views from the spec."""
     _STATE.clear()
     arena, csr, labeling = attach_build_inputs(spec)
@@ -75,6 +94,8 @@ def _init_worker_shm(spec: dict, algorithm: str, obs: bool = False) -> None:
     _STATE["algorithm"] = algorithm
     _STATE["relabel"] = RELABEL_ALGORITHMS[algorithm]
     _STATE["obs"] = obs
+    _STATE["trace"] = trace
+    _STATE["profile"] = profile
     _STATE["attached"] = True
 
 
@@ -95,16 +116,28 @@ def _worker_graph() -> Graph:
 def _build_chunk(edges: Sequence[Edge]):
     """Build every case in the chunk.
 
-    Returns ``(pairs, metrics_snapshot)`` where ``pairs`` is the list of
-    ``(si, record)`` tuples and ``metrics_snapshot`` is the chunk-local
-    registry's snapshot (or ``None`` when observability is off).  Each
-    chunk gets its **own** registry — worker processes never write the
-    parent's — and the parent merges the snapshots at join, so parallel
-    builds report exactly the counters a serial build would.
+    Returns ``(pairs, metrics_snapshot, obs_extra)`` where ``pairs`` is
+    the list of ``(si, record)`` tuples, ``metrics_snapshot`` is the
+    chunk-local registry's snapshot (or ``None`` when observability is
+    off), and ``obs_extra`` carries the chunk's trace spans and profile
+    counts (or ``None`` when neither is on).  Each chunk gets its
+    **own** registry/tracer/profiler — worker processes never write the
+    parent's — and the parent merges everything at join, so parallel
+    builds report exactly the counters a serial build would, plus one
+    trace track per worker pid.
     """
     labeling = _STATE["labeling"]
     relabel = _STATE["relabel"]
     chunk_reg = MetricsRegistry() if _STATE.get("obs") else None
+    chunk_tracer = (
+        TraceRecorder(capacity=_WORKER_SPAN_CAPACITY)
+        if _STATE.get("trace")
+        else None
+    )
+    chunk_profiler = None
+    if _STATE.get("profile") and chunk_tracer is not None:
+        chunk_profiler = SpanProfiler(chunk_tracer)
+        chunk_profiler.start()
     if chunk_reg is not None and _STATE.pop("attached", False):
         chunk_reg.counter("sief.shm.worker_attaches").inc()
     if _STATE["algorithm"] == "batched":
@@ -117,12 +150,36 @@ def _build_chunk(edges: Sequence[Edge]):
         csr = None
         graph = _worker_graph()
     out = []
-    for u, v in edges:
-        si, record = build_one_case(graph, labeling, relabel, u, v, csr=csr)
+    try:
+        for u, v in edges:
+            if chunk_tracer is not None:
+                with chunk_tracer.span("sief.build.case"):
+                    si, record = build_one_case(
+                        graph, labeling, relabel, u, v, csr=csr
+                    )
+            else:
+                si, record = build_one_case(
+                    graph, labeling, relabel, u, v, csr=csr
+                )
+            if chunk_reg is not None:
+                record_case_obs(chunk_reg, record)
+            out.append((si, record))
+    finally:
+        if chunk_profiler is not None:
+            chunk_profiler.stop()
+    obs_extra = None
+    if chunk_tracer is not None:
         if chunk_reg is not None:
-            record_case_obs(chunk_reg, record)
-        out.append((si, record))
-    return out, (chunk_reg.snapshot() if chunk_reg is not None else None)
+            chunk_tracer.sync_registry(chunk_reg)
+        obs_extra = {
+            "pid": os.getpid(),
+            "spans": chunk_tracer.records(),
+            "profile": dict(chunk_profiler.counts)
+            if chunk_profiler is not None
+            else None,
+        }
+    snapshot = chunk_reg.snapshot() if chunk_reg is not None else None
+    return out, snapshot, obs_extra
 
 
 def _chunks(items: List[Edge], count: int) -> List[List[Edge]]:
@@ -179,15 +236,32 @@ def build_sief_parallel(
     index = SIEFIndex(labeling)
     records: List[EdgeBuildRecord] = []
     parent_reg = _obs.registry
+    parent_tracer = _obs.tracer
+    parent_profiler = _obs.profiler
     obs_enabled = parent_reg is not None
     use_pool = workers > 1 and len(edge_list) >= 4
     if shared_memory is None:
         shared_memory = use_pool
+    # Worker-side tracing/profiling only makes sense with a real pool:
+    # the in-process path already runs under the parent's hooks, so
+    # giving it a second tracer would double-record every case span.
+    trace_enabled = use_pool and parent_tracer is not None
+    profile_enabled = trace_enabled and parent_profiler is not None
+
+    def _drain(iterable):
+        """Collect chunk results, ticking live progress per chunk."""
+        prog = _obs.progress
+        results = []
+        for res in iterable:
+            if prog is not None:
+                prog.advance(len(res[0]))
+            results.append(res)
+        return results
 
     with _obs.span("sief.build.parallel"):
         if not use_pool:
             _init_worker(graph, labeling, algorithm, obs=obs_enabled)
-            results = [_build_chunk(edge_list)]
+            results = _drain([_build_chunk(edge_list)])
         else:
             try:
                 ctx = multiprocessing.get_context("fork")
@@ -202,9 +276,21 @@ def build_sief_parallel(
                     with ctx.Pool(
                         processes=workers,
                         initializer=_init_worker_shm,
-                        initargs=(arena.spec(), algorithm, obs_enabled),
+                        initargs=(
+                            arena.spec(),
+                            algorithm,
+                            obs_enabled,
+                            trace_enabled,
+                            profile_enabled,
+                        ),
                     ) as pool:
-                        results = pool.map(_build_chunk, chunks)
+                        # imap_unordered so completed chunks surface as
+                        # they finish (live progress); merge order does
+                        # not matter — records are sorted below and the
+                        # metric merges are commutative.
+                        results = _drain(
+                            pool.imap_unordered(_build_chunk, chunks)
+                        )
                 finally:
                     # Runs on success, worker exception, and
                     # KeyboardInterrupt alike; the Pool context manager
@@ -216,15 +302,37 @@ def build_sief_parallel(
                 with ctx.Pool(
                     processes=workers,
                     initializer=_init_worker,
-                    initargs=(graph, labeling, algorithm, obs_enabled),
+                    initargs=(
+                        graph,
+                        labeling,
+                        algorithm,
+                        obs_enabled,
+                        trace_enabled,
+                        profile_enabled,
+                    ),
                 ) as pool:
-                    results = pool.map(_build_chunk, chunks)
+                    results = _drain(
+                        pool.imap_unordered(_build_chunk, chunks)
+                    )
 
-        for chunk, snapshot in results:
+        worker_spans: dict = {}
+        for chunk, snapshot, obs_extra in results:
             if snapshot is not None and parent_reg is not None:
                 parent_reg.merge_snapshot(snapshot)
+            if obs_extra is not None:
+                worker_spans.setdefault(obs_extra["pid"], []).extend(
+                    obs_extra["spans"]
+                )
+                counts = obs_extra.get("profile")
+                if counts and parent_profiler is not None:
+                    parent_profiler.merge(counts)
             for si, record in chunk:
                 index.add_supplement(record.edge, si)
                 records.append(record)
+        if parent_tracer is not None:
+            for pid in sorted(worker_spans):
+                parent_tracer.add_track(
+                    f"worker-{pid}", worker_spans[pid]
+                )
     records.sort(key=lambda r: r.edge)
     return index, BuildReport(algorithm, tuple(records))

@@ -489,14 +489,23 @@ def batch_dist_query(labeling, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
         else None
     )
     out = np.full(k, np.inf, dtype=np.float64)
-    for lo in range(0, k, _BATCH_CHUNK):
-        hi = min(lo + _BATCH_CHUNK, k)
-        if chunk_hist is not None:
-            chunk_hist.observe(hi - lo)
-        _batch_chunk(
-            out[lo:hi], s[lo:hi], t[lo:hi], offsets, hubs, dists, n, cache, wide
-        )
-    out[s == t] = 0.0
+    with _obs.span("label.query.batch"):
+        for lo in range(0, k, _BATCH_CHUNK):
+            hi = min(lo + _BATCH_CHUNK, k)
+            if chunk_hist is not None:
+                chunk_hist.observe(hi - lo)
+            _batch_chunk(
+                out[lo:hi],
+                s[lo:hi],
+                t[lo:hi],
+                offsets,
+                hubs,
+                dists,
+                n,
+                cache,
+                wide,
+            )
+        out[s == t] = 0.0
     if reg is not None:
         reg.counter("label.query.batch_calls").inc()
         reg.counter("label.query.batch_pairs").inc(k)

@@ -15,7 +15,12 @@ Layers:
 * :mod:`repro.obs.trace` — nestable spans into a bounded ring buffer,
   with a balance check the conformance harness enforces;
 * :mod:`repro.obs.hooks` — the module-global install seam hot paths read;
-* :mod:`repro.obs.export` — JSON-lines sidecars and Prometheus text.
+* :mod:`repro.obs.export` — JSON-lines sidecars and Prometheus text;
+* :mod:`repro.obs.profile` — span-attributed sampling profiler (folded
+  stacks, inclusive/exclusive rollups);
+* :mod:`repro.obs.chrometrace` — Chrome trace-event export (Perfetto),
+  with one track per parallel-build worker;
+* :mod:`repro.obs.progress` — live build progress on stderr.
 
 See ``docs/observability.md`` for the metric catalog and usage.
 """
@@ -31,12 +36,21 @@ from repro.obs.metrics import (
 )
 from repro.obs.export import (
     read_json_lines,
+    registry_from_json_lines,
     sanitize_name,
     to_json_lines,
     to_prometheus_text,
     write_json_lines,
     write_prometheus_text,
 )
+from repro.obs.chrometrace import (
+    to_chrome_trace,
+    to_chrome_trace_json,
+    validate_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.profile import SpanCost, SpanProfiler
+from repro.obs.progress import ProgressReporter
 from repro.obs.trace import SpanRecord, TraceRecorder
 
 __all__ = [
@@ -48,6 +62,9 @@ __all__ = [
     "SIZE_EDGES",
     "TraceRecorder",
     "SpanRecord",
+    "SpanProfiler",
+    "SpanCost",
+    "ProgressReporter",
     "install",
     "uninstall",
     "installed",
@@ -57,6 +74,11 @@ __all__ = [
     "to_json_lines",
     "write_json_lines",
     "read_json_lines",
+    "registry_from_json_lines",
     "to_prometheus_text",
     "write_prometheus_text",
+    "to_chrome_trace",
+    "to_chrome_trace_json",
+    "write_chrome_trace",
+    "validate_trace_events",
 ]

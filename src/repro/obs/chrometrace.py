@@ -1,0 +1,190 @@
+"""Chrome trace-event export: spans (and profiler samples) for Perfetto.
+
+Converts a :class:`~repro.obs.trace.TraceRecorder`'s finished spans —
+including per-worker tracks shipped back from a parallel build — into
+the Trace Event Format JSON that ``chrome://tracing``, Perfetto and
+speedscope all load.  The mapping:
+
+* the parent process's own spans land on ``tid 0`` ("main");
+* each worker track (:meth:`TraceRecorder.add_track`) gets its own
+  ``tid`` (1, 2, ...) with a ``thread_name`` metadata event, so a
+  parallel build renders as one timeline row per worker;
+* every span becomes a complete event (``ph: "X"``) with microsecond
+  ``ts``/``dur`` normalized so the earliest span starts at 0;
+* profiler samples (:class:`~repro.obs.profile.SpanProfiler`) become
+  instant events (``ph: "i"``) named after the leaf span, carrying the
+  full folded stack in ``args``;
+* the recorder's ``dropped_spans`` tally is surfaced as a counter event
+  (``ph: "C"``) so a wrapped ring buffer is visible in the timeline.
+
+Every emitted event carries ``ph``/``ts``/``pid``/``tid``/``name`` —
+the invariant the schema test pins.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.profile import SpanProfiler
+from repro.obs.trace import SpanRecord, TraceRecorder
+
+MAIN_TRACK = "main"
+"""Thread name given to the parent recorder's own spans (tid 0)."""
+
+
+def _span_event(
+    rec: SpanRecord, origin: float, pid: int, tid: int
+) -> dict:
+    return {
+        "ph": "X",
+        "name": rec.name,
+        "cat": "span",
+        "ts": (rec.start - origin) * 1e6,
+        "dur": rec.seconds * 1e6,
+        "pid": pid,
+        "tid": tid,
+        "args": {"depth": rec.depth},
+    }
+
+
+def _thread_name_event(name: str, pid: int, tid: int) -> dict:
+    return {
+        "ph": "M",
+        "name": "thread_name",
+        "ts": 0,
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def to_chrome_trace(
+    tracer: TraceRecorder,
+    profiler: Optional[SpanProfiler] = None,
+    pid: int = 0,
+    process_name: str = "sief",
+) -> dict:
+    """The tracer (and optional profiler) as a Trace Event Format dict.
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` ready
+    for ``json.dump``; load the file in Perfetto / ``chrome://tracing``.
+    """
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "ts": 0,
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        },
+        _thread_name_event(MAIN_TRACK, pid, 0),
+    ]
+
+    main_records = tracer.records()
+    tracks = tracer.tracks()
+    starts = [r.start for r in main_records]
+    for recs in tracks.values():
+        starts.extend(r.start for r in recs)
+    if profiler is not None:
+        starts.extend(ts for ts, _ in profiler.samples)
+    origin = min(starts) if starts else 0.0
+
+    for rec in main_records:
+        events.append(_span_event(rec, origin, pid, 0))
+
+    tids: Dict[str, int] = {}
+    for track_name in sorted(tracks):
+        tid = len(tids) + 1
+        tids[track_name] = tid
+        events.append(_thread_name_event(track_name, pid, tid))
+        for rec in tracks[track_name]:
+            events.append(_span_event(rec, origin, pid, tid))
+
+    if profiler is not None:
+        for ts, stack in profiler.samples:
+            events.append(
+                {
+                    "ph": "i",
+                    "name": f"sample:{stack[-1]}",
+                    "cat": "sample",
+                    "ts": (ts - origin) * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "s": "t",
+                    "args": {"stack": ";".join(stack)},
+                }
+            )
+
+    if tracer.dropped_spans:
+        events.append(
+            {
+                "ph": "C",
+                "name": "trace.dropped_spans",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"dropped": tracer.dropped_spans},
+            }
+        )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def to_chrome_trace_json(
+    tracer: TraceRecorder,
+    profiler: Optional[SpanProfiler] = None,
+    pid: int = 0,
+    process_name: str = "sief",
+) -> str:
+    """:func:`to_chrome_trace` serialized to a JSON string."""
+    return json.dumps(
+        to_chrome_trace(tracer, profiler, pid=pid, process_name=process_name)
+    )
+
+
+def write_chrome_trace(
+    tracer: TraceRecorder,
+    path: Union[str, Path],
+    profiler: Optional[SpanProfiler] = None,
+    pid: int = 0,
+    process_name: str = "sief",
+) -> Path:
+    """Write the Chrome trace JSON to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        to_chrome_trace_json(
+            tracer, profiler, pid=pid, process_name=process_name
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+def validate_trace_events(doc: dict) -> List[str]:
+    """Schema check: problems list (empty = valid).
+
+    Enforces the invariant the acceptance tests pin: a top-level
+    ``traceEvents`` list in which every event carries ``ph``, ``ts``,
+    ``pid``, ``tid`` and ``name``, with numeric non-negative ``ts`` and
+    numeric ``dur`` on complete events.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top-level 'traceEvents' missing or not a list"]
+    for i, ev in enumerate(events):
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            if key not in ev:
+                problems.append(f"event {i} ({ev.get('name')!r}): no {key!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i}: ts {ts!r} not a non-negative number")
+        if ev.get("ph") == "X" and not isinstance(
+            ev.get("dur"), (int, float)
+        ):
+            problems.append(f"event {i}: complete event without numeric dur")
+    return problems

@@ -17,10 +17,11 @@ so a single consistent view feeds every output.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceRecorder
@@ -28,11 +29,24 @@ from repro.obs.trace import TraceRecorder
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
-def sanitize_name(name: str) -> str:
-    """Map an internal dotted metric name to a Prometheus-legal one."""
+def sanitize_name(name: str, taken: Optional[Dict[str, str]] = None) -> str:
+    """Map an internal dotted metric name to a Prometheus-legal one.
+
+    Names that would start with a digit (or sanitize to nothing) get a
+    ``_`` prefix.  Pass the same ``taken`` dict (sanitized -> original)
+    across a batch of names to make the mapping injective: when two
+    *distinct* originals sanitize to the same string, the later one
+    gets a short content-hash suffix instead of silently colliding —
+    two metrics must never merge into one exposition series.
+    """
     out = _NAME_RE.sub("_", name)
-    if out and out[0].isdigit():
+    if not out or out[0].isdigit():
         out = "_" + out
+    if taken is not None:
+        prev = taken.get(out)
+        if prev is not None and prev != name:
+            out = f"{out}_{hashlib.sha1(name.encode()).hexdigest()[:6]}"
+        taken.setdefault(out, name)
     return out
 
 
@@ -69,6 +83,18 @@ def to_json_lines(
             )
         )
     if tracer is not None:
+        if "trace.dropped_spans" not in snap["counters"]:
+            # Surface ring-buffer overflow even when nobody synced the
+            # recorder into the registry (see TraceRecorder.sync_registry).
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "counter",
+                        "name": "trace.dropped_spans",
+                        "value": tracer.dropped_spans,
+                    }
+                )
+            )
         for rec in tracer.records():
             lines.append(
                 json.dumps(
@@ -77,6 +103,7 @@ def to_json_lines(
                         "name": rec.name,
                         "depth": rec.depth,
                         "seconds": rec.seconds,
+                        "start": rec.start,
                     }
                 )
             )
@@ -87,6 +114,7 @@ def to_json_lines(
                     "started": tracer.total_started,
                     "finished": tracer.total_finished,
                     "balanced": tracer.balanced,
+                    "dropped": tracer.dropped_spans,
                 }
             )
         )
@@ -115,6 +143,31 @@ def read_json_lines(path: Union[str, Path]) -> List[dict]:
     return out
 
 
+def registry_from_json_lines(records: List[dict]) -> MetricsRegistry:
+    """Rebuild a :class:`MetricsRegistry` from parsed JSON-lines records.
+
+    The inverse of the metrics half of :func:`to_json_lines`:
+    ``registry_from_json_lines(read_json_lines(write_json_lines(reg,
+    p))).snapshot() == reg.snapshot()`` — the round-trip contract the
+    bench history and regression comparisons rely on.  Span, summary
+    and foreign (``env`` etc.) lines are ignored.
+    """
+    reg = MetricsRegistry()
+    for obj in records:
+        kind = obj.get("type")
+        if kind == "counter":
+            reg.counter(obj["name"]).inc(obj["value"])
+        elif kind == "gauge":
+            reg.gauge(obj["name"]).set(obj["value"])
+        elif kind == "histogram":
+            h = reg.histogram(obj["name"], obj["edges"])
+            for i, c in enumerate(obj["counts"]):
+                h.counts[i] += c
+            h.sum += obj["sum"]
+            h.count += obj["count"]
+    return reg
+
+
 # ---------------------------------------------------------------------------
 # Prometheus text exposition
 # ---------------------------------------------------------------------------
@@ -126,20 +179,32 @@ def _fmt(value) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
-def to_prometheus_text(registry: MetricsRegistry) -> str:
-    """The registry in Prometheus text exposition format 0.0.4."""
+def to_prometheus_text(
+    registry: MetricsRegistry, tracer: Optional[TraceRecorder] = None
+) -> str:
+    """The registry in Prometheus text exposition format 0.0.4.
+
+    Sanitized names are de-collided across the whole exposition (see
+    :func:`sanitize_name`).  When a ``tracer`` is given, its ring-buffer
+    overflow tally is appended as a ``trace_dropped_spans`` counter
+    (unless the registry already carries ``trace.dropped_spans``).
+    """
     snap = registry.snapshot()
+    taken: Dict[str, str] = {}
     lines: List[str] = []
-    for name, value in snap["counters"].items():
-        pname = sanitize_name(name)
+    counters = dict(snap["counters"])
+    if tracer is not None and "trace.dropped_spans" not in counters:
+        counters["trace.dropped_spans"] = tracer.dropped_spans
+    for name, value in counters.items():
+        pname = sanitize_name(name, taken)
         lines.append(f"# TYPE {pname} counter")
         lines.append(f"{pname} {_fmt(value)}")
     for name, value in snap["gauges"].items():
-        pname = sanitize_name(name)
+        pname = sanitize_name(name, taken)
         lines.append(f"# TYPE {pname} gauge")
         lines.append(f"{pname} {_fmt(value)}")
     for name, data in snap["histograms"].items():
-        pname = sanitize_name(name)
+        pname = sanitize_name(name, taken)
         lines.append(f"# TYPE {pname} histogram")
         cumulative = 0
         for edge, count in zip(data["edges"], data["counts"]):
@@ -155,10 +220,12 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
 
 
 def write_prometheus_text(
-    registry: MetricsRegistry, path: Union[str, Path]
+    registry: MetricsRegistry,
+    path: Union[str, Path],
+    tracer: Optional[TraceRecorder] = None,
 ) -> Path:
     """Write :func:`to_prometheus_text` output to ``path``."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(to_prometheus_text(registry), encoding="utf-8")
+    path.write_text(to_prometheus_text(registry, tracer), encoding="utf-8")
     return path

@@ -1,4 +1,4 @@
-"""Instrumentation seam: one module-global registry/tracer pair.
+"""Instrumentation seam: module-global registry/tracer/profiler/progress.
 
 Hot paths (PLL construction, SIEF build, scalar and batch queries) are
 instrumented against **this module's attributes**, not against objects
@@ -15,10 +15,20 @@ threaded through call signatures:
 With nothing installed (the default), the cost at every instrumentation
 point is one module-attribute load and an ``is None`` test — a few tens
 of nanoseconds, which is what keeps the <5% overhead budget on the
-batch-query workload honest.  Installation is process-local and
-intentionally not thread-safe: the unit of parallelism in this library
-is the process (:mod:`repro.core.parallel` gives each worker chunk its
-own registry and merges snapshots at join).
+batch-query workload honest.  The same seam carries all four hooks:
+
+* :data:`registry` — metrics (counters/gauges/histograms);
+* :data:`tracer` — trace spans;
+* :data:`profiler` — the span-attributed sampling profiler
+  (:mod:`repro.obs.profile`); parallel builds merge worker sample
+  counts into it at the join;
+* :data:`progress` — the live build progress reporter
+  (:mod:`repro.obs.progress`); build loops tick it per case.
+
+Installation is process-local and intentionally not thread-safe: the
+unit of parallelism in this library is the process
+(:mod:`repro.core.parallel` gives each worker chunk its own registry
+and merges snapshots at join).
 
 ``install``/``uninstall`` are the explicit API; :func:`installed` and
 :func:`disabled` are the context-manager forms that save and restore
@@ -41,64 +51,81 @@ registry: Optional[MetricsRegistry] = None
 tracer: Optional[TraceRecorder] = None
 """The active trace recorder, or ``None`` (span recording off)."""
 
+profiler = None
+"""The active :class:`~repro.obs.profile.SpanProfiler`, or ``None``."""
+
+progress = None
+"""The active :class:`~repro.obs.progress.ProgressReporter`, or ``None``."""
+
+
+def _state() -> tuple:
+    return (registry, tracer, profiler, progress)
+
+
+def _restore(state: tuple) -> None:
+    global registry, tracer, profiler, progress
+    registry, tracer, profiler, progress = state
+
 
 def install(
     reg: Optional[MetricsRegistry] = None,
     trace: Optional[TraceRecorder] = None,
+    profile=None,
+    report_progress=None,
 ) -> Tuple[Optional[MetricsRegistry], Optional[TraceRecorder]]:
-    """Activate a registry (and optionally a tracer); returns (reg, trace).
+    """Activate a registry (and optionally the other hooks).
 
     ``install()`` with no arguments creates and installs a fresh
     registry.  Replaces whatever was installed before — use
-    :func:`installed` when the previous state must come back.
+    :func:`installed` when the previous state must come back.  Returns
+    ``(reg, trace)`` (the historical pair; profiler/progress are
+    reachable as module attributes).
     """
-    global registry, tracer
+    global registry, tracer, profiler, progress
     if reg is None:
         reg = MetricsRegistry()
     registry = reg
     tracer = trace
+    profiler = profile
+    progress = report_progress
     return reg, trace
 
 
 def uninstall() -> None:
     """Deactivate instrumentation (hot paths return to the no-op branch)."""
-    global registry, tracer
-    registry = None
-    tracer = None
+    _restore((None, None, None, None))
 
 
 @contextmanager
 def installed(
     reg: Optional[MetricsRegistry] = None,
     trace: Optional[TraceRecorder] = None,
+    profile=None,
+    report_progress=None,
 ) -> Iterator[MetricsRegistry]:
-    """Context manager: install for the block, restore the previous pair.
+    """Context manager: install for the block, restore the previous state.
 
     Yields the active registry (created fresh when ``reg`` is ``None``).
     """
-    global registry, tracer
-    prev = (registry, tracer)
+    prev = _state()
     if reg is None:
         reg = MetricsRegistry()
-    registry = reg
-    tracer = trace
+    _restore((reg, trace, profile, report_progress))
     try:
         yield reg
     finally:
-        registry, tracer = prev
+        _restore(prev)
 
 
 @contextmanager
 def disabled() -> Iterator[None]:
     """Context manager: force instrumentation off, restore afterwards."""
-    global registry, tracer
-    prev = (registry, tracer)
-    registry = None
-    tracer = None
+    prev = _state()
+    _restore((None, None, None, None))
     try:
         yield
     finally:
-        registry, tracer = prev
+        _restore(prev)
 
 
 class _NullSpan:

@@ -1,0 +1,229 @@
+"""Span-attributed sampling profiler.
+
+``cProfile`` answers "which function", but a SIEF build's cost structure
+is *phase*-shaped — IDENTIFY sweeps vs RELABEL searches vs label
+queries — and those phases are exactly the spans the build and query
+paths already emit into :class:`~repro.obs.trace.TraceRecorder`.
+:class:`SpanProfiler` samples the recorder's **open-span stack** on a
+timer thread, so every sample lands on a stack like
+``sief.build; sief.build.case`` with no bytecode tracing overhead in
+the measured code (the hot paths stay untouched — the sampler only
+*reads* the tracer's stack).
+
+Output shapes:
+
+* :meth:`SpanProfiler.folded` — folded-stack lines
+  (``outer;inner count``), the input format of every flamegraph tool
+  (Brendan Gregg's ``flamegraph.pl``, speedscope, inferno);
+* :meth:`SpanProfiler.rollup` — per-span **inclusive** (span anywhere on
+  the stack) and **exclusive** (span is the leaf) sample counts plus
+  their estimated seconds (samples x interval);
+* samples also export as instant events in the Chrome trace
+  (:mod:`repro.obs.chrometrace`).
+
+Determinism: the timer thread is real, but every piece of machinery is
+drivable without it — ``sample_once`` takes an explicit stack, the
+clock is injectable, and :meth:`merge` folds worker sample counts in
+exactly like registry snapshots merge at a parallel join — so tests
+never assert on wall-clock behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+IDLE_STACK: Tuple[str, ...] = ("(no span)",)
+"""Stack recorded for samples taken while no span is open."""
+
+DEFAULT_INTERVAL = 0.005
+"""Default sampling period in seconds (200 Hz)."""
+
+_MAX_TIMESTAMPED_SAMPLES = 100_000
+"""Cap on individually timestamped samples kept for timeline export;
+aggregate counts keep accumulating past it, so folded output and
+rollups stay exact on arbitrarily long runs."""
+
+
+@dataclass(frozen=True)
+class SpanCost:
+    """Per-span rollup row: inclusive/exclusive samples and seconds."""
+
+    name: str
+    inclusive_samples: int
+    exclusive_samples: int
+    inclusive_seconds: float
+    exclusive_seconds: float
+
+
+class SpanProfiler:
+    """Samples a :class:`~repro.obs.trace.TraceRecorder`'s span stack.
+
+    Parameters
+    ----------
+    tracer:
+        The recorder whose open-span stack attributes each sample.
+    interval:
+        Sampling period in seconds (also the weight of one sample when
+        converting counts to estimated time).
+    clock:
+        Monotonic time source for sample timestamps; injectable so the
+        Chrome-trace export of samples is testable deterministically.
+        Should share a domain with the tracer's clock so samples align
+        with spans on one timeline.
+    """
+
+    def __init__(
+        self,
+        tracer,
+        interval: float = DEFAULT_INTERVAL,
+        clock=time.perf_counter,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.tracer = tracer
+        self.interval = interval
+        self._clock = clock
+        self.counts: Dict[Tuple[str, ...], int] = {}
+        self.samples: List[Tuple[float, Tuple[str, ...]]] = []
+        self.total_samples = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample_once(
+        self, stack: Optional[Tuple[str, ...]] = None
+    ) -> Tuple[str, ...]:
+        """Record one sample (of ``stack``, or the tracer's live stack).
+
+        The explicit-``stack`` form is the deterministic test seam and
+        the worker-merge ingestion path; the no-argument form is what
+        the timer thread calls.
+        """
+        if stack is None:
+            stack = tuple(self.tracer.open_spans())
+        else:
+            stack = tuple(stack)
+        if not stack:
+            stack = IDLE_STACK
+        self.counts[stack] = self.counts.get(stack, 0) + 1
+        self.total_samples += 1
+        if len(self.samples) < _MAX_TIMESTAMPED_SAMPLES:
+            self.samples.append((self._clock(), stack))
+        return stack
+
+    def _run(self) -> None:  # pragma: no cover - timing-dependent thread
+        while not self._stop_event.wait(self.interval):
+            self.sample_once()
+
+    def start(self) -> "SpanProfiler":
+        """Start the background sampling thread (idempotent)."""
+        if self._thread is None:
+            self._stop_event.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="sief-span-profiler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the background thread (no-op if never started)."""
+        if self._thread is not None:
+            self._stop_event.set()
+            self._thread.join()
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the sampling thread is currently alive."""
+        return self._thread is not None
+
+    def __enter__(self) -> "SpanProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- merge (parallel builds) -------------------------------------------
+
+    def merge(self, counts: Dict[Tuple[str, ...], int]) -> None:
+        """Fold another profiler's sample counts in (worker -> parent).
+
+        Mirrors ``MetricsRegistry.merge_snapshot``: per-worker profilers
+        sample their own chunk tracers, and the parent folds the counts
+        at the join.  Only aggregate counts merge — foreign samples
+        carry another process's timeline and stay in that worker's
+        Chrome-trace track instead.
+        """
+        for stack, n in counts.items():
+            stack = tuple(stack)
+            self.counts[stack] = self.counts.get(stack, 0) + n
+            self.total_samples += n
+
+    # -- output -------------------------------------------------------------
+
+    def folded(self) -> str:
+        """Folded-stack lines (``a;b;c 12``), flamegraph-tool ready."""
+        lines = [
+            f"{';'.join(stack)} {count}"
+            for stack, count in sorted(self.counts.items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def rollup(self) -> List[SpanCost]:
+        """Per-span inclusive/exclusive costs, heaviest-inclusive first.
+
+        *Inclusive* counts every sample whose stack contains the span
+        (once per sample, even for recursive nesting); *exclusive*
+        counts samples where the span is the leaf.  Seconds are the
+        sample counts scaled by the sampling interval — an estimate
+        whose error shrinks with run length, like any sampling profile.
+        """
+        inclusive: Dict[str, int] = {}
+        exclusive: Dict[str, int] = {}
+        for stack, n in self.counts.items():
+            exclusive[stack[-1]] = exclusive.get(stack[-1], 0) + n
+            for name in set(stack):
+                inclusive[name] = inclusive.get(name, 0) + n
+        rows = [
+            SpanCost(
+                name=name,
+                inclusive_samples=inc,
+                exclusive_samples=exclusive.get(name, 0),
+                inclusive_seconds=inc * self.interval,
+                exclusive_seconds=exclusive.get(name, 0) * self.interval,
+            )
+            for name, inc in inclusive.items()
+        ]
+        rows.sort(key=lambda r: (-r.inclusive_samples, r.name))
+        return rows
+
+    def report(self) -> str:
+        """Human-readable rollup table (the CLI's ``--profile`` output)."""
+        rows = self.rollup()
+        if not rows:
+            return "(no samples)"
+        name_w = max(len(r.name) for r in rows)
+        lines = [
+            f"{'span'.ljust(name_w)}  incl%   excl%   incl(s)  excl(s)  samples"
+        ]
+        total = self.total_samples
+        for r in rows:
+            lines.append(
+                f"{r.name.ljust(name_w)}  "
+                f"{r.inclusive_samples / total:6.1%}  "
+                f"{r.exclusive_samples / total:6.1%}  "
+                f"{r.inclusive_seconds:7.3f}  "
+                f"{r.exclusive_seconds:7.3f}  "
+                f"{r.inclusive_samples:7d}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanProfiler(samples={self.total_samples}, "
+            f"stacks={len(self.counts)}, interval={self.interval})"
+        )

@@ -1,0 +1,129 @@
+"""Live build progress: cases/sec, ETA and done/total on stderr.
+
+A full SIEF build visits every edge of the graph — minutes of silence
+at paper scale.  :class:`ProgressReporter` turns the per-case ticks the
+build loops already make (behind the same ``is None`` hooks seam as
+metrics and tracing, so an uninstalled reporter costs one attribute
+load per case) into a single self-overwriting status line::
+
+    sief build:  1842/10000 cases  213.4/s  ETA 38s
+
+Design constraints, in order:
+
+* **zero hot-path cost when off** — the build loops do
+  ``prog = _obs.progress; if prog is not None: prog.advance()``;
+* **bounded terminal traffic when on** — renders are throttled to
+  ``min_interval`` seconds, so a 100k-case build writes a few hundred
+  lines, not 100k;
+* **deterministic in tests** — the clock and output stream are
+  injectable; nothing here reads wall time except through ``clock``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+def _format_eta(seconds: float) -> str:
+    """Compact ETA: 42s / 3m12s / 2h05m."""
+    seconds = int(seconds)
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+class ProgressReporter:
+    """Renders ``done/total``, rate and ETA as one updating stderr line.
+
+    Parameters
+    ----------
+    total:
+        Expected number of work units, or ``None`` when unknown (the
+        lazy index builds cases on demand); without a total the line
+        shows count and rate but no ETA.
+    label:
+        Prefix for the status line.
+    stream:
+        Output text stream (default ``sys.stderr``, resolved lazily so
+        pytest's capture replacement is honoured).
+    clock:
+        Monotonic seconds source; injectable for deterministic tests.
+    min_interval:
+        Minimum seconds between renders (throttle); ``finish`` always
+        renders.
+    """
+
+    def __init__(
+        self,
+        total: Optional[int] = None,
+        label: str = "sief build",
+        stream: Optional[TextIO] = None,
+        clock=time.monotonic,
+        min_interval: float = 0.1,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self._stream = stream
+        self._clock = clock
+        self.min_interval = min_interval
+        self.done = 0
+        self._started = clock()
+        self._last_render = float("-inf")
+        self.renders = 0
+
+    # -- ticks --------------------------------------------------------------
+
+    def advance(self, n: int = 1) -> None:
+        """Add ``n`` completed units and render if the throttle allows."""
+        self.done += n
+        now = self._clock()
+        if now - self._last_render >= self.min_interval:
+            self._render(now)
+
+    def update(self, done: int) -> None:
+        """Set the absolute completed count (idempotent form)."""
+        self.done = done
+        now = self._clock()
+        if now - self._last_render >= self.min_interval:
+            self._render(now)
+
+    def finish(self) -> None:
+        """Force a final render and terminate the line with a newline."""
+        self._render(self._clock())
+        stream = self._stream if self._stream is not None else sys.stderr
+        stream.write("\n")
+        stream.flush()
+
+    def __enter__(self) -> "ProgressReporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
+
+    # -- rendering ----------------------------------------------------------
+
+    def render_line(self, now: Optional[float] = None) -> str:
+        """The current status line (sans carriage return), for tests."""
+        if now is None:
+            now = self._clock()
+        elapsed = max(now - self._started, 1e-9)
+        rate = self.done / elapsed
+        if self.total is not None:
+            line = f"{self.label}: {self.done:>{len(str(self.total))}}/{self.total} cases"
+        else:
+            line = f"{self.label}: {self.done} cases"
+        line += f"  {rate:.1f}/s"
+        if self.total is not None and rate > 0 and self.done < self.total:
+            line += f"  ETA {_format_eta((self.total - self.done) / rate)}"
+        return line
+
+    def _render(self, now: float) -> None:
+        self._last_render = now
+        self.renders += 1
+        stream = self._stream if self._stream is not None else sys.stderr
+        stream.write("\r" + self.render_line(now) + "\x1b[K")
+        stream.flush()

@@ -8,27 +8,40 @@ the cost of full IDs/links.
 
 Finished spans land in a fixed-capacity ring buffer — the recorder's
 memory use is bounded no matter how many spans a long fuzz run or build
-produces; old spans are overwritten, and ``total_finished`` keeps the
-true count.  The recorder also tracks the open-span stack, so the
-conformance harness can assert after every case that **every span
-entered was exited** (``balanced``) — an unbalanced stack means an
-instrumentation bug (a span leaked past an exception or early return).
+produces; old spans are overwritten (``dropped_spans`` counts every
+overwrite, so a wrapped buffer is loud, not silent), and
+``total_finished`` keeps the true count.  The recorder also tracks the
+open-span stack, so the conformance harness can assert after every case
+that **every span entered was exited** (``balanced``) — an unbalanced
+stack means an instrumentation bug (a span leaked past an exception or
+early return).
+
+Parallel builds ship their workers' finished spans back to the parent
+as *tracks* (:meth:`TraceRecorder.add_track`): per-worker lists of
+records kept separate from the parent's own ring, which is what lets
+the Chrome-trace exporter draw one timeline row per worker process.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, Iterable, List, Optional
 
 
 @dataclass(frozen=True)
 class SpanRecord:
-    """One finished span: what ran, how deep, and for how long."""
+    """One finished span: what ran, how deep, for how long — and when.
+
+    ``start`` is the recorder clock's value at span entry (the same
+    monotonic domain as ``seconds``), which is what timeline exporters
+    need to place the span on an axis.
+    """
 
     name: str
     depth: int
     seconds: float
+    start: float = 0.0
 
 
 class _Span:
@@ -70,7 +83,10 @@ class TraceRecorder:
         self._next = 0
         self.total_started = 0
         self.total_finished = 0
+        self.dropped_spans = 0
         self._stack: List[tuple] = []  # (name, start_time)
+        self._tracks: Dict[str, List[SpanRecord]] = {}
+        self._dropped_synced = 0
 
     # -- span lifecycle -----------------------------------------------------
 
@@ -94,8 +110,13 @@ class TraceRecorder:
                 f"but innermost open span is {name!r}"
             )
         record = SpanRecord(
-            name=name, depth=len(self._stack), seconds=self._clock() - started
+            name=name,
+            depth=len(self._stack),
+            seconds=self._clock() - started,
+            start=started,
         )
+        if self._ring[self._next] is not None:
+            self.dropped_spans += 1
         self._ring[self._next] = record
         self._next = (self._next + 1) % self.capacity
         self.total_finished += 1
@@ -126,15 +147,46 @@ class TraceRecorder:
             if r is not None
         ]
 
-    def clear(self) -> None:
-        """Drop all finished records.
+    # -- worker tracks ------------------------------------------------------
 
-        The open-span stack and the lifetime ``total_started`` /
-        ``total_finished`` counts are untouched (``balanced`` keeps its
-        meaning across a clear).
+    def add_track(self, track: str, records: Iterable[SpanRecord]) -> None:
+        """Attach a named list of foreign span records (one per worker).
+
+        Parallel builds call this at the join with each worker's chunk
+        spans; the records stay separate from this recorder's own ring
+        so exporters can draw one timeline row per worker.  Repeated
+        calls with the same track name extend the track (one worker
+        process typically builds several chunks).
+        """
+        self._tracks.setdefault(track, []).extend(records)
+
+    def tracks(self) -> Dict[str, List[SpanRecord]]:
+        """Worker tracks added via :meth:`add_track` (name -> records)."""
+        return {name: list(recs) for name, recs in self._tracks.items()}
+
+    def sync_registry(self, registry) -> None:
+        """Bring a registry's ``trace.dropped_spans`` counter up to date.
+
+        Increments the counter by however many drops happened since the
+        last sync, so repeated calls (one per export, say) never double
+        count.  Duck-typed on ``registry.counter(name).inc`` to keep
+        this module free of a :mod:`repro.obs.metrics` import.
+        """
+        delta = self.dropped_spans - self._dropped_synced
+        if delta > 0:
+            registry.counter("trace.dropped_spans").inc(delta)
+            self._dropped_synced = self.dropped_spans
+
+    def clear(self) -> None:
+        """Drop all finished records and worker tracks.
+
+        The open-span stack, the lifetime ``total_started`` /
+        ``total_finished`` counts and the ``dropped_spans`` tally are
+        untouched (``balanced`` keeps its meaning across a clear).
         """
         self._ring = [None] * self.capacity
         self._next = 0
+        self._tracks = {}
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,188 @@
+"""Bench history store and regression-compare tests.
+
+Every timing here is an injected sample — nothing asserts on a wall
+clock, so the PASS/FAIL behaviour these tests pin can never be flaky.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.history import (
+    BenchHistory,
+    BenchRun,
+    CrossHostError,
+    compare,
+    compare_runs,
+    default_run_label,
+    env_metadata,
+)
+
+
+def _run(bench_id, samples, run="r", host="hostA", **kw):
+    meta = {"hostname": host} if host is not None else {}
+    return BenchRun(
+        bench_id=bench_id, samples=tuple(samples), run=run, meta=meta, **kw
+    )
+
+
+class TestBenchRun:
+    def test_rejects_empty_samples(self):
+        with pytest.raises(ValueError, match="no samples"):
+            BenchRun(bench_id="b", samples=())
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ValueError, match="negative"):
+            BenchRun(bench_id="b", samples=(0.1, -0.2))
+
+    def test_statistics(self):
+        r = _run("b", [0.3, 0.1, 0.2])
+        assert r.value("min") == 0.1
+        assert r.value("median") == 0.2
+        assert r.value("mean") == pytest.approx(0.2)
+
+    def test_unknown_statistic_raises(self):
+        with pytest.raises(ValueError, match="statistic"):
+            _run("b", [0.1]).value("p99")
+
+    def test_json_round_trip(self):
+        r = _run("b", [0.1, 0.2], run="r1", extra={"cases": 5})
+        assert BenchRun.from_json(r.to_json()) == r
+
+
+class TestBenchHistory:
+    def test_append_load_round_trip(self, tmp_path):
+        h = BenchHistory(tmp_path / "sub" / "hist.jsonl")
+        h.append(_run("build", [0.1], run="r1"))
+        h.append(_run("query", [0.2], run="r1"))
+        h.append(_run("build", [0.15], run="r2"))
+        assert len(h.load()) == 3
+        assert [r.run for r in h.load(bench_id="build")] == ["r1", "r2"]
+        assert h.run_labels() == ["r1", "r2"]
+        assert h.latest("build").samples == (0.15,)
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert BenchHistory(tmp_path / "nope.jsonl").load() == []
+
+    def test_corrupt_line_names_path_and_lineno(self, tmp_path):
+        p = tmp_path / "hist.jsonl"
+        p.write_text('{"bench_id": "b", "samples": [0.1]}\nnot json\n')
+        with pytest.raises(ValueError, match=r"hist\.jsonl:2"):
+            BenchHistory(p).load()
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        base = _run("build", [0.10, 0.11, 0.12])
+        cand = _run("build", [0.10, 0.11, 0.12])
+        comp = compare(base, cand)
+        assert comp.verdict == "PASS"
+        assert not comp.regressed
+        assert comp.ratio == 1.0
+
+    def test_two_x_slowdown_fails_with_id_and_ratio(self):
+        base = _run("build", [0.10, 0.12])
+        cand = _run("build", [0.20, 0.24])
+        comp = compare(base, cand)
+        assert comp.verdict == "FAIL"
+        assert comp.regressed
+        assert comp.ratio == pytest.approx(2.0)
+        line = comp.describe()
+        assert "FAIL" in line
+        assert "build" in line
+        assert "2.00x" in line
+
+    def test_noise_below_threshold_passes(self):
+        # min-of-k absorbs one noisy repetition entirely.
+        base = _run("build", [0.100, 0.180])
+        cand = _run("build", [0.105, 0.400])
+        assert not compare(base, cand, threshold=0.10).regressed
+
+    def test_threshold_is_configurable(self):
+        base = _run("b", [0.10])
+        cand = _run("b", [0.13])
+        assert compare(base, cand, threshold=0.10).regressed
+        assert not compare(base, cand, threshold=0.50).regressed
+
+    def test_median_statistic(self):
+        base = _run("b", [0.1, 0.1, 0.1])
+        cand = _run("b", [0.1, 0.3, 0.3])  # min identical, median 3x
+        assert not compare(base, cand, statistic="min").regressed
+        assert compare(base, cand, statistic="median").regressed
+
+    def test_improvement_is_flagged_not_failed(self):
+        comp = compare(_run("b", [0.2]), _run("b", [0.1]))
+        assert comp.improved
+        assert comp.verdict == "PASS"
+
+    def test_mismatched_ids_raise(self):
+        with pytest.raises(ValueError, match="different benchmarks"):
+            compare(_run("a", [0.1]), _run("b", [0.1]))
+
+    def test_negative_threshold_raises(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare(_run("b", [0.1]), _run("b", [0.1]), threshold=-0.1)
+
+    def test_zero_baseline_positive_candidate_is_infinite(self):
+        comp = compare(_run("b", [0.0]), _run("b", [0.1]))
+        assert comp.ratio == float("inf")
+        assert comp.regressed
+
+    def test_cross_host_refused_with_clear_message(self):
+        base = _run("b", [0.1], host="ci-runner-1")
+        cand = _run("b", [0.1], host="laptop")
+        with pytest.raises(CrossHostError) as exc:
+            compare(base, cand)
+        msg = str(exc.value)
+        assert "ci-runner-1" in msg and "laptop" in msg
+        assert "allow_cross_host" in msg
+
+    def test_cross_host_override(self):
+        base = _run("b", [0.1], host="ci-runner-1")
+        cand = _run("b", [0.1], host="laptop")
+        assert not compare(base, cand, allow_cross_host=True).regressed
+
+    def test_unknown_host_does_not_block(self):
+        assert not compare(
+            _run("b", [0.1], host=None), _run("b", [0.1], host="x")
+        ).regressed
+
+
+class TestCompareRuns:
+    def _history(self, tmp_path):
+        h = BenchHistory(tmp_path / "hist.jsonl")
+        h.append(_run("build", [0.10], run="base"))
+        h.append(_run("query", [0.50], run="base"))
+        h.append(_run("build", [0.25], run="cand"))  # 2.5x regression
+        h.append(_run("query", [0.50], run="cand"))
+        h.append(_run("extra", [0.10], run="cand"))  # only in candidate
+        return h
+
+    def test_intersection_compared_and_missing_reported(self, tmp_path):
+        comps, missing = compare_runs(self._history(tmp_path), "base", "cand")
+        assert [c.bench_id for c in comps] == ["build", "query"]
+        assert [c.verdict for c in comps] == ["FAIL", "PASS"]
+        assert missing == ["extra"]
+
+    def test_unknown_run_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="baseline"):
+            compare_runs(self._history(tmp_path), "nope", "cand")
+
+
+def test_env_metadata_has_comparability_keys():
+    meta = env_metadata()
+    for key in (
+        "python",
+        "numpy",
+        "platform",
+        "machine",
+        "cpu_count",
+        "hostname",
+        "git_sha",
+    ):
+        assert key in meta
+    assert meta["hostname"]
+
+
+def test_default_run_label_uses_injected_clock():
+    assert default_run_label(clock=lambda: 12.345) == "run-12345"

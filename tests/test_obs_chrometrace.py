@@ -1,0 +1,200 @@
+"""Chrome trace-event export tests: schema, tracks, profiler samples."""
+
+from __future__ import annotations
+
+import json
+
+from repro.graph.graph import Graph
+from repro.obs import (
+    MetricsRegistry,
+    SpanProfiler,
+    SpanRecord,
+    TraceRecorder,
+    hooks,
+    to_chrome_trace,
+    to_chrome_trace_json,
+    validate_trace_events,
+    write_chrome_trace,
+)
+
+
+class FakeClock:
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        t = self.now
+        self.now += self.step
+        return t
+
+
+def _recorder_with_spans() -> TraceRecorder:
+    rec = TraceRecorder(clock=FakeClock())
+    with rec.span("outer"):
+        with rec.span("inner"):
+            pass
+    return rec
+
+
+def _events(doc, ph=None):
+    evs = doc["traceEvents"]
+    return evs if ph is None else [e for e in evs if e["ph"] == ph]
+
+
+class TestSchema:
+    def test_every_event_has_required_keys(self):
+        doc = to_chrome_trace(_recorder_with_spans())
+        assert validate_trace_events(doc) == []
+        for ev in doc["traceEvents"]:
+            for key in ("ph", "ts", "pid", "tid", "name"):
+                assert key in ev
+
+    def test_validate_reports_problems(self):
+        assert validate_trace_events({}) == [
+            "top-level 'traceEvents' missing or not a list"
+        ]
+        bad = {"traceEvents": [{"ph": "X", "ts": -1, "pid": 0, "tid": 0}]}
+        problems = validate_trace_events(bad)
+        assert any("no 'name'" in p for p in problems)
+        assert any("non-negative" in p for p in problems)
+        assert any("dur" in p for p in problems)
+
+    def test_json_serialization_parses_back(self):
+        text = to_chrome_trace_json(_recorder_with_spans())
+        doc = json.loads(text)
+        assert doc["displayTimeUnit"] == "ms"
+        assert validate_trace_events(doc) == []
+
+
+class TestSpans:
+    def test_spans_become_complete_events_with_normalized_ts(self):
+        doc = to_chrome_trace(_recorder_with_spans())
+        spans = _events(doc, "X")
+        by_name = {e["name"]: e for e in spans}
+        # FakeClock: outer pushed at 0, inner at 1..2, outer popped at 3.
+        assert by_name["outer"]["ts"] == 0.0
+        assert by_name["outer"]["dur"] == 3e6
+        assert by_name["inner"]["ts"] == 1e6
+        assert by_name["inner"]["dur"] == 1e6
+        assert by_name["inner"]["args"]["depth"] == 1
+
+    def test_process_and_main_thread_metadata(self):
+        doc = to_chrome_trace(_recorder_with_spans(), process_name="myproc")
+        meta = _events(doc, "M")
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "myproc") in names
+        assert ("thread_name", "main") in names
+
+
+class TestWorkerTracks:
+    def test_each_track_gets_distinct_tid_and_thread_name(self):
+        rec = _recorder_with_spans()
+        rec.add_track(
+            "worker-101",
+            [SpanRecord(name="sief.build.case", depth=0, seconds=1.0, start=5.0)],
+        )
+        rec.add_track(
+            "worker-102",
+            [SpanRecord(name="sief.build.case", depth=0, seconds=1.0, start=6.0)],
+        )
+        doc = to_chrome_trace(rec)
+        assert validate_trace_events(doc) == []
+        thread_names = {
+            e["args"]["name"]: e["tid"]
+            for e in _events(doc, "M")
+            if e["name"] == "thread_name"
+        }
+        assert thread_names["main"] == 0
+        assert thread_names["worker-101"] == 1
+        assert thread_names["worker-102"] == 2
+        span_tids = {
+            e["tid"] for e in _events(doc, "X") if e["name"] == "sief.build.case"
+        }
+        assert span_tids == {1, 2}
+
+    def test_origin_normalizes_across_tracks(self):
+        rec = TraceRecorder(clock=FakeClock())
+        rec.add_track(
+            "worker-1", [SpanRecord(name="c", depth=0, seconds=1.0, start=10.0)]
+        )
+        rec.add_track(
+            "worker-2", [SpanRecord(name="c", depth=0, seconds=1.0, start=12.0)]
+        )
+        doc = to_chrome_trace(rec)
+        ts = sorted(e["ts"] for e in _events(doc, "X"))
+        assert ts == [0.0, 2e6]
+
+
+class TestProfilerSamples:
+    def test_samples_become_instant_events_with_folded_stack(self):
+        rec = _recorder_with_spans()
+        prof = SpanProfiler(rec, clock=FakeClock())
+        prof.sample_once(("outer", "inner"))
+        doc = to_chrome_trace(rec, prof)
+        assert validate_trace_events(doc) == []
+        (inst,) = _events(doc, "i")
+        assert inst["name"] == "sample:inner"
+        assert inst["args"]["stack"] == "outer;inner"
+        assert inst["s"] == "t"
+
+
+class TestDroppedSpans:
+    def test_wrapped_ring_emits_counter_event(self):
+        rec = TraceRecorder(capacity=1, clock=FakeClock())
+        for name in ("a", "b", "c"):
+            with rec.span(name):
+                pass
+        doc = to_chrome_trace(rec)
+        (counter,) = _events(doc, "C")
+        assert counter["name"] == "trace.dropped_spans"
+        assert counter["args"]["dropped"] == 2
+
+    def test_no_counter_event_when_nothing_dropped(self):
+        assert _events(to_chrome_trace(_recorder_with_spans()), "C") == []
+
+
+def test_write_chrome_trace_creates_parents(tmp_path):
+    path = write_chrome_trace(
+        _recorder_with_spans(), tmp_path / "sub" / "trace.json"
+    )
+    doc = json.loads(path.read_text())
+    assert validate_trace_events(doc) == []
+
+
+def test_instrumented_parallel_build_has_per_worker_tracks():
+    """Integration: a real pool build ships spans back as worker tracks.
+
+    Pool scheduling is nondeterministic (one worker can in principle
+    grab every chunk), so this asserts at least one distinct worker
+    track with case spans — the deterministic multi-track rendering is
+    pinned by TestWorkerTracks above.
+    """
+    from repro.core.parallel import build_sief_parallel
+
+    g = Graph(20)
+    for i in range(19):
+        g.add_edge(i, i + 1)
+    g.add_edge(0, 10)
+    g.add_edge(5, 15)
+    reg = MetricsRegistry()
+    rec = TraceRecorder(capacity=4096)
+    with hooks.installed(reg, rec):
+        build_sief_parallel(g, workers=2, algorithm="batched")
+    tracks = rec.tracks()
+    assert len(tracks) >= 1
+    assert all(name.startswith("worker-") for name in tracks)
+    case_spans = [
+        r for recs in tracks.values() for r in recs
+        if r.name == "sief.build.case"
+    ]
+    assert len(case_spans) == 21  # one per edge
+    doc = to_chrome_trace(rec)
+    assert validate_trace_events(doc) == []
+    tids = {
+        e["tid"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "X" and e["name"] == "sief.build.case"
+    }
+    assert len(tids) == len(tracks)
+    assert 0 not in tids  # worker spans never land on the main track

@@ -8,6 +8,7 @@ from repro.obs import (
     MetricsRegistry,
     TraceRecorder,
     read_json_lines,
+    registry_from_json_lines,
     sanitize_name,
     to_json_lines,
     to_prometheus_text,
@@ -37,6 +38,34 @@ class TestSanitizeName:
 
     def test_colons_and_underscores_survive(self):
         assert sanitize_name("ns:sub_total") == "ns:sub_total"
+
+    def test_empty_name_becomes_underscore(self):
+        assert sanitize_name("") == "_"
+
+    def test_distinct_names_colliding_get_hash_suffix(self):
+        taken = {}
+        first = sanitize_name("sief.build.cases", taken)
+        second = sanitize_name("sief.build-cases", taken)
+        assert first == "sief_build_cases"
+        assert second.startswith("sief_build_cases_")
+        assert second != first
+
+    def test_same_name_twice_is_stable(self):
+        taken = {}
+        assert sanitize_name("a.b", taken) == sanitize_name("a.b", taken)
+
+    def test_collision_dedup_in_full_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc(1)
+        reg.gauge("a-b").set(2)
+        text = to_prometheus_text(reg)
+        # Both series survive as distinct names.
+        names = [
+            line.split()[0]
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(names) == len(set(names)) == 2
 
 
 class TestJsonLines:
@@ -73,6 +102,7 @@ class TestJsonLines:
             "started": 2,
             "finished": 2,
             "balanced": True,
+            "dropped": 0,
         }
 
     def test_empty_registry_renders_empty_string(self):
@@ -129,3 +159,63 @@ class TestPrometheusText:
 
     def test_empty_registry_renders_empty_string(self):
         assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_tracer_dropped_spans_appended_as_counter(self):
+        rec = TraceRecorder(capacity=1)
+        for name in ("a", "b", "c"):
+            with rec.span(name):
+                pass
+        text = to_prometheus_text(MetricsRegistry(), rec)
+        assert "# TYPE trace_dropped_spans counter" in text
+        assert "trace_dropped_spans 2" in text
+
+    def test_tracer_counter_not_duplicated_when_registry_has_it(self):
+        reg = MetricsRegistry()
+        rec = TraceRecorder(capacity=1)
+        for name in ("a", "b"):
+            with rec.span(name):
+                pass
+        rec.sync_registry(reg)
+        text = to_prometheus_text(reg, rec)
+        assert text.count("# TYPE trace_dropped_spans counter") == 1
+
+
+class TestRoundTrip:
+    """write -> read -> rebuild must reproduce the snapshot exactly."""
+
+    def test_registry_round_trip_all_instrument_kinds(self, tmp_path):
+        reg = _populated_registry()
+        path = write_json_lines(reg, tmp_path / "m.jsonl")
+        rebuilt = registry_from_json_lines(read_json_lines(path))
+        assert rebuilt.snapshot() == reg.snapshot()
+
+    def test_round_trip_ignores_span_and_summary_lines(self, tmp_path):
+        reg = _populated_registry()
+        rec = TraceRecorder()
+        with rec.span("outer"):
+            pass
+        path = write_json_lines(reg, tmp_path / "m.jsonl", rec)
+        rebuilt = registry_from_json_lines(read_json_lines(path))
+        snap = rebuilt.snapshot()
+        expected = reg.snapshot()
+        # The exporter adds the tracer's dropped counter; everything the
+        # registry itself held must survive unchanged.
+        assert snap["counters"].pop("trace.dropped_spans") == 0
+        assert snap == expected
+
+    def test_round_trip_of_merged_multiworker_snapshots(self, tmp_path):
+        # Simulate the parallel-build join: several worker registries
+        # merged into one parent, exported, and rebuilt.
+        parent = MetricsRegistry()
+        for worker in range(3):
+            w = MetricsRegistry()
+            w.counter("sief.build.cases").inc(worker + 1)
+            w.gauge("pll.last_build.vertices").set(100)
+            h = w.histogram("sief.build.affected_size", edges=(1, 10))
+            h.observe(worker)
+            h.observe(50)
+            parent.merge_snapshot(w.snapshot())
+        path = write_json_lines(parent, tmp_path / "merged.jsonl")
+        rebuilt = registry_from_json_lines(read_json_lines(path))
+        assert rebuilt.snapshot() == parent.snapshot()
+        assert rebuilt.counter("sief.build.cases").value == 6

@@ -1,0 +1,136 @@
+"""Span-attributed sampling profiler tests (all deterministic).
+
+``sample_once`` with an explicit stack is the test seam: no assertion
+here depends on thread scheduling or a wall clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import SpanProfiler, TraceRecorder
+from repro.obs.profile import IDLE_STACK
+
+
+class FakeClock:
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        t = self.now
+        self.now += self.step
+        return t
+
+
+def _profiler(interval: float = 0.01) -> SpanProfiler:
+    return SpanProfiler(
+        TraceRecorder(clock=FakeClock()), interval=interval, clock=FakeClock()
+    )
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        _profiler(interval=0)
+
+
+def test_sample_once_reads_tracer_open_stack():
+    rec = TraceRecorder(clock=FakeClock())
+    prof = SpanProfiler(rec, clock=FakeClock())
+    with rec.span("sief.build"):
+        with rec.span("sief.build.case"):
+            stack = prof.sample_once()
+    assert stack == ("sief.build", "sief.build.case")
+    assert prof.counts[stack] == 1
+    assert prof.total_samples == 1
+
+
+def test_empty_stack_attributes_to_idle():
+    prof = _profiler()
+    assert prof.sample_once() == IDLE_STACK
+    assert prof.counts[IDLE_STACK] == 1
+
+
+def test_folded_output_format():
+    prof = _profiler()
+    for _ in range(3):
+        prof.sample_once(("a", "b"))
+    prof.sample_once(("a",))
+    assert prof.folded() == "a 1\na;b 3\n"
+
+
+def test_folded_empty_is_empty_string():
+    assert _profiler().folded() == ""
+
+
+def test_rollup_inclusive_vs_exclusive():
+    prof = _profiler(interval=0.01)
+    for _ in range(4):
+        prof.sample_once(("build", "case"))
+    for _ in range(6):
+        prof.sample_once(("build",))
+    rows = {r.name: r for r in prof.rollup()}
+    assert rows["build"].inclusive_samples == 10
+    assert rows["build"].exclusive_samples == 6
+    assert rows["case"].inclusive_samples == 4
+    assert rows["case"].exclusive_samples == 4
+    assert rows["build"].inclusive_seconds == pytest.approx(0.1)
+    assert rows["case"].exclusive_seconds == pytest.approx(0.04)
+    # heaviest-inclusive first
+    assert [r.name for r in prof.rollup()] == ["build", "case"]
+
+
+def test_rollup_recursive_stack_counts_span_once():
+    prof = _profiler()
+    prof.sample_once(("a", "a"))
+    (row,) = prof.rollup()
+    assert row.inclusive_samples == 1  # not 2
+
+
+def test_merge_folds_worker_counts_like_registry_snapshots():
+    parent = _profiler()
+    parent.sample_once(("build",))
+    worker_counts = {("build",): 2, ("build", "case"): 5}
+    parent.merge(worker_counts)
+    assert parent.counts[("build",)] == 3
+    assert parent.counts[("build", "case")] == 5
+    assert parent.total_samples == 8
+
+
+def test_merge_accepts_list_keys_from_pickled_payloads():
+    parent = _profiler()
+    parent.merge({("a", "b"): 1})
+    parent.merge({("a", "b"): 1})
+    assert parent.counts[("a", "b")] == 2
+
+
+def test_samples_carry_injected_clock_timestamps():
+    prof = _profiler()
+    prof.sample_once(("a",))
+    prof.sample_once(("a",))
+    assert [ts for ts, _ in prof.samples] == [0.0, 1.0]
+
+
+def test_report_renders_table():
+    prof = _profiler()
+    prof.sample_once(("build",))
+    report = prof.report()
+    assert "incl%" in report and "build" in report
+    assert _profiler().report() == "(no samples)"
+
+
+def test_thread_start_stop_smoke():
+    rec = TraceRecorder()
+    prof = SpanProfiler(rec, interval=0.001)
+    assert not prof.running
+    with prof:
+        assert prof.running
+        with rec.span("smoke"):
+            deadline = 2000
+            while prof.total_samples == 0 and deadline:
+                deadline -= 1
+                import time
+
+                time.sleep(0.001)
+    assert not prof.running
+    prof.stop()  # idempotent

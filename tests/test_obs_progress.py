@@ -1,0 +1,124 @@
+"""ProgressReporter tests: injected clock + StringIO, nothing flaky."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import ProgressReporter
+
+
+class ManualClock:
+    """Clock that only moves when the test says so."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _reporter(total=None, min_interval=1.0):
+    clock = ManualClock()
+    stream = io.StringIO()
+    prog = ProgressReporter(
+        total=total,
+        stream=stream,
+        clock=clock,
+        min_interval=min_interval,
+        label="sief build",
+    )
+    return prog, clock, stream
+
+
+def test_advance_accumulates_and_renders():
+    prog, clock, stream = _reporter(total=100)
+    clock.now = 10.0
+    prog.advance(25)
+    assert prog.done == 25
+    out = stream.getvalue()
+    assert "\r" in out
+    assert " 25/100 cases" in out
+    assert "2.5/s" in out
+
+
+def test_render_line_shows_rate_and_eta():
+    prog, clock, _ = _reporter(total=100)
+    prog.done = 40
+    clock.now = 10.0  # 4/s, 60 remaining -> 15s
+    line = prog.render_line()
+    assert line == "sief build:  40/100 cases  4.0/s  ETA 15s"
+
+
+def test_eta_formats():
+    prog, clock, _ = _reporter(total=1000)
+    prog.done = 1
+    clock.now = 1.0  # 1/s -> 999s ETA = 16m39s
+    assert "ETA 16m39s" in prog.render_line()
+    prog2, clock2, _ = _reporter(total=100_000)
+    prog2.done = 1
+    clock2.now = 1.0  # 99999s = 27h46m
+    assert "ETA 27h46m" in prog2.render_line()
+
+
+def test_no_eta_without_total():
+    prog, clock, _ = _reporter(total=None)
+    prog.done = 10
+    clock.now = 5.0
+    line = prog.render_line()
+    assert "ETA" not in line
+    assert "10 cases" in line
+
+
+def test_no_eta_once_complete():
+    prog, clock, _ = _reporter(total=10)
+    prog.done = 10
+    clock.now = 5.0
+    assert "ETA" not in prog.render_line()
+
+
+def test_renders_are_throttled_by_min_interval():
+    prog, clock, stream = _reporter(total=1000, min_interval=1.0)
+    for i in range(100):
+        clock.now = i * 0.01  # 100 ticks inside one second
+        prog.advance()
+    assert prog.done == 100
+    # First tick renders (throttle starts at -inf); the rest are inside
+    # the interval and must not.
+    assert prog.renders == 1
+    clock.now = 2.0
+    prog.advance()
+    assert prog.renders == 2
+
+
+def test_update_sets_absolute_count():
+    prog, clock, _ = _reporter(total=100)
+    clock.now = 1.0
+    prog.update(42)
+    prog.update(42)
+    assert prog.done == 42
+
+
+def test_finish_always_renders_and_ends_line():
+    prog, clock, stream = _reporter(total=10, min_interval=1000.0)
+    prog.done = 10
+    clock.now = 0.5
+    prog.finish()
+    out = stream.getvalue()
+    assert out.endswith("\n")
+    assert "10/10 cases" in out
+
+
+def test_context_manager_finishes():
+    prog, clock, stream = _reporter(total=2)
+    with prog:
+        clock.now = 1.0
+        prog.advance(2)
+    assert stream.getvalue().endswith("\n")
+
+
+def test_zero_cost_seam_contract():
+    """The hooks seam stays `is None`-cheap: nothing installed by default."""
+    from repro.obs import hooks
+
+    assert hooks.progress is None
+    assert hooks.profiler is None

@@ -126,3 +126,69 @@ def test_span_record_is_frozen():
     r = SpanRecord(name="x", depth=0, seconds=1.0)
     with pytest.raises(AttributeError):
         r.name = "y"
+
+
+def test_span_record_carries_clock_start():
+    clock = FakeClock(step=1.0)
+    rec = TraceRecorder(clock=clock)
+    with rec.span("a"):
+        pass
+    with rec.span("b"):
+        pass
+    a, b = rec.records()
+    assert a.start == 0.0  # first clock read
+    assert b.start == 2.0  # push(0) pop(1) push(2) pop(3)
+    assert b.start > a.start
+
+
+def test_dropped_spans_counts_ring_overwrites():
+    rec = TraceRecorder(capacity=2, clock=FakeClock())
+    assert rec.dropped_spans == 0
+    for i in range(5):
+        with rec.span(f"s{i}"):
+            pass
+    # 5 finished into a 2-slot ring: the first two filled empty slots,
+    # the next three each overwrote a live record.
+    assert rec.dropped_spans == 3
+    assert rec.total_finished == 5
+
+
+def test_sync_registry_increments_by_delta_only():
+    from repro.obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    rec = TraceRecorder(capacity=1, clock=FakeClock())
+    with rec.span("a"):
+        pass
+    rec.sync_registry(reg)
+    assert reg.counter_value("trace.dropped_spans") == 0
+    with rec.span("b"):
+        pass
+    with rec.span("c"):
+        pass
+    rec.sync_registry(reg)
+    assert reg.counter_value("trace.dropped_spans") == 2
+    rec.sync_registry(reg)  # no new drops: counter must not move
+    assert reg.counter_value("trace.dropped_spans") == 2
+
+
+def test_add_track_keeps_worker_records_separate():
+    rec = TraceRecorder(clock=FakeClock())
+    with rec.span("parent"):
+        pass
+    foreign = [SpanRecord(name="sief.build.case", depth=0, seconds=0.5)]
+    rec.add_track("worker-1", foreign)
+    rec.add_track("worker-1", foreign)  # same worker, second chunk
+    rec.add_track("worker-2", foreign)
+    assert [r.name for r in rec.records()] == ["parent"]
+    tracks = rec.tracks()
+    assert sorted(tracks) == ["worker-1", "worker-2"]
+    assert len(tracks["worker-1"]) == 2
+    assert len(tracks["worker-2"]) == 1
+
+
+def test_clear_drops_tracks_too():
+    rec = TraceRecorder(clock=FakeClock())
+    rec.add_track("worker-1", [SpanRecord(name="x", depth=0, seconds=0.1)])
+    rec.clear()
+    assert rec.tracks() == {}
