@@ -5,7 +5,11 @@ the scale-free shape of the paper's datasets) for:
 
 * ``dist_query`` looped one pair at a time — list backend and frozen
   flat backend;
-* ``batch_dist_query`` — the vectorized join over the flat arrays;
+* ``batch_dist_query`` — the vectorized join over the flat arrays, once
+  per available kernel tier (pure numpy always; the compiled numba/cext
+  hub-join when available — the headline ``label_queries`` /
+  ``sief_queries`` entries are the accelerated tier, the numpy-tier
+  reference lands under ``*_numpy``);
 * ``SIEFQueryEngine.distance`` looped vs ``SIEFQueryEngine.batch_query``
   on sampled failure cases (supplements built for those edges only, so
   the benchmark stays minutes not hours at 10k vertices).
@@ -31,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import kernels
 from repro.graph import generators
 from repro.labeling.pll import build_pll
 from repro.labeling.query import batch_dist_query, dist_query
@@ -202,22 +207,47 @@ def _run_impl(vertices: int, attach: int, queries: int, sief_edges: int, out: Pa
     rng = random.Random(WORKLOAD_SEED)
     pairs = _pairs(vertices, queries, rng)
     scalar_count = min(queries, 20000)
-    label = bench_label_queries(listed, frozen, pairs, scalar_count)
-    print(
-        f"label queries: scalar(list) {label['scalar_list_qps']:.0f} q/s, "
-        f"scalar(flat) {label['scalar_flat_qps']:.0f} q/s, "
-        f"batch {label['batch_qps']:.0f} q/s "
-        f"({label['batch_over_scalar_list']:.1f}x over scalar list loop)",
-        flush=True,
-    )
 
-    sief = bench_sief_queries(graph, listed, frozen, sief_edges, queries)
-    print(
-        f"SIEF queries:  scalar {sief['engine_scalar_qps']:.0f} q/s, "
-        f"batch {sief['engine_batch_qps']:.0f} q/s "
-        f"({sief['batch_over_scalar']:.1f}x)",
-        flush=True,
-    )
+    # One pass per kernel tier: numpy always (the bit-identical
+    # reference), plus the accelerated tier the ambient selection
+    # resolves to.  Headline numbers come from the accelerated pass.
+    accel_tier = kernels.effective_tier()
+    tiers = ["numpy"] + ([accel_tier] if accel_tier != "numpy" else [])
+    label_by_tier = {}
+    sief_by_tier = {}
+    for tier in tiers:
+        with kernels.use_tier(tier):
+            label = bench_label_queries(listed, frozen, pairs, scalar_count)
+            sief = bench_sief_queries(
+                graph, listed, frozen, sief_edges, queries
+            )
+        label_by_tier[tier] = label
+        sief_by_tier[tier] = sief
+        print(
+            f"label queries [{tier}]: "
+            f"scalar(list) {label['scalar_list_qps']:.0f} q/s, "
+            f"scalar(flat) {label['scalar_flat_qps']:.0f} q/s, "
+            f"batch {label['batch_qps']:.0f} q/s "
+            f"({label['batch_over_scalar_list']:.1f}x over scalar list "
+            "loop)",
+            flush=True,
+        )
+        print(
+            f"SIEF queries  [{tier}]: "
+            f"scalar {sief['engine_scalar_qps']:.0f} q/s, "
+            f"batch {sief['engine_batch_qps']:.0f} q/s "
+            f"({sief['batch_over_scalar']:.1f}x)",
+            flush=True,
+        )
+    label = label_by_tier[accel_tier]
+    sief = sief_by_tier[accel_tier]
+    if accel_tier != "numpy":
+        print(
+            f"kernel tier {accel_tier}: batch label join "
+            f"{label['batch_qps'] / label_by_tier['numpy']['batch_qps']:.1f}x"
+            " over the numpy tier",
+            flush=True,
+        )
 
     from repro.bench.history import env_metadata
 
@@ -240,9 +270,16 @@ def _run_impl(vertices: int, attach: int, queries: int, sief_edges: int, out: Pa
             "pll_build_seconds": pll_seconds,
             "freeze_seconds": freeze_seconds,
         },
+        "kernel_tier": accel_tier,
         "label_queries": label,
         "sief_queries": sief,
     }
+    if accel_tier != "numpy":
+        report["label_queries_numpy"] = label_by_tier["numpy"]
+        report["sief_queries_numpy"] = sief_by_tier["numpy"]
+        report["kernel_speedup_batch"] = (
+            label["batch_qps"] / label_by_tier["numpy"]["batch_qps"]
+        )
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}", flush=True)
     return report
@@ -272,7 +309,15 @@ def main(argv=None) -> int:
         default=None,
         help="exit nonzero unless batch beats the scalar loop by this factor",
     )
+    parser.add_argument(
+        "--kernels",
+        choices=list(kernels.CHOICES),
+        default=None,
+        help="pin the kernel tier (default: auto — fastest available)",
+    )
     args = parser.parse_args(argv)
+    if args.kernels:
+        kernels.set_tier(args.kernels)
     report = run(
         args.vertices,
         args.attach,

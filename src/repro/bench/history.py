@@ -71,7 +71,10 @@ def env_metadata() -> Dict[str, object]:
     Everything that moves timing numbers between machines: interpreter
     and numpy versions, platform triple, CPU count, hostname — plus the
     git SHA (when available) so a history line names the code it
-    measured.
+    measured, and the effective kernel tier (``numpy``/``numba``/
+    ``cext``) so a tier switch can never masquerade as a regression or
+    an improvement: :func:`compare` refuses cross-tier comparisons the
+    same way it refuses cross-host ones.
     """
     try:
         import numpy
@@ -79,6 +82,12 @@ def env_metadata() -> Dict[str, object]:
         numpy_version = numpy.__version__
     except Exception:  # pragma: no cover - numpy is a hard dependency
         numpy_version = None
+    try:
+        from repro.kernels import effective_tier
+
+        kernel_tier = effective_tier()
+    except Exception:  # pragma: no cover - misconfigured explicit tier
+        kernel_tier = None
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
@@ -88,6 +97,7 @@ def env_metadata() -> Dict[str, object]:
         "cpu_count": os.cpu_count(),
         "hostname": socket.gethostname(),
         "git_sha": _git_sha(),
+        "kernel_tier": kernel_tier,
     }
 
 
@@ -157,6 +167,17 @@ class CrossHostError(ValueError):
     Timing ratios across hosts are meaningless; :func:`compare` raises
     this (with both hostnames in the message) unless the caller passes
     ``allow_cross_host=True``.
+    """
+
+
+class CrossTierError(ValueError):
+    """Baseline and candidate were measured on different kernel tiers.
+
+    A numpy-tier baseline against a numba/cext candidate measures the
+    tier switch, not the code change under test; :func:`compare` raises
+    this (with both tiers in the message) unless the caller passes
+    ``allow_cross_tier=True`` — which is exactly what a deliberate
+    cross-tier speedup measurement should do.
     """
 
 
@@ -252,14 +273,15 @@ def compare(
     threshold: float = DEFAULT_THRESHOLD,
     statistic: str = "min",
     allow_cross_host: bool = False,
+    allow_cross_tier: bool = False,
 ) -> Comparison:
     """Noise-aware regression verdict for one benchmark id.
 
     ``regressed`` iff ``candidate / baseline > 1 + threshold`` under the
     chosen statistic; ``improved`` is the symmetric speedup flag.  Both
     runs must carry the same ``bench_id`` and (unless overridden) the
-    same recorded hostname — comparing timings across hosts answers a
-    question nobody asked.
+    same recorded hostname and kernel tier — comparing timings across
+    hosts or tiers answers a question nobody asked.
     """
     if baseline.bench_id != candidate.bench_id:
         raise ValueError(
@@ -281,6 +303,21 @@ def compare(
             f"host {base_host!r} but candidate on {cand_host!r}; timing "
             "ratios across hosts are not meaningful "
             "(pass allow_cross_host=True / --allow-cross-host to override)"
+        )
+    base_tier = baseline.meta.get("kernel_tier")
+    cand_tier = candidate.meta.get("kernel_tier")
+    if (
+        not allow_cross_tier
+        and base_tier is not None
+        and cand_tier is not None
+        and base_tier != cand_tier
+    ):
+        raise CrossTierError(
+            f"benchmark {baseline.bench_id!r}: baseline was recorded on "
+            f"kernel tier {base_tier!r} but candidate on {cand_tier!r}; "
+            "that ratio measures the tier switch, not the change under "
+            "test (pass allow_cross_tier=True / --allow-cross-tier to "
+            "override)"
         )
     base = baseline.value(statistic)
     cand = candidate.value(statistic)
@@ -309,6 +346,7 @@ def compare_runs(
     threshold: float = DEFAULT_THRESHOLD,
     statistic: str = "min",
     allow_cross_host: bool = False,
+    allow_cross_tier: bool = False,
 ) -> Tuple[List[Comparison], List[str]]:
     """Compare every benchmark id present in both runs.
 
@@ -329,6 +367,7 @@ def compare_runs(
             threshold=threshold,
             statistic=statistic,
             allow_cross_host=allow_cross_host,
+            allow_cross_tier=allow_cross_tier,
         )
         for bid in sorted(set(base_recs) & set(cand_recs))
     ]

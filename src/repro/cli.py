@@ -466,7 +466,12 @@ def _cmd_bench_record(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
-    from repro.bench.history import BenchHistory, CrossHostError, compare_runs
+    from repro.bench.history import (
+        BenchHistory,
+        CrossHostError,
+        CrossTierError,
+        compare_runs,
+    )
 
     history = BenchHistory(args.history)
     baseline, candidate = args.baseline, args.candidate
@@ -491,8 +496,9 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
             threshold=args.threshold,
             statistic=args.statistic,
             allow_cross_host=args.allow_cross_host,
+            allow_cross_tier=args.allow_cross_tier,
         )
-    except CrossHostError as exc:
+    except (CrossHostError, CrossTierError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except ValueError as exc:
@@ -531,6 +537,43 @@ def _cmd_bench_history(args: argparse.Namespace) -> int:
             f"host={','.join(hosts)} sha={','.join(shas)}"
         )
     return 0
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    from repro.kernels import capability_report
+
+    report = capability_report()
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+        return 0 if report.get("effective") else 2
+    print(f"requested tier: {report.get('requested')}")
+    print(f"effective tier: {report.get('effective')}")
+    if report.get("error"):
+        print(f"error: {report['error']}", file=sys.stderr)
+    print("backends:")
+    for tier, info in report.get("backends", {}).items():
+        status = "available" if info.get("available") else "unavailable"
+        detail_keys = (
+            "numba_version",
+            "llvmlite_version",
+            "numpy_version",
+            "compiler",
+            "library",
+            "compile_cached",
+            "error",
+        )
+        details = ", ".join(
+            f"{k}={info[k]}" for k in detail_keys if info.get(k) is not None
+        )
+        print(f"  {tier:6s} {status}" + (f"  ({details})" if details else ""))
+    kernels = report.get("kernels", {})
+    if kernels:
+        print("kernels:")
+        for name, tier in kernels.items():
+            print(f"  {name:12s} -> {tier}")
+    return 0 if report.get("effective") else 2
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -580,6 +623,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sief",
         description="SIEF: distance queries on graphs with edge failures",
+    )
+    parser.add_argument(
+        "--kernels",
+        choices=["auto", "numpy", "numba", "cext"],
+        default=None,
+        help=(
+            "kernel tier for the hot loops (default: $SIEF_KERNELS or "
+            "auto); an explicit unavailable tier is an error"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -654,6 +706,15 @@ def build_parser() -> argparse.ArgumentParser:
     validate = sub.add_parser("validate", help="check an edge-list file")
     validate.add_argument("graph")
     validate.set_defaults(func=_cmd_validate)
+
+    kernels_p = sub.add_parser(
+        "kernels",
+        help="report detected kernel tiers and per-kernel backends",
+    )
+    kernels_p.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    kernels_p.set_defaults(func=_cmd_kernels)
 
     verify = sub.add_parser(
         "verify",
@@ -864,6 +925,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="permit comparing runs recorded on different hosts",
     )
     bcmp.add_argument(
+        "--allow-cross-tier",
+        action="store_true",
+        help="permit comparing runs recorded on different kernel tiers",
+    )
+    bcmp.add_argument(
         "--expect-regression",
         action="store_true",
         help="invert the exit code: succeed only if a regression is found",
@@ -882,6 +948,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "kernels", None):
+            from repro import kernels
+
+            kernels.set_tier(args.kernels)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.core._relabel import is_redundant, order_side_by_rank
 from repro.core.affected import AffectedVertices
 from repro.core.supplemental import SupplementalIndex
@@ -66,6 +67,48 @@ def _relabel_side_batched(
     root_ranks = [rank(r) for r in roots]
     live = bisect_right(root_ranks, max_rank - 1) if max_rank >= 0 else 0
     expanded = 0
+
+    # Whole-pass compiled kernel: profiling puts most of the direction
+    # pass in the redundancy filter, not the sweep, so the accelerated
+    # tier runs sweeps *and* filter in one call and streams back the
+    # exact append sequence (same roots-ascending, targets-ascending
+    # order, same via cache semantics).  Only the integral frozen-label
+    # case is compiled; weighted labelings use the numpy path below.
+    tier, kern = _kernels.resolve("relabel")
+    if (
+        kern is not None
+        and labeling.dists_flat is not None
+        and labeling.dists_flat.dtype in _kernels.RELABEL_DTYPES
+    ):
+        if live:
+            # The full side goes in (not just the live prefix): the
+            # numpy loop's roots[b0 : b0 + 64] slice is unclamped, so a
+            # batch straddling the live boundary sweeps dead roots too,
+            # and search_expanded must match that count bit-for-bit.
+            out_t, out_rank, out_dist, settled = kern(
+                indptr,
+                indices,
+                int(avoid_pair[0]),
+                int(avoid_pair[1]),
+                np.asarray(roots, dtype=np.int64),
+                np.asarray(root_ranks, dtype=np.int64),
+                live,
+                target_arr,
+                target_rank_arr,
+                labeling.offsets,
+                labeling.hubs_flat,
+                labeling.dists_flat,
+                labeling.ordering.vertex_array(),
+            )
+            for t, r_rank, d in zip(
+                out_t.tolist(), out_rank.tolist(), out_dist.tolist()
+            ):
+                si.label_of(t).append(r_rank, d)
+            si.search_expanded += settled
+            reg = _obs.registry
+            if reg is not None:
+                reg.counter(f"kernels.relabel.{tier}").inc()
+        return
 
     for b0 in range(0, live, WORD_BITS):
         batch = roots[b0 : b0 + WORD_BITS]

@@ -64,3 +64,12 @@ class SerializationError(ReproError):
 
 class DatasetError(ReproError):
     """A benchmark dataset could not be generated or loaded."""
+
+
+class KernelTierError(ReproError):
+    """An explicitly requested kernel tier is unknown or unavailable.
+
+    Raised only for *explicit* selections (``SIEF_KERNELS=numba``,
+    ``sief --kernels numba``) — the ``auto`` tier never raises, it falls
+    through to the next available backend and ultimately pure numpy.
+    """

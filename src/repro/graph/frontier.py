@@ -32,6 +32,14 @@ in :class:`repro.graph.csr.CSRGraph`; distances are ``int32`` with
 All kernels are exact: for every root the produced distance vector is
 bit-identical to the scalar BFS (asserted by the parity suites in
 ``tests/test_frontier_kernels.py``).
+
+Both BFS entry points dispatch through :mod:`repro.kernels`: when an
+accelerated tier (numba or the self-compiled C extension) is available
+and selected, the level loop runs compiled and the numpy bodies below
+become the always-available fallback.  The compiled kernels are
+bit-identical by contract — same distances, same settlement counts —
+so callers cannot observe the tier except through speed and the
+``kernels.*`` metrics counters.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.exceptions import GraphError
 from repro.obs import hooks as _obs
 from repro.obs.metrics import SIZE_EDGES
@@ -139,6 +148,14 @@ def bfs_distances_csr(
     reg = _obs.registry
     if reg is not None:
         reg.counter("bfs.vectorized_runs").inc()
+    tier, kern = _kernels.resolve("bfs")
+    if kern is not None:
+        a0, a1 = (-1, -1) if avoid_positions is None else avoid_positions
+        kern(indptr, indices, int(source), int(a0), int(a1), allowed, dist)
+        if reg is not None:
+            reg.counter(f"kernels.bfs.{tier}").inc()
+        return dist
+    if reg is not None:
         frontier_hist = reg.histogram("bfs.frontier_size", SIZE_EDGES)
     frontier = np.array([source], dtype=np.int64)
     unvisited = np.ones(n, dtype=bool)
@@ -284,6 +301,25 @@ def bfs_bitparallel_csr(
                 dtype=np.uint64,
             )
 
+    reg = _obs.registry
+    if reg is not None:
+        reg.counter("bfs.bitparallel_sweeps").inc()
+        reg.histogram("bfs.batch_width", SIZE_EDGES).observe(k)
+
+    tier, kern = _kernels.resolve("bitparallel")
+    if kern is not None:
+        needed_arr = (
+            None
+            if needed is None
+            else np.ascontiguousarray(needed, dtype=np.uint64)
+        )
+        settled = kern(
+            indptr, indices, roots, mask_pos, mask_keep, needed_arr, dist
+        )
+        if reg is not None:
+            reg.counter(f"kernels.bitparallel.{tier}").inc()
+        return dist, settled
+
     remaining = None
     if needed is not None:
         remaining = needed.astype(np.uint64, copy=True)
@@ -291,10 +327,7 @@ def bfs_bitparallel_csr(
         if not remaining.any():
             return dist, settled
 
-    reg = _obs.registry
     if reg is not None:
-        reg.counter("bfs.bitparallel_sweeps").inc()
-        reg.histogram("bfs.batch_width", SIZE_EDGES).observe(k)
         frontier_hist = reg.histogram("bfs.frontier_size", SIZE_EDGES)
 
     front_v, front_b = _scatter_bits(roots, lane_bit, n)

@@ -1,0 +1,550 @@
+/* Compiled kernels for the SIEF hot loops (the "cext" tier).
+ *
+ * Four kernels, exactly mirroring the numpy reference implementations:
+ *
+ *   sief_bfs        - single-source CSR BFS with optional edge masking
+ *                     and an allowed-vertex mask (repro.graph.frontier.
+ *                     bfs_distances_csr).
+ *   sief_bitparallel- 64-lane bit-parallel BFS sweep (bfs_bitparallel_csr).
+ *   sief_relabel    - one full RELABEL direction pass: batched sweeps plus
+ *                     the late redundancy filter with the per-root via
+ *                     cache (repro.core.batched._relabel_side_batched).
+ *   sief_hub_join   - per-pair sorted-key merge join of two label slices
+ *                     (repro.labeling.query.batch_dist_query).
+ *
+ * Bit-identity contract: every kernel produces exactly the values the
+ * numpy tier produces - BFS distances are traversal-order independent,
+ * settlements are counted per level the same way, the redundancy filter
+ * walks supplemental entries in identical append order, and integer
+ * hub-join sums are computed in 64-bit like numpy's widened adds.  The
+ * differential fuzz adapters and the parity suites assert this.
+ *
+ * Compiled on demand by repro.kernels.cext_backend with the system C
+ * compiler; no Python.h - everything crosses the boundary as raw typed
+ * pointers via ctypes.  Return codes: 0 ok, -1 output capacity exceeded
+ * (sief_relabel only; caller grows and retries), -2 allocation failure.
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define SIEF_INF_I64 (INT64_MAX / 4)
+
+/* ------------------------------------------------------------------ */
+/* small helpers                                                      */
+/* ------------------------------------------------------------------ */
+
+static int64_t lower_bound_i64(const int64_t *arr, int64_t len, int64_t key)
+{
+    int64_t lo = 0, hi = len;
+    while (lo < hi) {
+        int64_t mid = (lo + hi) / 2;
+        if (arr[mid] < key)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+static int64_t upper_bound_i64(const int64_t *arr, int64_t len, int64_t key)
+{
+    int64_t lo = 0, hi = len;
+    while (lo < hi) {
+        int64_t mid = (lo + hi) / 2;
+        if (arr[mid] <= key)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+/* Exact position of `key` in a sorted array, or -1. */
+static int64_t bsearch_i64(const int64_t *arr, int64_t len, int64_t key)
+{
+    int64_t pos = lower_bound_i64(arr, len, key);
+    if (pos < len && arr[pos] == key)
+        return pos;
+    return -1;
+}
+
+/* min over shared hubs of dists_a + dists_b (Equation 1) on the frozen
+ * int32 flat labeling; SIEF_INF_I64 when the labels share no hub. */
+static int64_t merge_min_sum_i32(const int64_t *offsets, const int32_t *hubs,
+                                 const int32_t *dists, int64_t a, int64_t b)
+{
+    int64_t i = offsets[a], iend = offsets[a + 1];
+    int64_t j = offsets[b], jend = offsets[b + 1];
+    int64_t best = SIEF_INF_I64;
+    while (i < iend && j < jend) {
+        int32_t ha = hubs[i], hb = hubs[j];
+        if (ha == hb) {
+            int64_t tot = (int64_t)dists[i] + (int64_t)dists[j];
+            if (tot < best)
+                best = tot;
+            i++;
+            j++;
+        } else if (ha < hb) {
+            i++;
+        } else {
+            j++;
+        }
+    }
+    return best;
+}
+
+/* ------------------------------------------------------------------ */
+/* sief_bfs                                                           */
+/* ------------------------------------------------------------------ */
+
+/* dist arrives prefilled with -1 and dist[source] == 0; avoid0/avoid1
+ * are flat `indices` positions to skip (-1 = no masking); `allowed`
+ * gates *entry* of vertices (the source is expanded regardless, exactly
+ * like the numpy kernel's root exemption). */
+int sief_bfs(int64_t n, const int64_t *indptr, const int32_t *indices,
+             int64_t source, int64_t avoid0, int64_t avoid1,
+             int32_t has_allowed, const uint8_t *allowed, int32_t *dist)
+{
+    int64_t *queue = (int64_t *)malloc((size_t)n * sizeof(int64_t));
+    if (queue == NULL)
+        return -2;
+    int64_t qhead = 0, qtail = 0;
+    queue[qtail++] = source;
+    while (qhead < qtail) {
+        int64_t vtx = queue[qhead++];
+        int32_t dnext = dist[vtx] + 1;
+        int64_t end = indptr[vtx + 1];
+        for (int64_t pos = indptr[vtx]; pos < end; pos++) {
+            if (pos == avoid0 || pos == avoid1)
+                continue;
+            int32_t w = indices[pos];
+            if (dist[w] != -1)
+                continue;
+            if (has_allowed && !allowed[w])
+                continue;
+            dist[w] = dnext;
+            queue[qtail++] = w;
+        }
+    }
+    free(queue);
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* bit-parallel sweep (shared by sief_bitparallel and sief_relabel)   */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    uint64_t *visited;   /* n */
+    uint64_t *fb;        /* n: frontier lane bits                     */
+    uint64_t *nb;        /* n: next-level accumulator                 */
+    uint64_t *remaining; /* n: outstanding needed bits (may be NULL)  */
+    int64_t *cur;        /* n: current frontier vertices              */
+    int64_t *touched;    /* n: vertices reached this level            */
+} sweep_scratch;
+
+static int sweep_scratch_alloc(sweep_scratch *s, int64_t n, int want_remaining)
+{
+    memset(s, 0, sizeof(*s));
+    s->visited = (uint64_t *)malloc((size_t)n * 8);
+    s->fb = (uint64_t *)malloc((size_t)n * 8);
+    s->nb = (uint64_t *)calloc((size_t)n, 8);
+    s->cur = (int64_t *)malloc((size_t)n * 8);
+    s->touched = (int64_t *)malloc((size_t)n * 8);
+    s->remaining = want_remaining ? (uint64_t *)malloc((size_t)n * 8) : NULL;
+    if (!s->visited || !s->fb || !s->nb || !s->cur || !s->touched ||
+        (want_remaining && !s->remaining))
+        return -2;
+    return 0;
+}
+
+static void sweep_scratch_free(sweep_scratch *s)
+{
+    free(s->visited);
+    free(s->fb);
+    free(s->nb);
+    free(s->cur);
+    free(s->touched);
+    free(s->remaining);
+}
+
+/* One level-synchronous bit-parallel sweep over k <= 64 roots.
+ *
+ * dist is a k*n row-major int32 matrix prefilled with -1.  mask_pos /
+ * mask_keep (sorted flat positions and the lane bits that *survive*
+ * there) implement per-lane edge avoidance.  needed (may be NULL) is
+ * the uint64 per-vertex bitmask of lanes that still owe that vertex a
+ * distance; the sweep stops once every needed bit is settled.  Returns
+ * the settlement count (roots included), matching the numpy kernel's
+ * `settled`, or -2 on allocation failure (when scratch is NULL).
+ */
+static int64_t bitparallel_sweep(int64_t n, const int64_t *indptr,
+                                 const int32_t *indices, int64_t k,
+                                 const int64_t *roots, int64_t npos,
+                                 const int64_t *mask_pos,
+                                 const uint64_t *mask_keep,
+                                 const uint64_t *needed, int32_t *dist,
+                                 sweep_scratch *s)
+{
+    memset(s->visited, 0, (size_t)n * 8);
+    /* nb is maintained all-zero between levels; fb only holds live
+     * frontier bits (stale entries are unreachable - visited gates
+     * re-entry), so neither needs a full clear here. */
+    int64_t cur_len = 0;
+    int64_t settled = k;
+    for (int64_t i = 0; i < k; i++) {
+        int64_t r = roots[i];
+        uint64_t bit = (uint64_t)1 << i;
+        if (s->fb[r] == 0)
+            s->cur[cur_len++] = r;
+        else if ((s->fb[r] & bit) == 0) {
+            /* another lane already queued this vertex; merge bits */
+        }
+        s->fb[r] |= bit;
+        s->visited[r] |= bit;
+        dist[i * n + r] = 0;
+    }
+    int64_t rem_nonzero = 0;
+    if (needed != NULL) {
+        for (int64_t w = 0; w < n; w++) {
+            uint64_t rm = needed[w] & ~s->visited[w];
+            s->remaining[w] = rm;
+            if (rm)
+                rem_nonzero++;
+        }
+        if (rem_nonzero == 0) {
+            for (int64_t c = 0; c < cur_len; c++)
+                s->fb[s->cur[c]] = 0;
+            return settled;
+        }
+    }
+    int32_t level = 0;
+    while (cur_len > 0) {
+        level++;
+        int64_t tn = 0;
+        for (int64_t c = 0; c < cur_len; c++) {
+            int64_t v = s->cur[c];
+            uint64_t bits = s->fb[v];
+            int64_t end = indptr[v + 1];
+            for (int64_t pos = indptr[v]; pos < end; pos++) {
+                uint64_t b = bits;
+                if (npos > 0) {
+                    int64_t mi = bsearch_i64(mask_pos, npos, pos);
+                    if (mi >= 0) {
+                        b &= mask_keep[mi];
+                        if (b == 0)
+                            continue;
+                    }
+                }
+                int32_t w = indices[pos];
+                uint64_t nw = b & ~s->visited[w];
+                if (nw) {
+                    if (s->nb[w] == 0)
+                        s->touched[tn++] = w;
+                    s->nb[w] |= nw;
+                }
+            }
+        }
+        for (int64_t c = 0; c < cur_len; c++)
+            s->fb[s->cur[c]] = 0;
+        cur_len = 0;
+        if (tn == 0)
+            break;
+        for (int64_t j = 0; j < tn; j++) {
+            int64_t w = s->touched[j];
+            uint64_t nw = s->nb[w];
+            s->nb[w] = 0;
+            s->visited[w] |= nw;
+            s->fb[w] = nw;
+            s->cur[cur_len++] = w;
+            uint64_t x = nw;
+            while (x) {
+                int lane = __builtin_ctzll(x);
+                dist[(int64_t)lane * n + w] = level;
+                x &= x - 1;
+                settled++;
+            }
+            if (needed != NULL && s->remaining[w]) {
+                s->remaining[w] &= ~nw;
+                if (s->remaining[w] == 0)
+                    rem_nonzero--;
+            }
+        }
+        if (needed != NULL && rem_nonzero == 0)
+            break;
+    }
+    for (int64_t c = 0; c < cur_len; c++)
+        s->fb[s->cur[c]] = 0;
+    return settled;
+}
+
+int64_t sief_bitparallel(int64_t n, const int64_t *indptr,
+                         const int32_t *indices, int64_t k,
+                         const int64_t *roots, int64_t npos,
+                         const int64_t *mask_pos, const uint64_t *mask_keep,
+                         int32_t has_needed, const uint64_t *needed,
+                         int32_t *dist)
+{
+    sweep_scratch s;
+    if (sweep_scratch_alloc(&s, n, has_needed) != 0) {
+        sweep_scratch_free(&s);
+        return -2;
+    }
+    memset(s.fb, 0, (size_t)n * 8);
+    int64_t settled = bitparallel_sweep(n, indptr, indices, k, roots, npos,
+                                        mask_pos, mask_keep,
+                                        has_needed ? needed : NULL, dist, &s);
+    sweep_scratch_free(&s);
+    return settled;
+}
+
+/* ------------------------------------------------------------------ */
+/* sief_relabel                                                       */
+/* ------------------------------------------------------------------ */
+
+/* One RELABEL direction pass (roots side A ascending rank, targets
+ * side B ascending rank), 64 roots per bit-parallel sweep, followed by
+ * the identical late redundancy filter in identical order.
+ *
+ * Appended entries stream into out_t / out_rank / out_dist (capacity
+ * `cap`); per-target chains over that stream reproduce SL(t) in append
+ * order for the filter's walk.  The via cache memoizes
+ * dist(root, vertex(hub_rank)) per root, keyed by the hub's position in
+ * the roots array (every stored hub *is* an earlier root of this pass).
+ *
+ * `roots` is the FULL side (ascending rank); `nlive` is the live
+ * prefix (roots ranked below some target).  Batches start only inside
+ * the live prefix but, exactly like the numpy loop's unclamped
+ * `roots[b0 : b0 + 64]` slice, a batch straddling the boundary carries
+ * the dead roots beyond it as extra lanes — they append nothing, yet
+ * their settlements count, and search_expanded must match bit-for-bit.
+ *
+ * stats[0] = appended entries, stats[1] = total settlements (the
+ * `search_expanded` contribution).  Returns 0, -1 if cap was too small
+ * (caller re-runs with a larger buffer), -2 on allocation failure.
+ */
+int sief_relabel(int64_t n, const int64_t *indptr, const int32_t *indices,
+                 int64_t avoid0, int64_t avoid1, int64_t nroots,
+                 int64_t nlive, const int64_t *roots,
+                 const int64_t *root_ranks, int64_t ntargets,
+                 const int64_t *targets, const int64_t *target_ranks,
+                 const int64_t *L_offsets, const int32_t *L_hubs,
+                 const int32_t *L_dists, const int64_t *vertex_at,
+                 int64_t cap, int64_t *out_t, int64_t *out_rank,
+                 int64_t *out_dist, int64_t *stats)
+{
+    stats[0] = 0;
+    stats[1] = 0;
+    if (nlive == 0 || nroots == 0 || ntargets == 0)
+        return 0;
+
+    sweep_scratch s;
+    int rc = sweep_scratch_alloc(&s, n, 1);
+    int32_t *dist = (int32_t *)malloc((size_t)64 * (size_t)n * 4);
+    uint64_t *needed = (uint64_t *)malloc((size_t)n * 8);
+    int64_t *head = (int64_t *)malloc((size_t)ntargets * 8);
+    int64_t *tail = (int64_t *)malloc((size_t)ntargets * 8);
+    int64_t *chain = (int64_t *)malloc((size_t)(cap > 0 ? cap : 1) * 8);
+    int64_t *vcache = (int64_t *)malloc((size_t)nroots * 8);
+    int64_t *vstamp = (int64_t *)malloc((size_t)nroots * 8);
+    if (rc != 0 || !dist || !needed || !head || !tail || !chain || !vcache ||
+        !vstamp) {
+        rc = -2;
+        goto done;
+    }
+    memset(s.fb, 0, (size_t)n * 8);
+    for (int64_t j = 0; j < ntargets; j++)
+        head[j] = tail[j] = -1;
+    for (int64_t i = 0; i < nroots; i++)
+        vstamp[i] = -1;
+
+    /* Both flat positions of the failed edge block every lane. */
+    int64_t mask_pos[2];
+    uint64_t mask_keep[2] = {0, 0};
+    if (avoid0 <= avoid1) {
+        mask_pos[0] = avoid0;
+        mask_pos[1] = avoid1;
+    } else {
+        mask_pos[0] = avoid1;
+        mask_pos[1] = avoid0;
+    }
+
+    int64_t appended = 0;
+    int64_t settled = 0;
+    int64_t stamp = 0;
+
+    for (int64_t b0 = 0; b0 < nlive; b0 += 64) {
+        int64_t k = nroots - b0; /* unclamped: dead lanes ride along */
+        if (k > 64)
+            k = 64;
+        /* needed[t]: the prefix of batch lanes ranked below t. */
+        memset(needed, 0, (size_t)n * 8);
+        for (int64_t j = 0; j < ntargets; j++) {
+            int64_t cnt =
+                lower_bound_i64(root_ranks + b0, k, target_ranks[j]);
+            uint64_t mask =
+                cnt >= 64 ? ~(uint64_t)0 : (((uint64_t)1 << cnt) - 1);
+            needed[targets[j]] = mask;
+        }
+        memset(dist, 0xFF, (size_t)k * (size_t)n * 4); /* int32 -1 fill */
+        settled += bitparallel_sweep(n, indptr, indices, k, roots + b0, 2,
+                                     mask_pos, mask_keep, needed, dist, &s);
+
+        for (int64_t i = 0; i < k; i++) {
+            int64_t r = roots[b0 + i];
+            int64_t r_rank = root_ranks[b0 + i];
+            int64_t p0 = upper_bound_i64(target_ranks, ntargets, r_rank);
+            if (p0 >= ntargets)
+                continue;
+            stamp++;
+            const int32_t *drow = dist + i * n;
+            for (int64_t j = p0; j < ntargets; j++) {
+                int64_t t = targets[j];
+                int32_t d = drow[t];
+                if (d < 0)
+                    continue; /* failure disconnected r from t */
+                int redundant = 0;
+                for (int64_t e = head[j]; e != -1; e = chain[e]) {
+                    int64_t h_rank = out_rank[e];
+                    int64_t ridx = bsearch_i64(root_ranks, nroots, h_rank);
+                    int64_t via;
+                    if (ridx >= 0 && vstamp[ridx] == stamp) {
+                        via = vcache[ridx];
+                    } else {
+                        int64_t hv = vertex_at[h_rank];
+                        via = (hv == r) ? 0
+                                        : merge_min_sum_i32(L_offsets, L_hubs,
+                                                            L_dists, r, hv);
+                        if (ridx >= 0) {
+                            vcache[ridx] = via;
+                            vstamp[ridx] = stamp;
+                        }
+                    }
+                    if (via + out_dist[e] <= (int64_t)d) {
+                        redundant = 1;
+                        break;
+                    }
+                }
+                if (!redundant) {
+                    if (appended >= cap) {
+                        rc = -1;
+                        goto done;
+                    }
+                    out_t[appended] = t;
+                    out_rank[appended] = r_rank;
+                    out_dist[appended] = d;
+                    chain[appended] = -1;
+                    if (head[j] == -1)
+                        head[j] = appended;
+                    else
+                        chain[tail[j]] = appended;
+                    tail[j] = appended;
+                    appended++;
+                }
+            }
+        }
+    }
+    stats[0] = appended;
+    stats[1] = settled;
+    rc = 0;
+done:
+    sweep_scratch_free(&s);
+    free(dist);
+    free(needed);
+    free(head);
+    free(tail);
+    free(chain);
+    free(vcache);
+    free(vstamp);
+    return rc;
+}
+
+/* ------------------------------------------------------------------ */
+/* sief_hub_join                                                      */
+/* ------------------------------------------------------------------ */
+
+/* Two things make this loop fast, neither changing a single answer:
+ *
+ * - The merge is branchless on the hot comparisons: hub order between
+ *   the two slices is essentially random, so `ha < hb` branches
+ *   mispredict half the time — conditional-increment pointer advances
+ *   and a cmov-able minimum keep the pipeline full.  Initializing
+ *   `best` to the accumulator's own infinity (INT64_MAX / IEEE inf)
+ *   replaces the found-flag: no label sum can reach it, and the
+ *   minimum over the identical candidate set is the identical value.
+ *
+ * - Four pairs are merged in interleaved lanes.  One merge is a
+ *   serial dependency chain (each step's loads wait on the previous
+ *   step's pointer update, ~6 cycles round trip), so a lone merge
+ *   leaves most of the core idle; four independent chains overlap in
+ *   the out-of-order window.  A finished lane parks with its `i >= e`
+ *   test false — a perfectly predicted branch — until the slowest
+ *   lane drains.  Each lane computes exactly what the scalar loop
+ *   computes for its pair.
+ */
+#define HUB_LANE_INIT(L, acc, acc_inf)                                        \
+    int64_t i##L = offsets[src[q + L]], e##L = offsets[src[q + L] + 1];       \
+    int64_t j##L = offsets[dst[q + L]], f##L = offsets[dst[q + L] + 1];       \
+    acc b##L = acc_inf;
+
+#define HUB_LANE_STEP(L, acc)                                                 \
+    if (i##L < e##L && j##L < f##L) {                                         \
+        int32_t ha = hubs[i##L], hb = hubs[j##L];                             \
+        acc tot = (acc)dists[i##L] + (acc)dists[j##L];                        \
+        if (ha == hb && tot < b##L)                                           \
+            b##L = tot;                                                       \
+        i##L += (ha <= hb);                                                   \
+        j##L += (hb <= ha);                                                   \
+        more = 1;                                                             \
+    }
+
+#define HUB_LANE_OUT(L, acc_inf)                                              \
+    out[q + L] = (b##L == acc_inf) ? INFINITY : (double)b##L;
+
+#define DEFINE_HUB_JOIN(suffix, dtype, acc, acc_inf)                          \
+    int sief_hub_join_##suffix(                                               \
+        const int64_t *offsets, const int32_t *hubs, const dtype *dists,      \
+        int64_t npairs, const int64_t *src, const int64_t *dst, double *out)  \
+    {                                                                         \
+        int64_t q = 0;                                                        \
+        for (; q + 4 <= npairs; q += 4) {                                     \
+            HUB_LANE_INIT(0, acc, acc_inf)                                    \
+            HUB_LANE_INIT(1, acc, acc_inf)                                    \
+            HUB_LANE_INIT(2, acc, acc_inf)                                    \
+            HUB_LANE_INIT(3, acc, acc_inf)                                    \
+            int more = 1;                                                     \
+            while (more) {                                                    \
+                more = 0;                                                     \
+                HUB_LANE_STEP(0, acc)                                         \
+                HUB_LANE_STEP(1, acc)                                         \
+                HUB_LANE_STEP(2, acc)                                         \
+                HUB_LANE_STEP(3, acc)                                         \
+            }                                                                 \
+            HUB_LANE_OUT(0, acc_inf)                                          \
+            HUB_LANE_OUT(1, acc_inf)                                          \
+            HUB_LANE_OUT(2, acc_inf)                                          \
+            HUB_LANE_OUT(3, acc_inf)                                          \
+        }                                                                     \
+        for (; q < npairs; q++) {                                             \
+            int64_t i = offsets[src[q]], iend = offsets[src[q] + 1];          \
+            int64_t j = offsets[dst[q]], jend = offsets[dst[q] + 1];          \
+            acc best = acc_inf;                                               \
+            while (i < iend && j < jend) {                                    \
+                int32_t ha = hubs[i], hb = hubs[j];                           \
+                acc tot = (acc)dists[i] + (acc)dists[j];                      \
+                if (ha == hb && tot < best)                                   \
+                    best = tot;                                               \
+                i += (ha <= hb);                                              \
+                j += (hb <= ha);                                              \
+            }                                                                 \
+            out[q] = (best == acc_inf) ? INFINITY : (double)best;             \
+        }                                                                     \
+        return 0;                                                             \
+    }
+
+DEFINE_HUB_JOIN(i32, int32_t, int64_t, INT64_MAX)
+DEFINE_HUB_JOIN(i64, int64_t, int64_t, INT64_MAX)
+DEFINE_HUB_JOIN(f64, double, double, INFINITY)

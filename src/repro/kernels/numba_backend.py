@@ -1,0 +1,511 @@
+"""The ``numba`` kernel backend: ``@njit`` ports of the four hot kernels.
+
+Importing this module never requires numba: the import is guarded, and
+:func:`probe` simply reports unavailability when the package is missing
+(the dispatcher then tries the ``cext`` tier).  When numba *is*
+installed — ``pip install .[accel]`` — the kernels are compiled lazily
+on first call with ``cache=True``, so the LLVM work is paid once per
+machine and the on-disk cache makes later processes start warm;
+:func:`warmup` forces compilation eagerly on a 2-vertex graph for
+benchmarks that must not time the first-call compile.
+
+The jitted bodies are ports of ``_csrc/siefkernels.c`` (which is
+itself a port of the numpy reference tier), preserving traversal
+order, settlement counting, append order and the exact comparison
+semantics — the bit-identity contract is shared by all backends and
+enforced by the parity suites and fuzz adapters.  The hub join here
+stays a single scalar merge where the C version interleaves four
+pairs for instruction-level parallelism; both compute the identical
+per-pair minimum.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+    from numba import njit
+
+    _AVAILABLE = True
+    _IMPORT_ERROR = None
+except Exception as _exc:  # pragma: no cover
+    _AVAILABLE = False
+    _IMPORT_ERROR = f"{type(_exc).__name__}: {_exc}"
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """No-op decorator so the module body still defines plain funcs."""
+        if args and callable(args[0]):
+            return args[0]
+        return lambda fn: fn
+
+
+_INF_I64 = np.int64(2**62)
+_ONE_U64 = np.uint64(1)
+_ZERO_U64 = np.uint64(0)
+
+
+def probe() -> Dict[str, Any]:
+    """Report numba availability and toolchain versions (no compile)."""
+    if not _AVAILABLE:
+        return {
+            "available": False,
+            "error": _IMPORT_ERROR or "numba is not installed",
+        }
+    try:
+        import llvmlite
+
+        llvm = llvmlite.__version__
+    except Exception:  # pragma: no cover
+        llvm = None
+    return {
+        "available": True,
+        "numba_version": numba.__version__,
+        "llvmlite_version": llvm,
+    }
+
+
+def reset() -> None:
+    """Nothing cached beyond numba's own dispatcher; present for symmetry."""
+
+
+# ---------------------------------------------------------------------------
+# jitted bodies (ports of _csrc/siefkernels.c)
+# ---------------------------------------------------------------------------
+
+
+@njit(cache=True, nogil=True)
+def _bfs_jit(indptr, indices, source, avoid0, avoid1, has_allowed, allowed,
+             dist):  # pragma: no cover - requires numba
+    n = indptr.shape[0] - 1
+    queue = np.empty(n, dtype=np.int64)
+    qhead = 0
+    qtail = 0
+    queue[qtail] = source
+    qtail += 1
+    while qhead < qtail:
+        vtx = queue[qhead]
+        qhead += 1
+        dnext = dist[vtx] + np.int32(1)
+        for pos in range(indptr[vtx], indptr[vtx + 1]):
+            if pos == avoid0 or pos == avoid1:
+                continue
+            w = indices[pos]
+            if dist[w] != -1:
+                continue
+            if has_allowed and allowed[w] == 0:
+                continue
+            dist[w] = dnext
+            queue[qtail] = w
+            qtail += 1
+
+
+@njit(cache=True, nogil=True)
+def _bsearch_i64(arr, key):  # pragma: no cover - requires numba
+    lo = 0
+    hi = arr.shape[0]
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if arr[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    if lo < arr.shape[0] and arr[lo] == key:
+        return lo
+    return -1
+
+
+@njit(cache=True, nogil=True)
+def _sweep_jit(indptr, indices, roots, mask_pos, mask_keep, has_needed,
+               needed, dist, visited, fb, nb, cur, touched,
+               remaining):  # pragma: no cover - requires numba
+    n = indptr.shape[0] - 1
+    k = roots.shape[0]
+    npos = mask_pos.shape[0]
+    visited[:] = _ZERO_U64
+    cur_len = 0
+    settled = k
+    for i in range(k):
+        r = roots[i]
+        bit = _ONE_U64 << np.uint64(i)
+        if fb[r] == _ZERO_U64:
+            cur[cur_len] = r
+            cur_len += 1
+        fb[r] |= bit
+        visited[r] |= bit
+        dist[i, r] = 0
+    rem_nonzero = 0
+    if has_needed:
+        for w in range(n):
+            rm = needed[w] & ~visited[w]
+            remaining[w] = rm
+            if rm != _ZERO_U64:
+                rem_nonzero += 1
+        if rem_nonzero == 0:
+            for c in range(cur_len):
+                fb[cur[c]] = _ZERO_U64
+            return settled
+    level = np.int32(0)
+    while cur_len > 0:
+        level += np.int32(1)
+        tn = 0
+        for c in range(cur_len):
+            v = cur[c]
+            bits = fb[v]
+            for pos in range(indptr[v], indptr[v + 1]):
+                b = bits
+                if npos > 0:
+                    mi = _bsearch_i64(mask_pos, pos)
+                    if mi >= 0:
+                        b = b & mask_keep[mi]
+                        if b == _ZERO_U64:
+                            continue
+                w = indices[pos]
+                nw = b & ~visited[w]
+                if nw != _ZERO_U64:
+                    if nb[w] == _ZERO_U64:
+                        touched[tn] = w
+                        tn += 1
+                    nb[w] |= nw
+        for c in range(cur_len):
+            fb[cur[c]] = _ZERO_U64
+        cur_len = 0
+        if tn == 0:
+            break
+        for j in range(tn):
+            w = touched[j]
+            nw = nb[w]
+            nb[w] = _ZERO_U64
+            visited[w] |= nw
+            fb[w] = nw
+            cur[cur_len] = w
+            cur_len += 1
+            for lane in range(k):
+                if (nw >> np.uint64(lane)) & _ONE_U64:
+                    dist[lane, w] = level
+                    settled += 1
+            if has_needed and remaining[w] != _ZERO_U64:
+                remaining[w] &= ~nw
+                if remaining[w] == _ZERO_U64:
+                    rem_nonzero -= 1
+        if has_needed and rem_nonzero == 0:
+            break
+    for c in range(cur_len):
+        fb[cur[c]] = _ZERO_U64
+    return settled
+
+
+@njit(cache=True, nogil=True)
+def _bitparallel_jit(indptr, indices, roots, mask_pos, mask_keep, has_needed,
+                     needed, dist):  # pragma: no cover - requires numba
+    n = indptr.shape[0] - 1
+    visited = np.zeros(n, dtype=np.uint64)
+    fb = np.zeros(n, dtype=np.uint64)
+    nb = np.zeros(n, dtype=np.uint64)
+    cur = np.empty(n, dtype=np.int64)
+    touched = np.empty(n, dtype=np.int64)
+    remaining = np.zeros(n if has_needed else 0, dtype=np.uint64)
+    return _sweep_jit(indptr, indices, roots, mask_pos, mask_keep, has_needed,
+                      needed, dist, visited, fb, nb, cur, touched, remaining)
+
+
+@njit(cache=True, nogil=True)
+def _merge_min_sum_i32_jit(L_offsets, L_hubs, L_dists, a,
+                           b):  # pragma: no cover - requires numba
+    i = L_offsets[a]
+    iend = L_offsets[a + 1]
+    j = L_offsets[b]
+    jend = L_offsets[b + 1]
+    best = _INF_I64
+    while i < iend and j < jend:
+        ha = L_hubs[i]
+        hb = L_hubs[j]
+        if ha == hb:
+            tot = np.int64(L_dists[i]) + np.int64(L_dists[j])
+            if tot < best:
+                best = tot
+            i += 1
+            j += 1
+        elif ha < hb:
+            i += 1
+        else:
+            j += 1
+    return best
+
+
+@njit(cache=True, nogil=True)
+def _relabel_jit(indptr, indices, avoid0, avoid1, roots, root_ranks, nlive,
+                 targets, target_ranks, L_offsets, L_hubs, L_dists, vertex_at,
+                 cap, out_t, out_rank, out_dist,
+                 stats):  # pragma: no cover - requires numba
+    n = indptr.shape[0] - 1
+    nroots = roots.shape[0]
+    ntargets = targets.shape[0]
+    stats[0] = 0
+    stats[1] = 0
+    if nlive == 0 or nroots == 0 or ntargets == 0:
+        return 0
+
+    visited = np.zeros(n, dtype=np.uint64)
+    fb = np.zeros(n, dtype=np.uint64)
+    nb = np.zeros(n, dtype=np.uint64)
+    cur = np.empty(n, dtype=np.int64)
+    touched = np.empty(n, dtype=np.int64)
+    remaining = np.zeros(n, dtype=np.uint64)
+    needed = np.zeros(n, dtype=np.uint64)
+    dist = np.empty((64, n), dtype=np.int32)
+    head = np.full(ntargets, -1, dtype=np.int64)
+    tail = np.full(ntargets, -1, dtype=np.int64)
+    chain = np.empty(max(cap, 1), dtype=np.int64)
+    vcache = np.zeros(nroots, dtype=np.int64)
+    vstamp = np.full(nroots, -1, dtype=np.int64)
+
+    mask_pos = np.empty(2, dtype=np.int64)
+    mask_keep = np.zeros(2, dtype=np.uint64)
+    if avoid0 <= avoid1:
+        mask_pos[0] = avoid0
+        mask_pos[1] = avoid1
+    else:
+        mask_pos[0] = avoid1
+        mask_pos[1] = avoid0
+
+    appended = 0
+    settled = 0
+    stamp = 0
+
+    # Batches start inside the live prefix only, but (like the numpy
+    # loop's unclamped roots[b0 : b0 + 64] slice) a straddling batch
+    # keeps its dead lanes — their settlements count toward stats[1].
+    for b0 in range(0, nlive, 64):
+        k = min(64, nroots - b0)
+        needed[:] = _ZERO_U64
+        for j in range(ntargets):
+            trank = target_ranks[j]
+            # prefix of batch lanes ranked below this target
+            lo = 0
+            hi = k
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if root_ranks[b0 + mid] < trank:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo >= 64:
+                needed[targets[j]] = ~_ZERO_U64
+            else:
+                needed[targets[j]] = (_ONE_U64 << np.uint64(lo)) - _ONE_U64
+        batch = roots[b0 : b0 + k]
+        dmat = dist[:k]
+        dmat[:, :] = np.int32(-1)
+        settled += _sweep_jit(indptr, indices, batch, mask_pos, mask_keep, 1,
+                              needed, dmat, visited, fb, nb, cur, touched,
+                              remaining)
+
+        for i in range(k):
+            r = roots[b0 + i]
+            r_rank = root_ranks[b0 + i]
+            # targets ranked above this root: suffix via upper bound
+            lo = 0
+            hi = ntargets
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if target_ranks[mid] <= r_rank:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo >= ntargets:
+                continue
+            stamp += 1
+            for j in range(lo, ntargets):
+                t = targets[j]
+                d = dist[i, t]
+                if d < 0:
+                    continue
+                redundant = False
+                e = head[j]
+                while e != -1:
+                    h_rank = out_rank[e]
+                    ridx = _bsearch_i64(root_ranks, h_rank)
+                    if ridx >= 0 and vstamp[ridx] == stamp:
+                        via = vcache[ridx]
+                    else:
+                        hv = vertex_at[h_rank]
+                        if hv == r:
+                            via = np.int64(0)
+                        else:
+                            via = _merge_min_sum_i32_jit(
+                                L_offsets, L_hubs, L_dists, r, hv
+                            )
+                        if ridx >= 0:
+                            vcache[ridx] = via
+                            vstamp[ridx] = stamp
+                    if via + np.int64(out_dist[e]) <= np.int64(d):
+                        redundant = True
+                        break
+                    e = chain[e]
+                if not redundant:
+                    if appended >= cap:
+                        return -1
+                    out_t[appended] = t
+                    out_rank[appended] = r_rank
+                    out_dist[appended] = d
+                    chain[appended] = -1
+                    if head[j] == -1:
+                        head[j] = appended
+                    else:
+                        chain[tail[j]] = appended
+                    tail[j] = appended
+                    appended += 1
+    stats[0] = appended
+    stats[1] = settled
+    return 0
+
+
+@njit(cache=True, nogil=True)
+def _hub_join_int_jit(L_offsets, L_hubs, L_dists, src, dst,
+                      out):  # pragma: no cover - requires numba
+    for q in range(src.shape[0]):
+        i = L_offsets[src[q]]
+        iend = L_offsets[src[q] + 1]
+        j = L_offsets[dst[q]]
+        jend = L_offsets[dst[q] + 1]
+        # Branchless merge, as in the C kernel: hub order between the
+        # two slices is random, so data-dependent branches mispredict;
+        # conditional increments and an INT64_MAX "not found" sentinel
+        # (unreachable by any label sum) keep the loop predictable.
+        best = np.int64(np.iinfo(np.int64).max)
+        while i < iend and j < jend:
+            ha = L_hubs[i]
+            hb = L_hubs[j]
+            tot = np.int64(L_dists[i]) + np.int64(L_dists[j])
+            if ha == hb and tot < best:
+                best = tot
+            i += np.int64(ha <= hb)
+            j += np.int64(hb <= ha)
+        if best == np.iinfo(np.int64).max:
+            out[q] = np.inf
+        else:
+            out[q] = np.float64(best)
+
+
+@njit(cache=True, nogil=True)
+def _hub_join_f64_jit(L_offsets, L_hubs, L_dists, src, dst,
+                      out):  # pragma: no cover - requires numba
+    for q in range(src.shape[0]):
+        i = L_offsets[src[q]]
+        iend = L_offsets[src[q] + 1]
+        j = L_offsets[dst[q]]
+        jend = L_offsets[dst[q] + 1]
+        # Branchless merge; IEEE inf is the "not found" sentinel (no
+        # finite label sum reaches it, and an infinite sum answers inf
+        # either way).
+        best = np.inf
+        while i < iend and j < jend:
+            ha = L_hubs[i]
+            hb = L_hubs[j]
+            tot = L_dists[i] + L_dists[j]
+            if ha == hb and tot < best:
+                best = tot
+            i += np.int64(ha <= hb)
+            j += np.int64(hb <= ha)
+        out[q] = best
+
+
+# ---------------------------------------------------------------------------
+# wrappers implementing the shared backend contract
+# ---------------------------------------------------------------------------
+
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+_EMPTY_U64 = np.zeros(0, dtype=np.uint64)
+_EMPTY_U8 = np.zeros(0, dtype=np.uint8)
+
+
+def bfs(indptr, indices, source, avoid0, avoid1, allowed, dist) -> None:
+    if allowed is None:
+        has_allowed, allowed_u8 = 0, _EMPTY_U8
+    else:
+        has_allowed = 1
+        allowed_u8 = np.ascontiguousarray(allowed, dtype=np.uint8)
+    _bfs_jit(indptr, indices, source, avoid0, avoid1, has_allowed,
+             allowed_u8, dist)
+
+
+def bitparallel(indptr, indices, roots, mask_pos, mask_keep, needed, dist):
+    if mask_pos is None:
+        mask_pos, mask_keep = _EMPTY_I64, _EMPTY_U64
+    if needed is None:
+        has_needed, needed_u64 = 0, _EMPTY_U64
+    else:
+        has_needed, needed_u64 = 1, needed
+    return int(
+        _bitparallel_jit(indptr, indices, roots, mask_pos, mask_keep,
+                         has_needed, needed_u64, dist)
+    )
+
+
+def relabel(
+    indptr, indices, avoid0, avoid1,
+    roots, root_ranks, live, targets, target_ranks,
+    L_offsets, L_hubs, L_dists, vertex_at,
+):
+    cap = 4 * (len(roots) + len(targets)) + 64
+    stats = np.zeros(2, dtype=np.int64)
+    while True:
+        out_t = np.empty(cap, dtype=np.int64)
+        out_rank = np.empty(cap, dtype=np.int64)
+        out_dist = np.empty(cap, dtype=np.int64)
+        rc = _relabel_jit(
+            indptr, indices, avoid0, avoid1, roots, root_ranks, live,
+            targets, target_ranks, L_offsets, L_hubs, L_dists, vertex_at,
+            cap, out_t, out_rank, out_dist, stats,
+        )
+        if rc == 0:
+            m = int(stats[0])
+            return out_t[:m], out_rank[:m], out_dist[:m], int(stats[1])
+        cap *= 2
+
+
+def hub_join(offsets, hubs, dists, src, dst, out) -> None:
+    if dists.dtype == np.float64:
+        _hub_join_f64_jit(offsets, hubs, dists, src, dst, out)
+    elif dists.dtype in (np.dtype(np.int32), np.dtype(np.int64)):
+        _hub_join_int_jit(offsets, hubs, dists, src, dst, out)
+    else:  # pragma: no cover - dispatcher checks HUB_JOIN_DTYPES first
+        raise TypeError(f"unsupported label dtype {dists.dtype}")
+
+
+def warmup() -> None:
+    """Force-compile every kernel on a 2-vertex path graph."""
+    indptr = np.array([0, 1, 2], dtype=np.int64)
+    indices = np.array([1, 0], dtype=np.int32)
+    dist = np.full(2, -1, dtype=np.int32)
+    dist[0] = 0
+    bfs(indptr, indices, 0, -1, -1, None, dist)
+    dmat = np.full((1, 2), -1, dtype=np.int32)
+    roots = np.zeros(1, dtype=np.int64)
+    bitparallel(indptr, indices, roots, None, None, None, dmat)
+    offsets = np.array([0, 1, 3], dtype=np.int64)
+    hubs = np.array([0, 0, 1], dtype=np.int32)
+    dists = np.array([0, 1, 0], dtype=np.int32)
+    vertex_at = np.array([0, 1], dtype=np.int64)
+    relabel(
+        indptr, indices, -1, -1,
+        np.array([0], dtype=np.int64), np.array([0], dtype=np.int64), 1,
+        np.array([1], dtype=np.int64), np.array([1], dtype=np.int64),
+        offsets, hubs, dists, vertex_at,
+    )
+    out = np.zeros(1, dtype=np.float64)
+    hub_join(offsets, hubs, dists, np.zeros(1, dtype=np.int64),
+             np.ones(1, dtype=np.int64), out)
+    hub_join(offsets, hubs, dists.astype(np.float64),
+             np.zeros(1, dtype=np.int64), np.ones(1, dtype=np.int64), out)
+
+
+KERNELS = {
+    "bfs": bfs,
+    "bitparallel": bitparallel,
+    "relabel": relabel,
+    "hub_join": hub_join,
+}

@@ -156,6 +156,60 @@ class WorldContext:
 
         return self._memo("sief_index_batched", build)
 
+    def sief_index_kernels(self):
+        """Batched SIEF index built on the accelerated kernel tier.
+
+        Builds the *same* batched index twice — once with kernels forced
+        to pure numpy, once under ``auto`` (numba or the C extension
+        when available) — and asserts the two are bit-identical: same
+        failure cases, same supplemental ``(rank, dist)`` streams, and
+        (unlike the batched-vs-scalar check, where it legitimately
+        differs) the same ``search_expanded`` settlement counts.  Any
+        divergence raises, which the fuzz loop records as a
+        counterexample — this is what puts the compiled tier on the full
+        fuzz corpus.  Returns the accelerated-tier index.
+        """
+        from repro import kernels
+        from repro.core.builder import build_sief
+
+        def build():
+            with kernels.use_tier("numpy"):
+                reference = build_sief(
+                    self.graph, self.labeling(), algorithm="batched"
+                )
+            with kernels.use_tier("auto"):
+                tier = kernels.effective_tier()
+                index = build_sief(
+                    self.graph, self.labeling(), algorithm="batched"
+                )
+            if set(index.supplements) != set(reference.supplements):
+                raise AssertionError(
+                    f"{tier}-tier build covered different failure cases"
+                )
+            for edge, si in index.supplements.items():
+                ref = reference.supplements[edge]
+                if si != ref:
+                    raise AssertionError(
+                        f"{tier}-tier supplement for {edge} differs "
+                        "from numpy tier"
+                    )
+                if si.search_expanded != ref.search_expanded:
+                    raise AssertionError(
+                        f"{tier}-tier search_expanded for {edge} is "
+                        f"{si.search_expanded}, numpy tier counted "
+                        f"{ref.search_expanded}"
+                    )
+                for t, sl in si.labels.items():
+                    rl = ref.labels[t]
+                    if sl.ranks != rl.ranks or sl.dists != rl.dists:
+                        raise AssertionError(
+                            f"{tier}-tier labels for {edge}/{t} "
+                            "not bit-identical to numpy tier"
+                        )
+            return index
+
+        return self._memo("sief_index_kernels", build)
+
     def lazy_index(self):
         from repro.core.lazy import LazySIEFIndex
         from repro.labeling.pll import build_pll
@@ -474,6 +528,64 @@ class DualFailureAdapter(EngineAdapter):
         return out
 
 
+class KernelTierBatchAdapter(EngineAdapter):
+    """Batch queries answered on both kernel tiers — and proven equal.
+
+    Per case, runs ``SIEFQueryEngine.batch_query`` once with kernels
+    forced to pure numpy and once under ``auto`` (the accelerated tier
+    when one is available), and raises unless the answer vectors are
+    bit-for-bit equal.  The accelerated answers are returned, so the
+    differential loop additionally checks them against the brute-force
+    oracle.  On hosts with no accelerated backend both passes resolve
+    to numpy and the adapter degenerates to a plain batch check.
+    """
+
+    name = "sief-batch-kernels"
+
+    def distances(self, ctx, failure, pairs):
+        from repro import kernels
+
+        engine = ctx.sief_engine()
+        edge = failure[1:3]
+        with kernels.use_tier("numpy"):
+            reference = [
+                float(d) for d in engine.batch_query(edge, list(pairs))
+            ]
+        with kernels.use_tier("auto"):
+            tier = kernels.effective_tier()
+            got = [float(d) for d in engine.batch_query(edge, list(pairs))]
+        if got != reference:
+            raise AssertionError(
+                f"{self.name}: {tier}-tier batch answers differ from "
+                f"numpy tier ({got!r} != {reference!r})"
+            )
+        return got
+
+
+class KernelTierBuildAdapter(EngineAdapter):
+    """Scalar queries on an index built on the accelerated kernel tier.
+
+    Materializing the index (memoized per context via
+    :meth:`WorldContext.sief_index_kernels`) asserts bit-identity of the
+    numpy-tier and accelerated-tier batched builds — supplements,
+    append order, and settlement counters — so this adapter puts the
+    compiled construction path on every fuzzed instance while its
+    answers are checked against ground truth.
+    """
+
+    name = "sief-kernels-build"
+
+    def distances(self, ctx, failure, pairs):
+        from repro.core.query import SIEFQueryEngine
+
+        engine = ctx._memo(
+            "sief_kernels_engine",
+            lambda: SIEFQueryEngine(ctx.sief_index_kernels()),
+        )
+        edge = failure[1:3]
+        return _scalar_loop(lambda s, t: engine.distance(s, t, edge), pairs)
+
+
 class InstrumentedAdapter(EngineAdapter):
     """An engine adapter run with observability on — and proven harmless.
 
@@ -551,6 +663,11 @@ ADAPTERS: Dict[str, EngineAdapter] = {
         DirectedSIEFAdapter(),
         NodeFailureAdapter(),
         DualFailureAdapter(),
+        # Kernel-tier differential adapters: the accelerated (numba /
+        # C-extension) kernels must answer and build bit-identically to
+        # the pure-numpy tier on every fuzzed instance (ISSUE 6).
+        KernelTierBatchAdapter(),
+        KernelTierBuildAdapter(),
         # Instrumented variants: same engines with metrics+tracing on,
         # proving observability never changes answers (ISSUE 3).
         InstrumentedAdapter(SIEFScalarAdapter()),

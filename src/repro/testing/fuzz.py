@@ -130,9 +130,11 @@ def _gen_tailed(rng: random.Random) -> Graph:
 
 def _gen_isolated(rng: random.Random) -> Graph:
     """Adversarial: random graph plus unreachable isolated vertices."""
-    base = generators.erdos_renyi_gnm(
-        rng.randint(6, 12), rng.randint(6, 16), seed=_seed(rng)
-    )
+    n = rng.randint(6, 12)
+    # Clamp after drawing so the rng stream (and thus every historical
+    # corpus seed) is unchanged; n=6 can otherwise draw m=16 > C(6,2).
+    m = min(rng.randint(6, 16), n * (n - 1) // 2)
+    base = generators.erdos_renyi_gnm(n, m, seed=_seed(rng))
     extra = rng.randint(1, 4)
     g = Graph(base.num_vertices + extra)
     for u, v in base.edges():
