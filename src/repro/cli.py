@@ -576,6 +576,96 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
     return 0 if report.get("effective") else 2
 
 
+def _cmd_freeze(args: argparse.Namespace) -> int:
+    from repro.core.index import SIEFIndex
+
+    index = SIEFIndex.load(args.index)
+    index.freeze()
+    index.save_npz(args.output, compress=args.compress)
+    mode = "compressed" if args.compress else "uncompressed (mmap-ready)"
+    print(
+        f"frozen store written to {args.output} ({mode}): "
+        f"n={index.labeling.num_vertices}, cases={index.num_cases}, "
+        f"supplemental_entries={index.total_supplemental_entries()}"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+    import os
+    import signal as _signal
+    import socket
+
+    from repro.core.index import SIEFIndex
+    from repro.core.query import SIEFQueryEngine
+    from repro.serve.server import ServeConfig, run_server
+
+    mmap_mode = None if args.no_mmap else "r"
+    if not str(args.index).endswith(".npz"):
+        mmap_mode = None
+    index = SIEFIndex.load(args.index, mmap_mode=mmap_mode)
+    index.freeze()
+    engine = SIEFQueryEngine(index)
+    print(
+        f"loaded {args.index}: n={index.labeling.num_vertices}, "
+        f"cases={index.num_cases}"
+        + (" (mmap)" if mmap_mode else ""),
+        file=sys.stderr,
+    )
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        queue_limit=args.queue_limit,
+        request_timeout=args.request_timeout,
+    )
+    if args.access_log:
+        config.access_log = lambda rec: print(
+            _json.dumps(rec), file=sys.stderr, flush=True
+        )
+
+    # Bind in the (parent) process so the "serving on" line is printed
+    # exactly once, before any fork; workers adopt the same socket.
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((args.host, args.port))
+    sock.listen(256)
+    host, port = sock.getsockname()[:2]
+    print(f"serving on {host}:{port}", flush=True)
+
+    if args.workers <= 1:
+        asyncio.run(run_server(engine, config, sock=sock))
+        return 0
+
+    children = []
+    for _ in range(args.workers):
+        pid = os.fork()
+        if pid == 0:
+            try:
+                asyncio.run(run_server(engine, config, sock=sock))
+            finally:
+                os._exit(0)
+        children.append(pid)
+
+    def _forward(signum, _frame):
+        for child in children:
+            try:
+                os.kill(child, signum)
+            except ProcessLookupError:
+                pass
+
+    _signal.signal(_signal.SIGTERM, _forward)
+    _signal.signal(_signal.SIGINT, _forward)
+    sock.close()
+    for child in children:
+        os.waitpid(child, 0)
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.graph.io import read_edge_list
     from repro.graph.validation import validate_graph
@@ -702,6 +792,73 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--sample", type=int, default=25)
     check.add_argument("--seed", type=int, default=0)
     check.set_defaults(func=_cmd_check)
+
+    freeze = sub.add_parser(
+        "freeze",
+        help="convert an index to the frozen flat-array (npz) store",
+    )
+    freeze.add_argument("index", help="a .sief (or .npz) index file")
+    freeze.add_argument("--output", "-o", default="index.npz")
+    freeze.add_argument(
+        "--compress",
+        action="store_true",
+        help="zip-deflate the store (smaller, but not mmap-able)",
+    )
+    freeze.set_defaults(func=_cmd_freeze)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve distance queries over HTTP (see docs/serving.md)",
+    )
+    serve.add_argument("index", help="index file; .npz enables mmap loading")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="forked worker processes sharing the socket and (with an "
+        "npz index) one memory-mapped copy of the label arrays",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=512,
+        help="flush the micro-batch at this many queued pairs",
+    )
+    serve.add_argument(
+        "--max-delay",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="flush the micro-batch when the oldest request waited this long",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8192,
+        help="queued pairs before load-shedding with 429",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-request deadline; overruns answer 504",
+    )
+    serve.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="copy the npz arrays into memory instead of mapping them",
+    )
+    serve.add_argument(
+        "--access-log",
+        action="store_true",
+        help="one JSON line per request on stderr",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     validate = sub.add_parser("validate", help="check an edge-list file")
     validate.add_argument("graph")

@@ -8,7 +8,8 @@ This is the object a downstream user holds: build once (via
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.core.supplemental import SupplementalIndex
 from repro.exceptions import FailureCaseNotIndexed, IndexError_
@@ -55,6 +56,44 @@ class SIEFIndex:
         for si in self.supplements.values():
             si.flat()
         return self
+
+    def save_npz(
+        self, path: Union[str, "Path"], compress: bool = False
+    ) -> None:
+        """Write the frozen flat-array (npz) store — the serving format.
+
+        See :mod:`repro.core.npzstore`; saved uncompressed by default so
+        :meth:`load` with ``mmap_mode="r"`` maps it without copies.
+        """
+        from repro.core.npzstore import save_index_npz
+
+        save_index_npz(self, path, compress=compress)
+
+    @classmethod
+    def load(
+        cls, path: Union[str, "Path"], mmap_mode: Optional[str] = None
+    ) -> "SIEFIndex":
+        """Load an index from either on-disk format.
+
+        ``.npz`` paths route through :mod:`repro.core.npzstore`;
+        ``mmap_mode="r"`` maps the label arrays read-only straight out
+        of the file (zero copy, one physical copy across processes).
+        Any other path loads the legacy binary format, for which
+        ``mmap_mode`` must be ``None``.
+        """
+        p = Path(path)
+        if p.suffix == ".npz":
+            from repro.core.npzstore import load_index_npz
+
+            return load_index_npz(p, mmap_mode=mmap_mode)
+        if mmap_mode is not None:
+            raise ValueError(
+                "mmap_mode is only supported for .npz stores; convert "
+                "with `sief freeze` first"
+            )
+        from repro.core.serialize import load_index
+
+        return load_index(p)
 
     def add_supplement(self, edge: Edge, si: SupplementalIndex) -> None:
         """Register the supplemental index for one failed-edge case."""

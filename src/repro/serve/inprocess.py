@@ -1,0 +1,90 @@
+"""Run a :class:`~repro.serve.server.SIEFServer` inside the current process.
+
+The conformance adapter and the fault/concurrency test suites need a
+*real* server — real socket, real HTTP parsing, real micro-batcher — but
+inside a pytest process that is not itself async.  This helper runs the
+server's event loop on a daemon thread, binds an ephemeral port, and
+exposes just enough to drive it from the outside:
+
+.. code-block:: python
+
+    with InProcessServer(engine) as srv:
+        client = ServeClient(srv.host, srv.port)
+        assert client.distance(0, 5, (2, 3)) == 4
+
+``stop()`` (or the ``with`` exit) performs the same graceful drain as
+SIGTERM.  The server's metrics registry stays reachable after shutdown,
+so tests assert on histograms post-hoc.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.core.query import SIEFQueryEngine
+from repro.serve.server import ServeConfig, SIEFServer
+
+
+class InProcessServer:
+    """A live server on a background thread; context-manager friendly."""
+
+    def __init__(
+        self,
+        engine: SIEFQueryEngine,
+        config: Optional[ServeConfig] = None,
+        startup_timeout: float = 10.0,
+    ) -> None:
+        self.server = SIEFServer(engine, config)
+        self.registry = self.server.registry
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._done = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="sief-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(startup_timeout):
+            raise RuntimeError("in-process server failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as exc:  # surface bind errors to the caller
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.host, self.port = self.server.host, self.server.port
+        self._ready.set()
+        try:
+            await self.server.serve_until(self._stop_event)
+        finally:
+            self._done.set()
+
+    def stop(self, timeout: float = 15.0) -> None:
+        """Graceful drain, then join the loop thread.  Idempotent."""
+        if self._loop is not None and not self._done.is_set():
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+            self._done.wait(timeout)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "InProcessServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

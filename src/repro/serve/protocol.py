@@ -1,0 +1,125 @@
+"""Wire formats shared by the server, the clients and the load generator.
+
+Two request encodings answer the same queries:
+
+* **JSON** (``POST /dist``, ``POST /batch``) — human-debuggable;
+  distances serialize as numbers, with ``null`` for disconnected pairs
+  (JSON has no ``Infinity``).
+* **Binary** (``POST /batch.bin``) — a single length-prefixed frame per
+  batch, for clients that care about encode cost at high rates.
+
+Binary batch request (little-endian)::
+
+    magic   4s   b"SFB1"
+    u, v    2 × u32   the failed edge
+    count   u32       number of (s, t) pairs
+    pairs   count × 2 × i32
+
+Binary batch response::
+
+    magic   4s   b"SFB1"
+    count   u32
+    dists   count × f64   (IEEE +inf for disconnected pairs)
+
+Every decoder validates magic, declared count and byte length and raises
+:class:`ProtocolError` — the server maps that to a 400, never a crash.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+BINARY_MAGIC = b"SFB1"
+"""Frame magic for the binary batch endpoint (request and response)."""
+
+_REQ_HEADER = struct.Struct("<4sIII")
+_RESP_HEADER = struct.Struct("<4sI")
+
+MAX_BINARY_PAIRS = 1 << 22
+"""Upper bound on pairs per binary frame (sanity cap, ~4M)."""
+
+Pair = Tuple[int, int]
+Edge = Tuple[int, int]
+
+
+class ProtocolError(ValueError):
+    """A malformed frame or JSON document (the server answers 400)."""
+
+
+def encode_batch_request(edge: Edge, pairs: Sequence[Pair]) -> bytes:
+    """One binary batch-request frame."""
+    u, v = int(edge[0]), int(edge[1])
+    arr = np.asarray(pairs, dtype=np.int32).reshape(-1, 2)
+    return _REQ_HEADER.pack(BINARY_MAGIC, u, v, len(arr)) + arr.tobytes()
+
+
+def decode_batch_request(data: bytes) -> Tuple[Edge, np.ndarray]:
+    """Inverse of :func:`encode_batch_request` (strict)."""
+    if len(data) < _REQ_HEADER.size:
+        raise ProtocolError(
+            f"binary frame truncated: {len(data)} bytes, "
+            f"need at least {_REQ_HEADER.size}"
+        )
+    magic, u, v, count = _REQ_HEADER.unpack_from(data)
+    if magic != BINARY_MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if count > MAX_BINARY_PAIRS:
+        raise ProtocolError(f"frame declares {count} pairs (cap {MAX_BINARY_PAIRS})")
+    expected = _REQ_HEADER.size + count * 8
+    if len(data) != expected:
+        raise ProtocolError(
+            f"binary frame length {len(data)} does not match declared "
+            f"count {count} (expected {expected} bytes)"
+        )
+    pairs = np.frombuffer(
+        data, dtype=np.int32, count=count * 2, offset=_REQ_HEADER.size
+    ).reshape(count, 2)
+    return (u, v), pairs
+
+
+def encode_batch_response(distances: np.ndarray) -> bytes:
+    """One binary batch-response frame (float64, inf for disconnected)."""
+    arr = np.asarray(distances, dtype=np.float64)
+    return _RESP_HEADER.pack(BINARY_MAGIC, len(arr)) + arr.tobytes()
+
+
+def decode_batch_response(data: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_batch_response` (strict)."""
+    if len(data) < _RESP_HEADER.size:
+        raise ProtocolError(
+            f"binary response truncated: {len(data)} bytes"
+        )
+    magic, count = _RESP_HEADER.unpack_from(data)
+    if magic != BINARY_MAGIC:
+        raise ProtocolError(f"bad response magic {magic!r}")
+    expected = _RESP_HEADER.size + count * 8
+    if len(data) != expected:
+        raise ProtocolError(
+            f"binary response length {len(data)} does not match "
+            f"declared count {count}"
+        )
+    return np.frombuffer(
+        data, dtype=np.float64, count=count, offset=_RESP_HEADER.size
+    )
+
+
+def distance_to_json(value) -> Optional[float]:
+    """A distance as its JSON form: a number, or ``None`` when infinite."""
+    f = float(value)
+    if math.isinf(f):
+        return None
+    return int(f) if f == int(f) else f
+
+
+def distances_to_json(values) -> List[Optional[float]]:
+    """Vector form of :func:`distance_to_json`."""
+    return [distance_to_json(v) for v in values]
+
+
+def distance_from_json(value) -> float:
+    """Inverse of :func:`distance_to_json` (``None`` → ``inf``)."""
+    return math.inf if value is None else float(value)

@@ -586,6 +586,87 @@ class KernelTierBuildAdapter(EngineAdapter):
         return _scalar_loop(lambda s, t: engine.distance(s, t, edge), pairs)
 
 
+class _ServeWorld:
+    """One live in-process server tied to a WorldContext's lifetime.
+
+    The index is round-tripped through the frozen npz store and loaded
+    back memory-mapped before serving, so every fuzzed instance also
+    covers the save → mmap-load path the real daemon uses.
+    """
+
+    def __init__(self, ctx: "WorldContext") -> None:
+        import os
+        import tempfile
+
+        from repro.core.index import SIEFIndex
+        from repro.core.query import SIEFQueryEngine
+        from repro.serve.client import ServeClient
+        from repro.serve.inprocess import InProcessServer
+        from repro.serve.server import ServeConfig
+
+        self.tmp = tempfile.TemporaryDirectory(prefix="sief-serve-fuzz-")
+        path = os.path.join(self.tmp.name, "index.npz")
+        ctx.sief_index().freeze().save_npz(path)
+        self.engine = SIEFQueryEngine(SIEFIndex.load(path, mmap_mode="r"))
+        # Tight flush deadline: the adapter's requests are serial, so
+        # every batch flushes on deadline — keep the fuzz loop fast.
+        self.server = InProcessServer(
+            self.engine, ServeConfig(max_batch=256, max_delay=0.0005)
+        )
+        self.client = ServeClient(self.server.host, self.server.port)
+
+    def close(self) -> None:
+        try:
+            self.client.close()
+        finally:
+            self.server.stop()
+            self.tmp.cleanup()
+
+
+class ServeConformanceAdapter(EngineAdapter):
+    """Queries routed through a live in-process HTTP server.
+
+    Per context, freezes the SIEF index to an npz store, loads it back
+    memory-mapped, and serves it over a real socket on an ephemeral
+    port.  Each case is answered three ways — JSON ``/batch``, binary
+    ``/batch.bin``, and the in-memory engine — and the three must be
+    bit-identical before the answers go to the ground-truth comparison.
+    The server keeps its own private metrics registry, so the global
+    observability hooks stay untouched (the fuzz loop checks that).
+    """
+
+    name = "sief-serve"
+
+    def distances(self, ctx, failure, pairs):
+        import math
+        import weakref
+
+        world = ctx._cache.get("serve_world")
+        if world is None:
+            world = _ServeWorld(ctx)
+            ctx._cache["serve_world"] = world
+            weakref.finalize(ctx, world.close)
+        edge = (failure[1], failure[2])
+        pairs = [(int(s), int(t)) for s, t in pairs]
+        via_json = world.client.batch(edge, pairs)
+        via_bin = [float(d) for d in world.client.batch_binary(edge, pairs)]
+        direct = [float(d) for d in world.engine.batch_query(edge, pairs)]
+        if via_json != via_bin or via_bin != direct:
+            raise AssertionError(
+                f"{self.name}: JSON/binary/direct answers disagree "
+                f"({via_json!r} / {via_bin!r} / {direct!r})"
+            )
+        s, t = pairs[0]
+        single = world.client.distance(s, t, edge)
+        first = via_bin[0]
+        if single != first and not (math.isinf(single) and math.isinf(first)):
+            raise AssertionError(
+                f"{self.name}: /dist answer {single!r} differs from "
+                f"batch answer {first!r} for pair {(s, t)}"
+            )
+        return via_bin
+
+
 class InstrumentedAdapter(EngineAdapter):
     """An engine adapter run with observability on — and proven harmless.
 
@@ -663,6 +744,9 @@ ADAPTERS: Dict[str, EngineAdapter] = {
         DirectedSIEFAdapter(),
         NodeFailureAdapter(),
         DualFailureAdapter(),
+        # The serving layer: queries answered by a live in-process HTTP
+        # server over an npz-mmap round-trip of the index (ISSUE 7).
+        ServeConformanceAdapter(),
         # Kernel-tier differential adapters: the accelerated (numba /
         # C-extension) kernels must answer and build bit-identically to
         # the pure-numpy tier on every fuzzed instance (ISSUE 6).
