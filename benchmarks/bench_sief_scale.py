@@ -1,0 +1,442 @@
+"""Out-of-core scale benchmark: build and serve 1M vertices under a memory budget.
+
+Proves the ISSUE-9 tentpole end to end on one machine:
+
+* **Build** — a Barabási–Albert graph (default 1M vertices) is labeled
+  with the compiled PLL kernel, then a sampled failure-case set is built
+  through :func:`build_sief_sharded`: shard, build, spill to the segment
+  store, drop.  Supplement memory stays O(shard), not O(cases).
+* **Serve (paged)** — a subprocess opens the store demand-paged
+  (:class:`PagedSIEFIndex`, small LRU over the segment mmap) and answers
+  a fixed query workload.  Its peak RSS must stay under
+  ``--memory-budget-mb``.
+* **Serve (resident)** — a second subprocess loads the same store fully
+  resident (every supplement and labeling byte touched) and answers the
+  identical workload.  Its peak RSS is the in-RAM index footprint.
+
+The paged and resident answer streams must be bit-identical, and the
+resident footprint must exceed the paged peak by ``--assert-ratio``
+(default: no assertion; the committed 1M run uses 4).  A third
+subprocess that only imports the stack calibrates the interpreter
+baseline, so the report separates index bytes from Python overhead.
+
+Writes ``BENCH_sief_scale.json`` at the repo root and (with
+``--history/--run``) appends ``sief_scale_build`` / ``sief_scale_serve``
+records for ``sief bench compare`` gating::
+
+    PYTHONPATH=src python benchmarks/bench_sief_scale.py
+    PYTHONPATH=src python benchmarks/bench_sief_scale.py \
+        --vertices 50000 --cases 12 --memory-budget-mb 512 \
+        --out /tmp/scale_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_sief_scale.json"
+
+GRAPH_SEED = 7
+WORKLOAD_SEED = 42
+
+
+# ---------------------------------------------------------------------------
+# Child processes: each measurement runs in a fresh interpreter so its
+# peak RSS is the measurement, uncontaminated by the parent's build.
+# ---------------------------------------------------------------------------
+
+
+def _workload(store, pairs_per_case: int):
+    """The fixed query stream: every stored case, same pairs each run."""
+    import random
+
+    rng = random.Random(WORKLOAD_SEED)
+    n = store.num_vertices
+    edges = store.case_edges()
+    pairs = [
+        (rng.randrange(n), rng.randrange(n)) for _ in range(pairs_per_case)
+    ]
+    return edges, pairs
+
+
+def _answer_checksum(answers) -> str:
+    import hashlib
+
+    blob = ",".join(
+        "inf" if a == float("inf") else str(int(a)) for a in answers
+    ).encode()
+    return hashlib.sha1(blob).hexdigest()
+
+
+def _child_baseline(_args) -> dict:
+    # Import what both serving children import, touch nothing else.
+    from repro.bench.history import peak_rss_bytes
+    from repro.core.lazy import PagedSIEFIndex  # noqa: F401
+    from repro.core.query import SIEFQueryEngine  # noqa: F401
+    from repro.core.segstore import SegmentStore  # noqa: F401
+
+    return {"peak_rss_bytes": peak_rss_bytes()}
+
+
+def _child_paged(args) -> dict:
+    from repro.bench.history import peak_rss_bytes
+    from repro.core.lazy import PagedSIEFIndex
+    from repro.core.query import SIEFQueryEngine
+    from repro.core.segstore import SegmentStore
+
+    store = SegmentStore(args.store_path)
+    index = PagedSIEFIndex(store, capacity=args.cache_cases)
+    engine = SIEFQueryEngine(index)
+    edges, pairs = _workload(store, args.pairs)
+    answers = []
+    reps = []
+    for _ in range(args.repeat):
+        t0 = time.perf_counter()
+        answers = []
+        for edge in edges:
+            answers.extend(float(d) for d in engine.batch_query(edge, pairs))
+        reps.append(time.perf_counter() - t0)
+    return {
+        "peak_rss_bytes": peak_rss_bytes(),
+        "seconds_per_rep": reps,
+        "queries_per_rep": len(edges) * len(pairs),
+        "checksum": _answer_checksum(answers),
+        "lru": {
+            "capacity": args.cache_cases,
+            "resident": index.resident_cases,
+            "hits": index.hits,
+            "misses": index.misses,
+            "evictions": index.evictions,
+        },
+    }
+
+
+def _child_resident(args) -> dict:
+    import numpy as np
+
+    from repro.bench.history import peak_rss_bytes
+    from repro.core.query import SIEFQueryEngine
+    from repro.core.segstore import SegmentStore
+
+    store = SegmentStore(args.store_path)
+    index = store.to_index()
+    # The rebuilt supplements and the labeling are zero-copy views of the
+    # store's mmaps; fault every byte in so this process's RSS is the
+    # true fully-resident footprint.
+    touched = 0
+    lab = index.labeling
+    for arr in (lab.offsets, lab.hubs_flat, lab.dists_flat):
+        touched += int(arr.sum())
+    for si in index.supplements.values():
+        for arr in (
+            si._side_u, si._side_v, si._vertices,
+            si._entry_offsets, si._ranks, si._dists,
+        ):
+            touched += int(np.asarray(arr).sum())
+    engine = SIEFQueryEngine(index)
+    edges, pairs = _workload(store, args.pairs)
+    answers = []
+    for edge in edges:
+        answers.extend(float(d) for d in engine.batch_query(edge, pairs))
+    return {
+        "peak_rss_bytes": peak_rss_bytes(),
+        "checksum": _answer_checksum(answers),
+        "touched": touched,
+    }
+
+
+_CHILDREN = {
+    "baseline": _child_baseline,
+    "paged": _child_paged,
+    "resident": _child_resident,
+}
+
+
+def _spawn(mode: str, args, extra=()) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    cmd = [
+        sys.executable, os.fspath(Path(__file__).resolve()),
+        "--child", mode,
+        "--store", os.fspath(args.store_path),
+        "--cache-cases", str(args.cache_cases),
+        "--pairs", str(args.pairs),
+        "--repeat", str(args.repeat),
+        *extra,
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError(f"{mode} child exited {proc.returncode}")
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+# ---------------------------------------------------------------------------
+# Parent: build out of core, measure the three children, write the report
+# ---------------------------------------------------------------------------
+
+
+def run(args) -> dict:
+    from repro.bench.history import env_metadata, peak_rss_bytes
+    from repro.core.segstore import build_sief_sharded
+    from repro.graph import generators
+
+    print(
+        f"generating BA graph: n={args.vertices}, attach={args.attach}",
+        flush=True,
+    )
+    t0 = time.perf_counter()
+    graph = generators.barabasi_albert(
+        args.vertices, args.attach, seed=GRAPH_SEED
+    )
+    gen_seconds = time.perf_counter() - t0
+
+    import random
+
+    rng = random.Random(WORKLOAD_SEED)
+    all_edges = sorted(graph.edges())
+    cases = sorted(rng.sample(all_edges, min(args.cases, len(all_edges))))
+    print(
+        f"sharded build: {len(cases)} cases, shard_size={args.shard_size}",
+        flush=True,
+    )
+    t0 = time.perf_counter()
+    store_path, report = build_sief_sharded(
+        graph,
+        args.store_path,
+        edges=cases,
+        shard_size=args.shard_size,
+    )
+    build_seconds = time.perf_counter() - t0
+    args.store_path = store_path
+    store_bytes = sum(
+        f.stat().st_size for f in Path(store_path).iterdir()
+    )
+    print(
+        f"built in {build_seconds:.1f}s: {report.num_shards} shards, "
+        f"{report.total_entries} entries, "
+        f"{store_bytes / 1e6:.1f} MB on disk, "
+        f"max {report.max_resident_cases} cases resident "
+        f"(parent peak RSS {peak_rss_bytes() / 1e6:.0f} MB)",
+        flush=True,
+    )
+
+    del graph, all_edges  # the serving children never see the graph
+
+    baseline = _spawn("baseline", args)
+    paged = _spawn("paged", args)
+    resident = _spawn("resident", args)
+
+    if paged["checksum"] != resident["checksum"]:
+        raise AssertionError(
+            "paged and resident serving disagree: "
+            f"{paged['checksum']} != {resident['checksum']}"
+        )
+
+    budget = args.memory_budget_mb * 1_000_000
+    paged_rss = paged["peak_rss_bytes"]
+    resident_rss = resident["peak_rss_bytes"]
+    baseline_rss = baseline["peak_rss_bytes"]
+    ratio = resident_rss / paged_rss
+    serve_seconds = min(paged["seconds_per_rep"])
+    qps = paged["queries_per_rep"] / serve_seconds
+    print(
+        f"paged serve:    peak RSS {paged_rss / 1e6:.0f} MB "
+        f"(budget {args.memory_budget_mb} MB), "
+        f"{qps:,.0f} queries/s, lru={paged['lru']}",
+        flush=True,
+    )
+    print(
+        f"resident serve: peak RSS {resident_rss / 1e6:.0f} MB "
+        f"({ratio:.1f}x the paged peak; interpreter baseline "
+        f"{baseline_rss / 1e6:.0f} MB)",
+        flush=True,
+    )
+
+    ok = True
+    if paged_rss > budget:
+        print(
+            f"FAIL: paged peak RSS {paged_rss / 1e6:.0f} MB exceeds the "
+            f"{args.memory_budget_mb} MB budget",
+            file=sys.stderr,
+        )
+        ok = False
+    if args.assert_ratio is not None and ratio < args.assert_ratio:
+        print(
+            f"FAIL: resident/paged RSS ratio {ratio:.1f}x below required "
+            f"{args.assert_ratio}x",
+            file=sys.stderr,
+        )
+        ok = False
+
+    out = {
+        "benchmark": "sief_scale",
+        "created_unix": int(time.time()),
+        "env": env_metadata(),
+        "graph": {
+            "generator": "barabasi_albert",
+            "vertices": args.vertices,
+            "edges": graph_edges_count(args),
+            "attach": args.attach,
+            "seed": GRAPH_SEED,
+            "generate_seconds": gen_seconds,
+        },
+        "build": {
+            "cases": report.num_cases,
+            "shard_size": args.shard_size,
+            "num_shards": report.num_shards,
+            "total_entries": report.total_entries,
+            "spilled_bytes": report.spilled_bytes,
+            "max_resident_cases": report.max_resident_cases,
+            "seconds": build_seconds,
+            "store_bytes": store_bytes,
+            "parent_peak_rss_bytes": peak_rss_bytes(),
+        },
+        "serve": {
+            "workload": {
+                "cases": report.num_cases,
+                "pairs_per_case": args.pairs,
+                "seed": WORKLOAD_SEED,
+                "repeat": args.repeat,
+            },
+            "baseline_rss_bytes": baseline_rss,
+            "paged": {
+                "peak_rss_bytes": paged_rss,
+                "over_baseline_bytes": paged_rss - baseline_rss,
+                "seconds_per_rep": paged["seconds_per_rep"],
+                "queries_per_second": qps,
+                "lru": paged["lru"],
+            },
+            "resident": {
+                "peak_rss_bytes": resident_rss,
+                "over_baseline_bytes": resident_rss - baseline_rss,
+            },
+            "rss_ratio": ratio,
+            "memory_budget_mb": args.memory_budget_mb,
+            "within_budget": paged_rss <= budget,
+            "answers_bit_identical": True,
+        },
+        "passed": ok,
+    }
+    args.out.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {args.out}", flush=True)
+
+    if args.history is not None:
+        _record_history(args, out)
+    return out
+
+
+def graph_edges_count(args) -> int:
+    # BA(n, m) has m*(n-m) edges; recorded without keeping the graph
+    # alive across the children.
+    return args.attach * (args.vertices - args.attach)
+
+
+def _record_history(args, out) -> None:
+    from repro.bench.history import BenchHistory, BenchRun
+
+    env = out["env"]
+    meta = {"hostname": env["hostname"], "kernel_tier": env["kernel_tier"]}
+    history = BenchHistory(args.history)
+    history.append(
+        BenchRun(
+            bench_id="sief_scale_build",
+            run=args.run,
+            samples=(out["build"]["seconds"],),
+            meta=meta,
+            extra={"cases": out["build"]["cases"]},
+            timestamp=time.time(),
+        )
+    )
+    history.append(
+        BenchRun(
+            bench_id="sief_scale_serve",
+            run=args.run,
+            samples=tuple(out["serve"]["paged"]["seconds_per_rep"]),
+            meta=meta,
+            extra={"lru": out["serve"]["paged"]["lru"]},
+            timestamp=time.time(),
+        )
+    )
+    print(
+        f"recorded sief_scale_build/sief_scale_serve as run "
+        f"{args.run!r} in {args.history}",
+        flush=True,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--vertices", type=int, default=1_000_000)
+    parser.add_argument("--attach", type=int, default=2)
+    parser.add_argument(
+        "--cases", type=int, default=64, help="failure cases to build"
+    )
+    parser.add_argument(
+        "--shard-size", type=int, default=16,
+        help="cases per build shard (bounds builder memory)",
+    )
+    parser.add_argument(
+        "--cache-cases", type=int, default=8,
+        help="LRU capacity of the paged serving child",
+    )
+    parser.add_argument(
+        "--pairs", type=int, default=256, help="query pairs per case"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="workload repetitions in the paged child (timing samples)",
+    )
+    parser.add_argument(
+        "--memory-budget-mb", type=int, default=512,
+        help="peak-RSS budget for the paged serving child",
+    )
+    parser.add_argument(
+        "--assert-ratio", type=float, default=None,
+        help="exit nonzero unless resident RSS exceeds paged RSS by "
+        "this factor (meaningless below ~1M vertices, where the "
+        "interpreter dominates both)",
+    )
+    parser.add_argument("--store", dest="store_path", default=None)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--history", type=Path, default=None,
+        help="append sief_scale_* BenchRun records to this JSONL history",
+    )
+    parser.add_argument(
+        "--run", default="scale", help="run label for --history records"
+    )
+    parser.add_argument(
+        "--child", choices=sorted(_CHILDREN), default=None,
+        help=argparse.SUPPRESS,
+    )
+    args = parser.parse_args(argv)
+
+    if args.child is not None:
+        result = _CHILDREN[args.child](args)
+        print(json.dumps(result))
+        return 0
+
+    if args.store_path is None:
+        import tempfile
+
+        tmp = tempfile.TemporaryDirectory(prefix="sief-scale-")
+        args.store_path = os.path.join(tmp.name, "store")
+    out = run(args)
+    return 0 if out["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

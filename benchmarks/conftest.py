@@ -22,7 +22,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench.history import env_metadata
+from repro.bench.history import env_metadata, peak_rss_bytes
 from repro.bench.reporting import render_env
 from repro.bench.runner import get_context
 from repro.obs import MetricsRegistry, hooks, write_json_lines
@@ -34,9 +34,15 @@ ENV_META = env_metadata()
 
 
 def _append_env_line(path: Path) -> None:
-    """Append the ``{"type": "env", ...}`` record to a JSONL sidecar."""
+    """Append the ``{"type": "env", ...}`` record to a JSONL sidecar.
+
+    ``peak_rss_bytes`` is re-sampled at write time (not at session
+    start) so each sidecar records the true high-water mark of the work
+    that preceded it — what makes memory-bound benches comparable.
+    """
+    meta = {**ENV_META, "peak_rss_bytes": peak_rss_bytes()}
     with path.open("a", encoding="utf-8") as fh:
-        fh.write(json.dumps({"type": "env", **ENV_META}) + "\n")
+        fh.write(json.dumps({"type": "env", **meta}) + "\n")
 
 
 @pytest.fixture(scope="session")

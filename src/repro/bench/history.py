@@ -35,6 +35,7 @@ import os
 import platform
 import socket
 import subprocess
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -98,7 +99,26 @@ def env_metadata() -> Dict[str, object]:
         "hostname": socket.gethostname(),
         "git_sha": _git_sha(),
         "kernel_tier": kernel_tier,
+        "peak_rss_bytes": peak_rss_bytes(),
     }
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """This process's peak resident set size in bytes, or ``None``.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalized
+    here so memory-bound benches (the out-of-core scale bench) are
+    comparable across runs.  Sampled at call time — bench sidecars
+    re-sample when they flush, so the recorded peak covers the run.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux container
+        return int(usage)
+    return int(usage) * 1024
 
 
 @dataclass(frozen=True)

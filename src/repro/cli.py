@@ -83,6 +83,30 @@ def _cmd_build(args: argparse.Namespace) -> int:
         hook_ctx = obs_hooks.installed(report_progress=prog)
     else:
         hook_ctx = contextlib.nullcontext()
+    if args.spill is not None:
+        from repro.core.segstore import build_sief_sharded
+
+        with hook_ctx:
+            store_path, sreport = build_sief_sharded(
+                graph,
+                args.spill,
+                labeling=labeling,
+                algorithm=algorithm,
+                shards=args.shards,
+                jobs=args.jobs,
+            )
+        if prog is not None:
+            prog.finish()
+        print(
+            f"SIEF out-of-core ({algorithm}, jobs={args.jobs}): "
+            f"{sreport.num_cases} failure cases in {sreport.num_shards} "
+            f"shards, {sreport.total_entries} supplemental entries, "
+            f"{sreport.spilled_bytes} segment bytes, peak "
+            f"{sreport.max_resident_cases} resident cases; "
+            f"built in {sreport.build_seconds:.2f}s"
+        )
+        print(f"segment store written to {store_path}")
+        return 0
     with hook_ctx:
         if args.jobs > 1:
             from repro.core.parallel import build_sief_parallel
@@ -581,6 +605,19 @@ def _cmd_freeze(args: argparse.Namespace) -> int:
 
     index = SIEFIndex.load(args.index)
     index.freeze()
+    if str(args.output).endswith(".siefseg"):
+        from repro.core.segstore import SegmentWriter
+
+        with SegmentWriter(args.output, index.labeling) as writer:
+            for edge, si in index.iter_cases():
+                writer.append_case(edge, si)
+        print(
+            f"segment store written to {writer.path}: "
+            f"n={index.labeling.num_vertices}, cases={writer.num_cases}, "
+            f"supplemental_entries={writer.total_entries}, "
+            f"segment_bytes={writer.bytes_written}"
+        )
+        return 0
     index.save_npz(args.output, compress=args.compress)
     mode = "compressed" if args.compress else "uncompressed (mmap-ready)"
     print(
@@ -600,20 +637,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.core.index import SIEFIndex
     from repro.core.query import SIEFQueryEngine
+    from repro.obs import hooks as obs_hooks
+    from repro.obs.metrics import MetricsRegistry
     from repro.serve.server import ServeConfig, run_server
 
-    mmap_mode = None if args.no_mmap else "r"
-    if not str(args.index).endswith(".npz"):
-        mmap_mode = None
-    index = SIEFIndex.load(args.index, mmap_mode=mmap_mode)
-    index.freeze()
+    registry = None
+    if str(args.index).endswith(".siefseg"):
+        # Demand-paged serving: mmap'd segment store behind an LRU of
+        # hot failure cases — the index never fully resides in memory.
+        # The server's /metrics registry doubles as the global hooks
+        # registry so the paging counters are exposed too.
+        from repro.core.lazy import PagedSIEFIndex
+        from repro.core.segstore import SegmentStore
+
+        store = SegmentStore(args.index)
+        index = PagedSIEFIndex(store, capacity=args.cache_cases)
+        registry = MetricsRegistry()
+        obs_hooks.install(registry)
+        print(
+            f"loaded {args.index}: n={index.labeling.num_vertices}, "
+            f"cases={index.num_cases} "
+            f"(demand-paged, lru={args.cache_cases})",
+            file=sys.stderr,
+        )
+    else:
+        mmap_mode = None if args.no_mmap else "r"
+        if not str(args.index).endswith(".npz"):
+            mmap_mode = None
+        index = SIEFIndex.load(args.index, mmap_mode=mmap_mode)
+        index.freeze()
+        print(
+            f"loaded {args.index}: n={index.labeling.num_vertices}, "
+            f"cases={index.num_cases}"
+            + (" (mmap)" if mmap_mode else ""),
+            file=sys.stderr,
+        )
     engine = SIEFQueryEngine(index)
-    print(
-        f"loaded {args.index}: n={index.labeling.num_vertices}, "
-        f"cases={index.num_cases}"
-        + (" (mmap)" if mmap_mode else ""),
-        file=sys.stderr,
-    )
 
     config = ServeConfig(
         host=args.host,
@@ -622,6 +681,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_delay=args.max_delay,
         queue_limit=args.queue_limit,
         request_timeout=args.request_timeout,
+        registry=registry,
     )
     if args.access_log:
         config.access_log = lambda rec: print(
@@ -745,6 +805,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="live cases/sec + ETA progress line on stderr",
     )
+    build.add_argument(
+        "--spill",
+        metavar="STORE",
+        default=None,
+        help="out-of-core build: spill each finished shard's supplements "
+        "to a .siefseg segment store at this path (peak memory becomes "
+        "O(shard), not O(E)); --output is ignored",
+    )
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="number of build shards for --spill "
+        "(default: ~4096 cases per shard)",
+    )
     _add_build_path_flags(build)
     build.set_defaults(func=_cmd_build)
 
@@ -798,7 +873,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="convert an index to the frozen flat-array (npz) store",
     )
     freeze.add_argument("index", help="a .sief (or .npz) index file")
-    freeze.add_argument("--output", "-o", default="index.npz")
+    freeze.add_argument(
+        "--output",
+        "-o",
+        default="index.npz",
+        help="output store; a .siefseg suffix writes the out-of-core "
+        "segment store instead of a single npz archive",
+    )
     freeze.add_argument(
         "--compress",
         action="store_true",
@@ -810,7 +891,19 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve distance queries over HTTP (see docs/serving.md)",
     )
-    serve.add_argument("index", help="index file; .npz enables mmap loading")
+    serve.add_argument(
+        "index",
+        help="index file; .npz enables mmap loading, .siefseg serves "
+        "demand-paged from the segment store",
+    )
+    serve.add_argument(
+        "--cache-cases",
+        type=int,
+        default=256,
+        metavar="N",
+        help="LRU capacity (resident failure cases) for .siefseg "
+        "demand-paged serving",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=0, help="port (0 = ephemeral)"

@@ -78,6 +78,10 @@ class SIEFIndex:
         ``.npz`` paths route through :mod:`repro.core.npzstore`;
         ``mmap_mode="r"`` maps the label arrays read-only straight out
         of the file (zero copy, one physical copy across processes).
+        ``.siefseg`` directories (the out-of-core segment store) rebuild
+        a fully-resident index whose supplements stay views of the
+        segment mmap — for demand-paged serving use
+        :class:`~repro.core.lazy.PagedSIEFIndex` instead.
         Any other path loads the legacy binary format, for which
         ``mmap_mode`` must be ``None``.
         """
@@ -86,6 +90,10 @@ class SIEFIndex:
             from repro.core.npzstore import load_index_npz
 
             return load_index_npz(p, mmap_mode=mmap_mode)
+        if p.suffix == ".siefseg":
+            from repro.core.segstore import SegmentStore
+
+            return SegmentStore(p).to_index()
         if mmap_mode is not None:
             raise ValueError(
                 "mmap_mode is only supported for .npz stores; convert "

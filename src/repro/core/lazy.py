@@ -20,6 +20,7 @@ pieces this library already has into the deployment-shaped object:
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple, Union
 
 from repro.core.builder import RELABEL_ALGORITHMS, record_case_obs
@@ -29,7 +30,7 @@ from repro.obs import hooks as _obs
 from repro.core.index import SIEFIndex
 from repro.core.query import SIEFQueryEngine
 from repro.exceptions import EdgeNotFound, IndexError_
-from repro.graph.graph import Graph
+from repro.graph.graph import Graph, normalize_edge
 from repro.labeling.dynamic import insert_edge as _dynamic_insert
 from repro.labeling.pll import build_pll
 from repro.labeling.label import Labeling
@@ -100,11 +101,13 @@ class LazySIEFIndex:
             self.cache_hits += 1
             if reg is not None:
                 reg.counter("sief.lazy.cache_hits").inc()
+                reg.counter("sief.lazy.cache.hits").inc()
             return
         if not self.graph.has_edge(u, v):
             raise EdgeNotFound(u, v)
         if reg is not None:
             reg.counter("sief.lazy.cache_misses").inc()
+            reg.counter("sief.lazy.cache.misses").inc()
         with _obs.span("sief.lazy.build_case"):
             csr = self._csr() if self.algorithm == "batched" else None
             si, record = build_one_case(
@@ -116,6 +119,7 @@ class LazySIEFIndex:
         if reg is not None:
             record_case_obs(reg, record)
             reg.gauge("sief.lazy.cached_cases").set(self._index.num_cases)
+            reg.gauge("sief.lazy.cache.resident").set(self._index.num_cases)
         prog = _obs.progress
         if prog is not None:
             prog.advance()
@@ -159,6 +163,7 @@ class LazySIEFIndex:
         self.cases_built = 0
         if reg is not None:
             reg.gauge("sief.lazy.cached_cases").set(0)
+            reg.gauge("sief.lazy.cache.resident").set(0)
 
     def _invalidate(self) -> None:
         self._csr_cache = None
@@ -169,6 +174,7 @@ class LazySIEFIndex:
             if dropped:
                 reg.counter("sief.lazy.invalidated_cases").inc(dropped)
             reg.gauge("sief.lazy.cached_cases").set(0)
+            reg.gauge("sief.lazy.cache.resident").set(0)
         self._index.supplements.clear()
         self.cases_built = 0
 
@@ -183,4 +189,104 @@ class LazySIEFIndex:
         return (
             f"LazySIEFIndex(n={self.graph.num_vertices}, "
             f"m={self.graph.num_edges}, cached={self.cases_built})"
+        )
+
+
+class PagedSIEFIndex:
+    """Demand-paged SIEF index over a :class:`~repro.core.segstore.SegmentStore`.
+
+    The lazy seam generalized from "build on first touch" to **load on
+    first touch**: a capacity-bounded LRU of hot failure cases backed by
+    mmap'd segment reads.  Duck-types the :class:`SIEFIndex` surface the
+    query engine and the serve daemon use (``labeling``,
+    ``supplement``, ``has_case``, ``num_cases``, ``supplements``), so
+    :class:`~repro.core.query.SIEFQueryEngine` and ``batch_query`` run
+    against a store that never fully resides in memory.
+
+    Metrics (when a registry is installed): counters
+    ``sief.lazy.cache.{hits,misses,evictions}`` and gauge
+    ``sief.lazy.cache.resident``.
+    """
+
+    DEFAULT_CAPACITY = 256
+
+    def __init__(self, store, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise IndexError_(
+                f"paged index capacity must be >= 1, got {capacity}"
+            )
+        self._store = store
+        self.capacity = capacity
+        self.labeling = store.labeling()
+        self._lru: "OrderedDict[Edge, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- SIEFIndex surface ---------------------------------------------------
+
+    def supplement(self, u: int, v: int):
+        """The supplemental index for failed edge ``(u, v)``, paging it
+        in (and possibly evicting the coldest case) on a miss."""
+        key = normalize_edge(u, v)
+        reg = _obs.registry
+        si = self._lru.get(key)
+        if si is not None:
+            self._lru.move_to_end(key)
+            self.hits += 1
+            if reg is not None:
+                reg.counter("sief.lazy.cache.hits").inc()
+            return si
+        si = self._store.load_case(*key)  # raises FailureCaseNotIndexed
+        self.misses += 1
+        self._lru[key] = si
+        evicted = 0
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+            evicted += 1
+        self.evictions += evicted
+        if reg is not None:
+            reg.counter("sief.lazy.cache.misses").inc()
+            if evicted:
+                reg.counter("sief.lazy.cache.evictions").inc(evicted)
+            reg.gauge("sief.lazy.cache.resident").set(len(self._lru))
+        return si
+
+    def has_case(self, u: int, v: int) -> bool:
+        return self._store.has_case(u, v)
+
+    @property
+    def num_cases(self) -> int:
+        return self._store.num_cases
+
+    @property
+    def supplements(self):
+        """All indexed failure edges (from the TOC — nothing paged in).
+
+        The serve daemon's ``/failures`` route iterates/sorts this; a
+        list of edge tuples satisfies that read-only use without
+        pretending the mapping's values are resident.
+        """
+        return self._store.case_edges()
+
+    def total_supplemental_entries(self) -> int:
+        return self._store.total_entries
+
+    def freeze(self) -> "PagedSIEFIndex":
+        """No-op (the store's labeling is already frozen flat)."""
+        return self
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def resident_cases(self) -> int:
+        """Currently cached failure cases (≤ ``capacity``)."""
+        return len(self._lru)
+
+    def __repr__(self) -> str:
+        return (
+            f"PagedSIEFIndex(cases={self.num_cases}, "
+            f"resident={self.resident_cases}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
         )

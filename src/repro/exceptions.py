@@ -62,6 +62,16 @@ class SerializationError(ReproError):
     """Persisted index/graph bytes could not be parsed."""
 
 
+class StoreError(SerializationError):
+    """An on-disk segment store is corrupt or internally inconsistent.
+
+    Raised by :mod:`repro.core.segstore` whenever the table of contents
+    and the segment file disagree — truncated segments, offset/length
+    mismatches, records past EOF.  The store refuses to answer rather
+    than risk returning wrong distances.
+    """
+
+
 class DatasetError(ReproError):
     """A benchmark dataset could not be generated or loaded."""
 

@@ -47,8 +47,13 @@ import numpy as np
 
 from repro.exceptions import KernelTierError
 
-KERNEL_NAMES = ("bfs", "bitparallel", "relabel", "hub_join")
-"""The dispatched kernels, in the order capability reports list them."""
+KERNEL_NAMES = ("bfs", "bitparallel", "relabel", "hub_join", "pll")
+"""The dispatched kernels, in the order capability reports list them.
+
+A backend need not implement every kernel (``pll`` currently exists only
+in the C backend): missing names resolve to ``("numpy", None)`` — the
+caller's reference implementation — while the rest of the set stays on
+the accelerated tier."""
 
 TIERS = ("numba", "cext", "numpy")
 """Known tiers, in ``auto``'s preference order (fastest first)."""
@@ -142,15 +147,24 @@ def _resolve_all(req: str) -> Dict[str, Tuple[str, Optional[Callable]]]:
                 f"kernel tier {req!r} was requested but is unavailable: "
                 f"{info.get('error', 'unknown reason')}"
             )
-        return {name: (req, backend.KERNELS[name]) for name in KERNEL_NAMES}
+        return _backend_table(req, backend)
     # auto: first available accelerated backend, else pure numpy
     for tier in TIERS[:-1]:
         backend = _backend(tier)
         if backend.probe().get("available"):
-            return {
-                name: (tier, backend.KERNELS[name]) for name in KERNEL_NAMES
-            }
+            return _backend_table(tier, backend)
     return {name: ("numpy", None) for name in KERNEL_NAMES}
+
+
+def _backend_table(
+    tier: str, backend
+) -> Dict[str, Tuple[str, Optional[Callable]]]:
+    """Per-kernel routing for one backend, numpy-filling missing names."""
+    table: Dict[str, Tuple[str, Optional[Callable]]] = {}
+    for name in KERNEL_NAMES:
+        fn = backend.KERNELS.get(name)
+        table[name] = (tier, fn) if fn is not None else ("numpy", None)
+    return table
 
 
 def resolve(name: str) -> Tuple[str, Optional[Callable]]:

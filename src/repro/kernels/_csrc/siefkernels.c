@@ -1,6 +1,6 @@
 /* Compiled kernels for the SIEF hot loops (the "cext" tier).
  *
- * Four kernels, exactly mirroring the numpy reference implementations:
+ * Five kernels, exactly mirroring the numpy reference implementations:
  *
  *   sief_bfs        - single-source CSR BFS with optional edge masking
  *                     and an allowed-vertex mask (repro.graph.frontier.
@@ -11,6 +11,9 @@
  *                     cache (repro.core.batched._relabel_side_batched).
  *   sief_hub_join   - per-pair sorted-key merge join of two label slices
  *                     (repro.labeling.query.batch_dist_query).
+ *   sief_pll_build  - full pruned-landmark-labeling construction
+ *                     (repro.labeling.pll._build_pll_impl), exported to
+ *                     the frozen flat layout via sief_pll_export.
  *
  * Bit-identity contract: every kernel produces exactly the values the
  * numpy tier produces - BFS distances are traversal-order independent,
@@ -548,3 +551,164 @@ done:
 DEFINE_HUB_JOIN(i32, int32_t, int64_t, INT64_MAX)
 DEFINE_HUB_JOIN(i64, int64_t, int64_t, INT64_MAX)
 DEFINE_HUB_JOIN(f64, double, double, INFINITY)
+
+/* ------------------------------------------------------------------ */
+/* sief_pll_build / sief_pll_export / sief_pll_free                   */
+/* ------------------------------------------------------------------ */
+
+/* Full pruned-landmark-labeling construction, mirroring
+ * repro.labeling.pll._build_pll_impl line for line: one BFS per root in
+ * ascending rank order, the scatter/prune discipline over the root's
+ * existing labels, appends in (rank, dist) order, CSR adjacency walked
+ * in slice order.  Because every loop visits vertices in the same order
+ * as the Python reference, the exported flat arrays are byte-identical
+ * to Labeling.freeze() of the pure-Python build.
+ *
+ * Labels accumulate in per-vertex growable buffers of interleaved
+ * (rank, dist) int32 pairs behind an opaque handle; the ctypes caller
+ * reads the total, allocates the flat numpy arrays, and calls
+ * sief_pll_export to fill them.  sief_pll_build returns NULL on
+ * allocation failure (everything already allocated is released).
+ */
+
+typedef struct {
+    int32_t *data; /* interleaved pairs: data[2i] = rank, data[2i+1] = dist */
+    int64_t len;   /* pairs used */
+    int64_t cap;   /* pairs allocated */
+} pll_row;
+
+typedef struct {
+    int64_t n;
+    int64_t total; /* total pairs across all rows */
+    pll_row *rows;
+} pll_handle;
+
+static int pll_row_append(pll_row *row, int32_t rank, int32_t dist)
+{
+    if (row->len == row->cap) {
+        int64_t ncap = row->cap ? row->cap * 2 : 4;
+        int32_t *nd = (int32_t *)realloc(row->data, (size_t)ncap * 8);
+        if (nd == NULL)
+            return -2;
+        row->data = nd;
+        row->cap = ncap;
+    }
+    row->data[2 * row->len] = rank;
+    row->data[2 * row->len + 1] = dist;
+    row->len++;
+    return 0;
+}
+
+void sief_pll_free(void *handle)
+{
+    pll_handle *h = (pll_handle *)handle;
+    if (h == NULL)
+        return;
+    if (h->rows != NULL) {
+        for (int64_t v = 0; v < h->n; v++)
+            free(h->rows[v].data);
+        free(h->rows);
+    }
+    free(h);
+}
+
+void *sief_pll_build(int64_t n, const int64_t *indptr, const int32_t *indices,
+                     const int64_t *vertex_at, int64_t *total_out)
+{
+    pll_handle *h = (pll_handle *)calloc(1, sizeof(pll_handle));
+    int32_t *root_cover = (int32_t *)malloc((size_t)n * 4);
+    int32_t *dist = (int32_t *)malloc((size_t)n * 4);
+    int64_t *queue = (int64_t *)malloc((size_t)n * 8);
+    int64_t *touched = (int64_t *)malloc((size_t)n * 8);
+    if (h != NULL)
+        h->rows = (pll_row *)calloc((size_t)(n > 0 ? n : 1), sizeof(pll_row));
+    if (h == NULL || h->rows == NULL || root_cover == NULL || dist == NULL ||
+        queue == NULL || touched == NULL)
+        goto fail;
+    h->n = n;
+    memset(root_cover, 0xFF, (size_t)n * 4); /* int32 -1 fill */
+    memset(dist, 0xFF, (size_t)n * 4);
+
+    for (int64_t rank = 0; rank < n; rank++) {
+        int64_t root = vertex_at[rank];
+        pll_row *row_root = &h->rows[root];
+        int64_t old_len = row_root->len; /* labels before this round */
+        for (int64_t i = 0; i < old_len; i++)
+            root_cover[row_root->data[2 * i]] = row_root->data[2 * i + 1];
+
+        dist[root] = 0;
+        int64_t tn = 0;
+        touched[tn++] = root;
+        int64_t qhead = 0, qtail = 0;
+        queue[qtail++] = root;
+        while (qhead < qtail) {
+            int64_t v = queue[qhead++];
+            int32_t d = dist[v];
+            /* Prune test: dist(root, v, L) <= d using existing labels. */
+            pll_row *row_v = &h->rows[v];
+            int covered = 0;
+            for (int64_t i = 0; i < row_v->len; i++) {
+                int32_t rc = root_cover[row_v->data[2 * i]];
+                if (rc != -1 &&
+                    (int64_t)rc + row_v->data[2 * i + 1] <= (int64_t)d) {
+                    covered = 1;
+                    break;
+                }
+            }
+            if (covered)
+                continue;
+            if (pll_row_append(row_v, (int32_t)rank, d) != 0)
+                goto fail;
+            h->total++;
+            int32_t nd = d + 1;
+            int64_t end = indptr[v + 1];
+            for (int64_t pos = indptr[v]; pos < end; pos++) {
+                int32_t w = indices[pos];
+                if (dist[w] == -1) {
+                    dist[w] = nd;
+                    touched[tn++] = w;
+                    queue[qtail++] = w;
+                }
+            }
+        }
+
+        for (int64_t i = 0; i < old_len; i++)
+            root_cover[row_root->data[2 * i]] = -1;
+        root_cover[rank] = -1; /* root labeled itself this round */
+        for (int64_t j = 0; j < tn; j++)
+            dist[touched[j]] = -1;
+    }
+
+    free(root_cover);
+    free(dist);
+    free(queue);
+    free(touched);
+    *total_out = h->total;
+    return h;
+
+fail:
+    free(root_cover);
+    free(dist);
+    free(queue);
+    free(touched);
+    sief_pll_free(h);
+    return NULL;
+}
+
+int sief_pll_export(void *handle, int64_t *offsets, int32_t *hubs,
+                    int32_t *dists)
+{
+    pll_handle *h = (pll_handle *)handle;
+    int64_t pos = 0;
+    offsets[0] = 0;
+    for (int64_t v = 0; v < h->n; v++) {
+        pll_row *row = &h->rows[v];
+        for (int64_t i = 0; i < row->len; i++) {
+            hubs[pos] = row->data[2 * i];
+            dists[pos] = row->data[2 * i + 1];
+            pos++;
+        }
+        offsets[v + 1] = pos;
+    }
+    return 0;
+}

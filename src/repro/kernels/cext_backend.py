@@ -114,6 +114,14 @@ def _bind(lib: ctypes.CDLL) -> None:
         fn = getattr(lib, f"sief_hub_join_{suffix}")
         fn.restype = ctypes.c_int32
         fn.argtypes = [_p_i64, _p_i32, ptr, _i64, _p_i64, _p_i64, _p_f64]
+    lib.sief_pll_build.restype = ctypes.c_void_p
+    lib.sief_pll_build.argtypes = [_i64, _p_i64, _p_i32, _p_i64, _p_i64]
+    lib.sief_pll_export.restype = ctypes.c_int32
+    lib.sief_pll_export.argtypes = [
+        ctypes.c_void_p, _p_i64, _p_i32, _p_i32,
+    ]
+    lib.sief_pll_free.restype = None
+    lib.sief_pll_free.argtypes = [ctypes.c_void_p]
 
 
 def probe() -> Dict[str, Any]:
@@ -246,9 +254,27 @@ def hub_join(offsets, hubs, dists, src, dst, out) -> None:
     fn(offsets, hubs, dists, len(src), src, dst, out)
 
 
+def pll(indptr, indices, vertex_at):
+    """Full PLL build; returns the frozen flat ``(offsets, hubs, dists)``."""
+    n = len(indptr) - 1
+    total = np.zeros(1, dtype=np.int64)
+    handle = _lib.sief_pll_build(n, indptr, indices, vertex_at, total)
+    if not handle:
+        raise MemoryError("sief_pll_build allocation failed")
+    try:
+        offsets = np.empty(n + 1, dtype=np.int64)
+        hubs = np.empty(int(total[0]), dtype=np.int32)
+        dists = np.empty(int(total[0]), dtype=np.int32)
+        _lib.sief_pll_export(handle, offsets, hubs, dists)
+    finally:
+        _lib.sief_pll_free(handle)
+    return offsets, hubs, dists
+
+
 KERNELS = {
     "bfs": bfs,
     "bitparallel": bitparallel,
     "relabel": relabel,
     "hub_join": hub_join,
+    "pll": pll,
 }

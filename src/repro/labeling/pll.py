@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import List, Optional, Union
 
+from repro import kernels
 from repro.exceptions import LabelingError
 from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
@@ -128,6 +129,18 @@ def _build_pll_impl(
         raise LabelingError(
             f"ordering covers {len(ordering)} vertices, graph has {n}"
         )
+
+    # Compiled full-build kernel (the out-of-core tier's 1M-vertex path):
+    # produces the frozen flat arrays directly, byte-identical to
+    # freeze() of the pure-Python build below.
+    _, pll_kernel = kernels.resolve("pll")
+    if pll_kernel is not None:
+        offsets, hubs, dists = pll_kernel(
+            csr.indptr, csr.indices, ordering.vertex_array()
+        )
+        labeling = Labeling.from_flat(ordering, offsets, hubs, dists)
+        return labeling if freeze else labeling.thaw()
+
     # Flat CSR adjacency as Python ints: one offsets list + one neighbor
     # stream.  Slicing the stream per vertex avoids both the list-of-lists
     # pointer chase and numpy's per-element boxing in the BFS hot loop.

@@ -726,6 +726,98 @@ class InstrumentedAdapter(EngineAdapter):
         return got
 
 
+class _ShardedWorld:
+    """One out-of-core segment store tied to a WorldContext's lifetime.
+
+    The fuzzed graph is rebuilt through :func:`build_sief_sharded` with a
+    deliberately tiny shard size (so even small instances spill across
+    several shards), and the store's rebuilt index is proven bit-identical
+    to the in-RAM reference via ``index_to_bytes`` before any answer is
+    served from it.
+    """
+
+    SHARD_SIZE = 4
+    LRU_CAPACITY = 3
+
+    def __init__(self, ctx: "WorldContext") -> None:
+        import tempfile
+
+        from repro.core.lazy import PagedSIEFIndex
+        from repro.core.query import SIEFQueryEngine
+        from repro.core.segstore import SegmentStore, build_sief_sharded
+        from repro.core.serialize import index_to_bytes
+
+        self.tmp = tempfile.TemporaryDirectory(prefix="sief-shard-fuzz-")
+        path, self.report = build_sief_sharded(
+            ctx.graph,
+            f"{self.tmp.name}/store",
+            labeling=ctx.labeling(),
+            shard_size=self.SHARD_SIZE,
+        )
+        self.store = SegmentStore(path)
+        rebuilt = self.store.to_index()
+        reference = ctx.sief_index()
+        if index_to_bytes(rebuilt) != index_to_bytes(reference):
+            raise AssertionError(
+                "sharded-build: index rebuilt from segments is not "
+                "bit-identical to the in-RAM reference"
+            )
+        self.rebuilt_engine = SIEFQueryEngine(rebuilt)
+        # Capacity far below the case count, so the paged engine pages
+        # and evicts on nearly every fuzzed failure.
+        self.paged_engine = SIEFQueryEngine(
+            PagedSIEFIndex(self.store, capacity=self.LRU_CAPACITY)
+        )
+
+    def close(self) -> None:
+        self.store.close()
+        self.tmp.cleanup()
+
+
+def _sharded_world(ctx: "WorldContext") -> _ShardedWorld:
+    import weakref
+
+    world = ctx._cache.get("sharded_world")
+    if world is None:
+        world = _ShardedWorld(ctx)
+        ctx._cache["sharded_world"] = world
+        weakref.finalize(ctx, world.close)
+    return world
+
+
+class SIEFShardedBuildAdapter(EngineAdapter):
+    """Batch queries on an index rebuilt from an out-of-core spill.
+
+    Materializing the world runs the full shard → spill → mmap-load
+    round trip on every fuzzed instance and asserts ``index_to_bytes``
+    equality with the in-RAM build, so this adapter checks the sharded
+    *construction* path while its answers go to ground truth (ISSUE 9).
+    """
+
+    name = "sief-sharded-build"
+
+    def distances(self, ctx, failure, pairs):
+        engine = _sharded_world(ctx).rebuilt_engine
+        return [float(d) for d in engine.batch_query(failure[1:3], list(pairs))]
+
+
+class SIEFPagedAdapter(EngineAdapter):
+    """Queries answered through the demand-paged LRU index.
+
+    The engine holds at most :attr:`_ShardedWorld.LRU_CAPACITY` failure
+    cases resident; every fuzzed failure beyond that forces an mmap read
+    plus an eviction, so the whole paging path — TOC lookup, record
+    decode, LRU churn — is exercised against ground truth (ISSUE 9).
+    """
+
+    name = "sief-paged"
+
+    def distances(self, ctx, failure, pairs):
+        engine = _sharded_world(ctx).paged_engine
+        edge = failure[1:3]
+        return _scalar_loop(lambda s, t: engine.distance(s, t, edge), pairs)
+
+
 ADAPTERS: Dict[str, EngineAdapter] = {
     adapter.name: adapter
     for adapter in (
@@ -752,6 +844,11 @@ ADAPTERS: Dict[str, EngineAdapter] = {
         # the pure-numpy tier on every fuzzed instance (ISSUE 6).
         KernelTierBatchAdapter(),
         KernelTierBuildAdapter(),
+        # Out-of-core differential adapters: the sharded spill/rebuild
+        # and the demand-paged LRU engine must match the in-RAM build
+        # bit-for-bit on every fuzzed instance (ISSUE 9).
+        SIEFShardedBuildAdapter(),
+        SIEFPagedAdapter(),
         # Instrumented variants: same engines with metrics+tracing on,
         # proving observability never changes answers (ISSUE 3).
         InstrumentedAdapter(SIEFScalarAdapter()),

@@ -227,6 +227,46 @@ class TestFuzzCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestOutOfCore:
+    def test_build_spill_writes_segment_store(self, graph_file, tmp_path, capsys):
+        from repro.core.index import SIEFIndex
+        from repro.core.serialize import index_to_bytes
+
+        path, g = graph_file
+        store = tmp_path / "store.siefseg"
+        rc = main(
+            ["build", str(path), "--batched", "--spill", str(store),
+             "--shards", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 shards" in out
+        assert (store / "segments.bin").exists()
+        # The spilled store rebuilds bit-identically to an in-RAM build.
+        index_file = tmp_path / "ref.sief"
+        main(["build", str(path), "--batched", "-o", str(index_file)])
+        assert index_to_bytes(SIEFIndex.load(store)) == index_to_bytes(
+            SIEFIndex.load(index_file)
+        )
+
+    def test_freeze_converts_index_to_segment_store(
+        self, graph_file, tmp_path, capsys
+    ):
+        from repro.core.index import SIEFIndex
+        from repro.core.serialize import index_to_bytes
+
+        path, _g = graph_file
+        index_file = tmp_path / "idx.sief"
+        main(["build", str(path), "--batched", "-o", str(index_file)])
+        store = tmp_path / "conv.siefseg"
+        rc = main(["freeze", str(index_file), "--output", str(store)])
+        assert rc == 0
+        assert "segment store written" in capsys.readouterr().out
+        assert index_to_bytes(SIEFIndex.load(store)) == index_to_bytes(
+            SIEFIndex.load(index_file)
+        )
+
+
 def test_error_reported_as_exit_code_2(tmp_path, capsys):
     missing = tmp_path / "missing.sief"
     missing.write_bytes(b"garbage!")

@@ -145,8 +145,11 @@ def test_auto_never_raises_and_prefers_accelerated():
 
 
 def test_resolution_is_consistent_across_kernels():
+    # One tier serves the whole kernel set, except for kernels the
+    # selected backend doesn't implement (e.g. numba has no pll port),
+    # which fall through to the numpy reference per kernel.
     tiers = {kernels.resolve(name)[0] for name in kernels.KERNEL_NAMES}
-    assert len(tiers) == 1  # one tier serves the whole kernel set
+    assert tiers <= {kernels.effective_tier(), "numpy"}
 
 
 def test_forced_fallback_without_numba_or_compiler():

@@ -1,0 +1,121 @@
+"""Demand-paged LRU index coverage (ISSUE 9).
+
+A :class:`PagedSIEFIndex` answering a query stream wider than its
+capacity must (a) give the same answers as the fully-resident engine,
+(b) keep its resident set bounded by the capacity, and (c) report the
+paging traffic through the ``sief.lazy.cache.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_sief
+from repro.core.lazy import PagedSIEFIndex
+from repro.core.query import SIEFQueryEngine
+from repro.core.segstore import SegmentStore, build_sief_sharded
+from repro.exceptions import IndexError_
+from repro.graph import generators
+from repro.labeling.pll import build_pll
+from repro.obs import hooks, installed
+from repro.order.strategies import by_degree
+
+CAPACITY = 4
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_hooks():
+    before = (hooks.registry, hooks.tracer)
+    yield
+    assert (hooks.registry, hooks.tracer) == before
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    graph = generators.erdos_renyi_gnm(36, 80, seed=5)
+    path, _ = build_sief_sharded(
+        graph, tmp_path_factory.mktemp("paged") / "store", shard_size=9
+    )
+    reference = SIEFQueryEngine(
+        build_sief(graph, build_pll(graph, by_degree(graph)))
+    )
+    return graph, path, reference
+
+
+def test_answers_match_in_ram_engine_under_eviction(world):
+    graph, path, reference = world
+    paged = PagedSIEFIndex(SegmentStore(path), capacity=CAPACITY)
+    engine = SIEFQueryEngine(paged)
+    pairs = [(s, (s * 7 + 3) % graph.num_vertices) for s in range(18)]
+    for edge in sorted(graph.edges()):
+        for s, t in pairs:
+            assert engine.distance(s, t, edge) == reference.distance(
+                s, t, edge
+            ), (edge, s, t)
+        assert paged.resident_cases <= CAPACITY
+
+
+def test_resident_set_is_bounded_and_evictions_counted(world):
+    graph, path, _ = world
+    edges = sorted(graph.edges())
+    assert len(edges) > 3 * CAPACITY  # the stream is wider than the cache
+    with installed() as reg:
+        paged = PagedSIEFIndex(SegmentStore(path), capacity=CAPACITY)
+        for u, v in edges:
+            paged.supplement(u, v)
+            assert paged.resident_cases <= CAPACITY
+        assert reg.counter_value("sief.lazy.cache.misses") == len(edges)
+        assert reg.counter_value("sief.lazy.cache.evictions") == len(edges) - CAPACITY
+        assert reg.gauge("sief.lazy.cache.resident").value == CAPACITY
+        # The hot tail is resident: re-touching it is pure hits.
+        for u, v in edges[-CAPACITY:]:
+            paged.supplement(u, v)
+        assert reg.counter_value("sief.lazy.cache.hits") == CAPACITY
+        assert reg.counter_value("sief.lazy.cache.misses") == len(edges)
+    assert paged.evictions == len(edges) - CAPACITY
+    assert paged.hits == CAPACITY
+
+
+def test_lru_evicts_least_recently_used(world):
+    _, path, _ = world
+    paged = PagedSIEFIndex(SegmentStore(path), capacity=2)
+    e0, e1, e2 = paged.supplements[:3]
+    paged.supplement(*e0)
+    paged.supplement(*e1)
+    paged.supplement(*e0)  # refresh e0; e1 is now the LRU victim
+    paged.supplement(*e2)
+    misses = paged.misses
+    paged.supplement(*e0)  # still resident: no new miss
+    assert paged.misses == misses
+
+
+def test_batch_query_matches_reference(world):
+    graph, path, reference = world
+    engine = SIEFQueryEngine(
+        PagedSIEFIndex(SegmentStore(path), capacity=CAPACITY)
+    )
+    edge = sorted(graph.edges())[0]
+    pairs = [(s, (s + 11) % graph.num_vertices) for s in range(25)]
+    assert [float(d) for d in engine.batch_query(edge, pairs)] == [
+        float(d) for d in reference.batch_query(edge, pairs)
+    ]
+
+
+def test_duck_type_surface(world):
+    graph, path, _ = world
+    store = SegmentStore(path)
+    paged = PagedSIEFIndex(store, capacity=CAPACITY)
+    assert paged.num_cases == graph.num_edges
+    assert paged.supplements == sorted(graph.edges())
+    assert paged.labeling.num_vertices == graph.num_vertices
+    assert paged.total_supplemental_entries() == store.total_entries
+    u, v = paged.supplements[0]
+    assert paged.has_case(u, v)
+    assert not paged.has_case(4000, 4001)
+    assert paged.freeze() is paged
+
+
+def test_capacity_must_be_positive(world):
+    _, path, _ = world
+    with pytest.raises(IndexError_):
+        PagedSIEFIndex(SegmentStore(path), capacity=0)
