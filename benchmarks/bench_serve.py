@@ -40,6 +40,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench.history import env_metadata  # noqa: E402
+from repro.obs.chrometrace import write_chrome_trace  # noqa: E402
+from repro.obs.events import EventLog  # noqa: E402
+from repro.obs.trace import TraceRecorder  # noqa: E402
 from repro.core.builder import SIEFBuilder  # noqa: E402
 from repro.core.index import SIEFIndex  # noqa: E402
 from repro.core.query import SIEFQueryEngine  # noqa: E402
@@ -187,10 +190,20 @@ def run(args) -> dict:
     queries = make_queries(
         graph.num_vertices, edges, 4096, WORKLOAD_SEED
     )
+    events = None
+    if args.event_log or args.trace_sample is not None:
+        events = EventLog(
+            capacity=4096,
+            sample=1.0 if args.trace_sample is None else args.trace_sample,
+            sink=args.event_log,
+        )
+    tracer = TraceRecorder(capacity=65536) if args.trace_out else None
     config = ServeConfig(
         max_batch=args.max_batch,
         max_delay=args.max_delay,
         queue_limit=args.queue_limit,
+        events=events,
+        tracer=tracer,
     )
     report = {
         "benchmark": "serve",
@@ -210,6 +223,8 @@ def run(args) -> dict:
             "queue_limit": args.queue_limit,
             "clients": args.clients,
             "duration_seconds": args.duration,
+            "trace_sample": args.trace_sample,
+            "event_log": bool(args.event_log),
         },
     }
 
@@ -284,6 +299,14 @@ def run(args) -> dict:
         "counters": metrics["counters"],
         "batch_size_histogram": metrics["histograms"].get("serve.batch.size"),
     }
+    if events is not None:
+        report["event_log"] = events.stats()
+        events.close()
+        if args.event_log:
+            print(f"event log written to {args.event_log}")
+    if tracer is not None:
+        trace_path = write_chrome_trace(tracer, args.trace_out)
+        print(f"chrome trace written to {trace_path}")
 
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -329,6 +352,26 @@ def main(argv=None) -> int:
         "--latency-out",
         default=None,
         help="write per-query latencies as JSON lines (CI artifact)",
+    )
+    parser.add_argument(
+        "--event-log",
+        default=None,
+        metavar="PATH",
+        help="serve with a structured event log sinking JSONL to PATH",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="event-log head-sampling rate in [0,1]; 0.0 measures the "
+        "sampling-off overhead floor (slow/error events still recorded)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace of the server's batcher spans to PATH",
     )
     parser.add_argument(
         "--assert-speedup",

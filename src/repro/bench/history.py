@@ -35,12 +35,16 @@ import os
 import platform
 import socket
 import subprocess
-import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from statistics import median
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+# Canonical implementation lives in repro.obs.events (the serving layer
+# exports it as a /metrics gauge and must not depend on repro.bench);
+# re-exported here because every bench sidecar imports it from this module.
+from repro.obs.events import peak_rss_bytes  # noqa: F401
 
 SCHEMA_VERSION = 1
 
@@ -101,24 +105,6 @@ def env_metadata() -> Dict[str, object]:
         "kernel_tier": kernel_tier,
         "peak_rss_bytes": peak_rss_bytes(),
     }
-
-
-def peak_rss_bytes() -> Optional[int]:
-    """This process's peak resident set size in bytes, or ``None``.
-
-    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalized
-    here so memory-bound benches (the out-of-core scale bench) are
-    comparable across runs.  Sampled at call time — bench sidecars
-    re-sample when they flush, so the recorded peak covers the run.
-    """
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX platforms
-        return None
-    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if sys.platform == "darwin":  # pragma: no cover - linux container
-        return int(usage)
-    return int(usage) * 1024
 
 
 @dataclass(frozen=True)

@@ -641,6 +641,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.metrics import MetricsRegistry
     from repro.serve.server import ServeConfig, run_server
 
+    from repro.obs.events import EventLog
+
+    events = None
+    sample = args.trace_sample
+    if args.event_log is not None or sample is not None:
+        events = EventLog(
+            sample=1.0 if sample is None else sample,
+            slow_seconds=args.slow_threshold,
+            sink=args.event_log,
+        )
+
     registry = None
     if str(args.index).endswith(".siefseg"):
         # Demand-paged serving: mmap'd segment store behind an LRU of
@@ -682,6 +693,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         request_timeout=args.request_timeout,
         registry=registry,
+        events=events,
+        slow_seconds=args.slow_threshold,
     )
     if args.access_log:
         config.access_log = lambda rec: print(
@@ -724,6 +737,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for child in children:
         os.waitpid(child, 0)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient
+    from repro.serve.top import run_top
+
+    host, _, port_str = args.target.rpartition(":")
+    if not host or not port_str.isdigit():
+        print(f"sief top: target must be HOST:PORT, got {args.target!r}",
+              file=sys.stderr)
+        return 2
+    client = ServeClient(host, int(port_str))
+    try:
+        return run_top(
+            client.metrics_text,
+            interval=args.interval,
+            count=args.count,
+            plain=args.plain,
+        )
+    finally:
+        client.close()
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -951,7 +985,59 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="one JSON line per request on stderr",
     )
+    serve.add_argument(
+        "--event-log",
+        metavar="PATH",
+        default=None,
+        help="append sampled structured request events as JSON lines "
+        "(enables the event ring behind /debug even without a file)",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="head-sampling rate in [0,1] for the event log; slow and "
+        "error requests are always logged (default 1.0 when --event-log "
+        "is set, off otherwise)",
+    )
+    serve.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="requests at or above this wall time bypass sampling and "
+        "populate /debug/slow",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live ops dashboard polling a server's /metrics",
+    )
+    top.add_argument(
+        "target", metavar="HOST:PORT", help="a running sief serve instance"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="scrape interval",
+    )
+    top.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: until interrupted)",
+    )
+    top.add_argument(
+        "--plain",
+        action="store_true",
+        help="append frames instead of redrawing (log-file friendly)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     validate = sub.add_parser("validate", help="check an edge-list file")
     validate.add_argument("graph")

@@ -27,6 +27,7 @@ from repro.core.builder import RELABEL_ALGORITHMS, record_case_obs
 from repro.core.builder import build_one_case
 from repro.graph.csr import CSRGraph
 from repro.obs import hooks as _obs
+from repro.obs.context import attribute_page_fault
 from repro.core.index import SIEFIndex
 from repro.core.query import SIEFQueryEngine
 from repro.exceptions import EdgeNotFound, IndexError_
@@ -108,6 +109,7 @@ class LazySIEFIndex:
         if reg is not None:
             reg.counter("sief.lazy.cache_misses").inc()
             reg.counter("sief.lazy.cache.misses").inc()
+        attribute_page_fault()
         with _obs.span("sief.lazy.build_case"):
             csr = self._csr() if self.algorithm == "batched" else None
             si, record = build_one_case(
@@ -239,6 +241,7 @@ class PagedSIEFIndex:
             return si
         si = self._store.load_case(*key)  # raises FailureCaseNotIndexed
         self.misses += 1
+        attribute_page_fault()
         self._lru[key] = si
         evicted = 0
         while len(self._lru) > self.capacity:

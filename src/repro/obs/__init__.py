@@ -15,6 +15,10 @@ Layers:
 * :mod:`repro.obs.trace` — nestable spans into a bounded ring buffer,
   with a balance check the conformance harness enforces;
 * :mod:`repro.obs.hooks` — the module-global install seam hot paths read;
+* :mod:`repro.obs.context` — per-request trace ids, stage decomposition,
+  and the contextvar scope that attributes page faults to requests;
+* :mod:`repro.obs.events` — sampled structured JSON-lines event log
+  (bounded ring + file sink) the serving path narrates into;
 * :mod:`repro.obs.export` — JSON-lines sidecars and Prometheus text;
 * :mod:`repro.obs.profile` — span-attributed sampling profiler (folded
   stacks, inclusive/exclusive rollups);
@@ -25,9 +29,20 @@ Layers:
 See ``docs/observability.md`` for the metric catalog and usage.
 """
 
+from repro.obs.context import (
+    RequestContext,
+    attribute_page_fault,
+    current_contexts,
+    new_trace_id,
+    parse_traceparent,
+    scope,
+    valid_trace_id,
+)
+from repro.obs.events import EventLog, peak_rss_bytes
 from repro.obs.hooks import disabled, install, installed, span, uninstall
 from repro.obs.metrics import (
     LATENCY_SECONDS_EDGES,
+    REQUEST_LATENCY_EDGES,
     SIZE_EDGES,
     Counter,
     Gauge,
@@ -35,11 +50,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.export import (
+    escape_label_value,
+    parse_prometheus_text,
+    quantile_from_buckets,
     read_json_lines,
     registry_from_json_lines,
     sanitize_name,
     to_json_lines,
     to_prometheus_text,
+    unescape_label_value,
     write_json_lines,
     write_prometheus_text,
 )
@@ -59,7 +78,17 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LATENCY_SECONDS_EDGES",
+    "REQUEST_LATENCY_EDGES",
     "SIZE_EDGES",
+    "RequestContext",
+    "EventLog",
+    "new_trace_id",
+    "parse_traceparent",
+    "valid_trace_id",
+    "scope",
+    "current_contexts",
+    "attribute_page_fault",
+    "peak_rss_bytes",
     "TraceRecorder",
     "SpanRecord",
     "SpanProfiler",
@@ -71,6 +100,10 @@ __all__ = [
     "disabled",
     "span",
     "sanitize_name",
+    "escape_label_value",
+    "unescape_label_value",
+    "parse_prometheus_text",
+    "quantile_from_buckets",
     "to_json_lines",
     "write_json_lines",
     "read_json_lines",

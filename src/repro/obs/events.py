@@ -1,0 +1,217 @@
+"""Structured JSON-lines event log: bounded ring + optional file sink.
+
+Metrics aggregate; events narrate.  One :class:`EventLog` per serving
+process records discrete happenings — a request finishing, a micro-batch
+flushing, a paging burst — as flat JSON objects that share a ``trace_id``
+vocabulary with :mod:`repro.obs.context`, so ``grep <trace-id>`` over
+the sink reconstructs one request's whole journey.
+
+Cost control is explicit, because an event per request at production
+rates is a firehose:
+
+* **head sampling** — :meth:`EventLog.sampled` decides from the trace
+  id alone (crc32 of the id against ``sample``), so the keep/drop
+  verdict is deterministic, reproducible across processes, and made
+  once at the head of the request, not per event — every event for a
+  sampled trace is kept, every event for an unsampled one dropped,
+  never a partial story;
+* **slow/error bypass** — events flagged ``slow=True`` or
+  ``error=True`` are always recorded, whatever the sampling rate: the
+  requests an operator needs are exactly the ones head sampling would
+  lose at low rates;
+* **bounded memory** — the in-process ring keeps the newest
+  ``capacity`` events (overwrites are counted, not silent), and the
+  file sink is append-only JSON lines.
+
+The log never raises into the serving path: a failing sink increments
+``sink_errors`` and disables itself rather than breaking requests.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, List, Optional, Union
+
+from zlib import crc32
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """This process's peak resident set size in bytes, or ``None``.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalized
+    here so memory telemetry (the ``process.peak_rss_bytes`` gauge on
+    ``/metrics``, the scale-bench sidecars) is comparable across runs.
+    Sampled at call time.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux container
+        return int(usage)
+    return int(usage) * 1024
+
+
+class EventLog:
+    """Sampled structured events into a bounded ring and a JSONL sink.
+
+    Parameters
+    ----------
+    capacity:
+        Events kept in the in-process ring (newest win; overwrites are
+        tallied in ``dropped``).
+    sample:
+        Head-sampling rate in [0, 1].  1.0 keeps everything; 0.0 keeps
+        only slow/error events.  The verdict is a pure function of the
+        trace id, so the same trace samples identically everywhere.
+    slow_seconds:
+        Threshold the *caller* compares request latency against before
+        flagging ``slow=True`` — kept here so every emitter and the
+        docs agree on one knob.
+    sink:
+        Optional path (or open text file) receiving one JSON line per
+        recorded event, append-only.
+    clock:
+        Wall-clock source for the ``ts`` stamp (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        sample: float = 1.0,
+        slow_seconds: float = 0.5,
+        sink: Union[str, Path, io.TextIOBase, None] = None,
+        clock=time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError(f"sample must be in [0, 1], got {sample}")
+        if slow_seconds < 0:
+            raise ValueError(
+                f"slow_seconds must be >= 0, got {slow_seconds}"
+            )
+        self.capacity = capacity
+        self.sample = sample
+        self.slow_seconds = slow_seconds
+        self._clock = clock
+        self._ring: Deque[dict] = deque(maxlen=capacity)
+        self._sink_path: Optional[Path] = None
+        self._sink: Optional[io.TextIOBase] = None
+        self._owns_sink = False
+        if sink is not None:
+            if isinstance(sink, (str, Path)):
+                self._sink_path = Path(sink)
+                self._sink_path.parent.mkdir(parents=True, exist_ok=True)
+                self._sink = self._sink_path.open("a", encoding="utf-8")
+                self._owns_sink = True
+            else:
+                self._sink = sink
+        # -- lifetime tallies (exported as gauges on /metrics) --------------
+        self.emitted = 0       # events recorded (ring and/or sink)
+        self.sampled_out = 0   # events dropped by head sampling
+        self.dropped = 0       # ring overwrites (oldest event lost)
+        self.slow_events = 0   # events kept via the slow bypass
+        self.error_events = 0  # events kept via the error bypass
+        self.sink_errors = 0   # sink writes that failed (sink disabled)
+
+    # -- sampling -----------------------------------------------------------
+
+    def sampled(self, trace_id: str) -> bool:
+        """Head-sampling verdict for ``trace_id`` (deterministic)."""
+        if self.sample >= 1.0:
+            return True
+        if self.sample <= 0.0:
+            return False
+        return crc32(trace_id.encode("utf-8")) / 2**32 < self.sample
+
+    # -- recording ----------------------------------------------------------
+
+    def record(
+        self,
+        event: dict,
+        *,
+        sampled: Optional[bool] = None,
+        slow: bool = False,
+        error: bool = False,
+    ) -> bool:
+        """Record one event; returns True iff it was kept.
+
+        ``sampled`` overrides the head-sampling verdict (the server
+        decides once per request and reuses the verdict for every event
+        of that trace); ``slow``/``error`` bypass sampling entirely.
+        The event dict is stamped with ``ts`` and stored as given —
+        callers keep it flat and JSON-serializable.
+        """
+        if sampled is None:
+            sampled = self.sampled(str(event.get("trace_id", "")))
+        if not (sampled or slow or error):
+            self.sampled_out += 1
+            return False
+        if slow:
+            self.slow_events += 1
+        if error:
+            self.error_events += 1
+        event = dict(event)
+        event.setdefault("ts", round(self._clock(), 6))
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self._ring.append(event)
+        self.emitted += 1
+        if self._sink is not None:
+            try:
+                self._sink.write(
+                    json.dumps(event, sort_keys=True, default=str) + "\n"
+                )
+                self._sink.flush()
+            except (OSError, ValueError):
+                # Never let a full disk / closed file break serving;
+                # the ring keeps working and the failure is counted.
+                self.sink_errors += 1
+                self._sink = None
+        return True
+
+    # -- reading ------------------------------------------------------------
+
+    def recent(self, n: Optional[int] = None) -> List[dict]:
+        """The newest ``n`` recorded events (all of them by default),
+        oldest first."""
+        events = list(self._ring)
+        if n is not None:
+            events = events[-n:]
+        return events
+
+    def stats(self) -> dict:
+        """Lifetime tallies, the gauge payload for ``/metrics``."""
+        return {
+            "emitted": self.emitted,
+            "sampled_out": self.sampled_out,
+            "dropped": self.dropped,
+            "slow_events": self.slow_events,
+            "error_events": self.error_events,
+            "sink_errors": self.sink_errors,
+        }
+
+    def close(self) -> None:
+        """Flush and close an owned file sink (idempotent)."""
+        if self._sink is not None and self._owns_sink:
+            try:
+                self._sink.close()
+            except OSError:  # pragma: no cover - close race
+                pass
+        self._sink = None
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:
+        return (
+            f"EventLog(capacity={self.capacity}, sample={self.sample}, "
+            f"emitted={self.emitted}, dropped={self.dropped})"
+        )

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import re
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -174,9 +175,46 @@ def registry_from_json_lines(records: List[dict]) -> MetricsRegistry:
 
 
 def _fmt(value) -> str:
-    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
-        return str(int(value))
-    return repr(value) if isinstance(value, float) else str(value)
+    if isinstance(value, float):
+        # Prometheus spells the IEEE specials exactly like this; Python's
+        # repr ("nan"/"inf") is not legal exposition output.
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def escape_label_value(value: str) -> str:
+    """A string made safe for a ``name{label="..."}`` position.
+
+    The 0.0.4 text format escapes exactly three characters inside label
+    values: backslash, double quote and newline.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value`."""
+    out: List[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        if nxt == "n":
+            out.append("\n")
+        elif nxt in ('"', "\\"):
+            out.append(nxt)
+        else:  # lone backslash before anything else passes through
+            out.append(ch + nxt)
+    return "".join(out)
 
 
 def to_prometheus_text(
@@ -217,6 +255,121 @@ def to_prometheus_text(
         lines.append(f"{pname}_sum {_fmt(data['sum'])}")
         lines.append(f"{pname}_count {data['count']}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse 0.0.4 text exposition back into a snapshot-shaped dict.
+
+    The inverse of :func:`to_prometheus_text` over the subset this
+    library emits (no labels except histogram ``le``): the result has
+    the same ``{"counters", "gauges", "histograms"}`` shape as
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, keyed by the
+    *sanitized* names from the exposition, with histogram bucket counts
+    de-cumulated.  ``sief top`` builds its dashboard from this, and the
+    round-trip tests pin render → parse → render equality.
+    """
+    types: Dict[str, str] = {}
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    hist_raw: Dict[str, dict] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        name, labels_raw, value_raw = (
+            m.group("name"), m.group("labels"), m.group("value")
+        )
+        value = float(value_raw)
+        labels = {
+            k: unescape_label_value(v)
+            for k, v in _LABEL_RE.findall(labels_raw or "")
+        }
+        base = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and types.get(name[: -len(suffix)]) == (
+                "histogram"
+            ):
+                base = name[: -len(suffix)]
+                break
+        if base is not None:
+            h = hist_raw.setdefault(
+                base, {"buckets": [], "sum": 0.0, "count": 0}
+            )
+            if name.endswith("_bucket"):
+                h["buckets"].append((labels.get("le", "+Inf"), value))
+            elif name.endswith("_sum"):
+                h["sum"] = value
+            else:
+                h["count"] = int(value)
+        elif types.get(name) == "gauge":
+            gauges[name] = value
+        else:
+            counters[name] = value
+    histograms: Dict[str, dict] = {}
+    for name, h in hist_raw.items():
+        edges = [float(le) for le, _ in h["buckets"] if le != "+Inf"]
+        cumulative = [v for _, v in h["buckets"]]
+        counts = [
+            int(c - (cumulative[i - 1] if i else 0))
+            for i, c in enumerate(cumulative)
+        ]
+        histograms[name] = {
+            "edges": edges,
+            "counts": counts,
+            "sum": h["sum"],
+            "count": h["count"],
+        }
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+def quantile_from_buckets(hist: dict, q: float) -> float:
+    """Estimate the ``q`` quantile from a parsed histogram dict.
+
+    Linear interpolation within the containing bucket, Prometheus
+    ``histogram_quantile`` style: exact only at bucket edges, bounded
+    by the bucket width in between — which is why
+    :data:`~repro.obs.metrics.REQUEST_LATENCY_EDGES` spaces edges
+    1-2.5-5 per decade.  Returns ``nan`` with no observations; a
+    quantile landing in the overflow bucket returns the top edge.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    edges, counts = hist["edges"], hist["counts"]
+    total = sum(counts)
+    if total == 0 or not edges:
+        return math.nan
+    rank = q * total
+    cumulative = 0.0
+    for i, count in enumerate(counts):
+        prev = cumulative
+        cumulative += count
+        if cumulative >= rank and count:
+            if i >= len(edges):  # overflow bucket: no upper edge
+                return float(edges[-1])
+            lo = float(edges[i - 1]) if i else 0.0
+            hi = float(edges[i])
+            return lo + (hi - lo) * ((rank - prev) / count)
+    return float(edges[-1])
 
 
 def write_prometheus_text(

@@ -38,6 +38,25 @@ SIZE_EDGES: Tuple[float, ...] = (
 )
 """Default bucket edges for counts/sizes (label lengths, batch sizes)."""
 
+REQUEST_LATENCY_EDGES: Tuple[float, ...] = (
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
+"""Bucket edges for served request latencies (seconds).
+
+Wider and denser than :data:`LATENCY_SECONDS_EDGES`: an in-RAM serving
+path answers in the 100µs–10ms band, but a demand-paged store
+(``sief serve --cache-cases``) adds LRU-miss cliffs that land requests
+in the 10ms–1s band, and a drain or timeout can take seconds — p99
+under paging is meaningless if everything past 10ms falls into two
+buckets.  1-2.5-5 per decade keeps quantile interpolation error under
+~2.5x anywhere in the range.  Pinned by a regression test; changing
+these breaks mergeability with recorded snapshots.
+"""
+
 
 class Counter:
     """A monotonically increasing total."""

@@ -15,6 +15,7 @@ from repro.serve.client import AsyncServeClient, ServeClient
 from repro.serve.inprocess import InProcessServer
 from repro.serve.protocol import (
     BINARY_MAGIC,
+    TRACE_TRAILER_BYTES,
     ProtocolError,
     decode_batch_request,
     decode_batch_response,
@@ -26,6 +27,7 @@ from repro.serve.server import ServeConfig, SIEFServer
 __all__ = [
     "AsyncServeClient",
     "BINARY_MAGIC",
+    "TRACE_TRAILER_BYTES",
     "InProcessServer",
     "LoadShedError",
     "MicroBatcher",

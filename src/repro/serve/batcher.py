@@ -29,10 +29,13 @@ from __future__ import annotations
 
 import asyncio
 import time
+from contextlib import contextmanager
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.context import RequestContext, scope
+from repro.obs.events import EventLog
 from repro.obs.metrics import SIZE_EDGES, MetricsRegistry
 
 Edge = Tuple[int, int]
@@ -50,11 +53,17 @@ class LoadShedError(Exception):
         self.limit = limit
 
 
+@contextmanager
+def _noop():
+    yield
+
+
 class _Item(NamedTuple):
     edge: Edge
     pairs: np.ndarray  # (k, 2) int64
     future: "asyncio.Future[np.ndarray]"
     enqueued: float
+    ctx: Optional[RequestContext] = None
 
 
 class MicroBatcher:
@@ -68,6 +77,8 @@ class MicroBatcher:
         queue_limit: int = 8192,
         registry: Optional[MetricsRegistry] = None,
         clock=time.monotonic,
+        events: Optional[EventLog] = None,
+        tracer=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -78,6 +89,8 @@ class MicroBatcher:
         self.max_delay = max_delay
         self.queue_limit = queue_limit
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.events = events
+        self.tracer = tracer
         self._clock = clock
         self._items: List[_Item] = []
         self._pending_pairs = 0
@@ -111,8 +124,17 @@ class MicroBatcher:
 
     # -- intake ------------------------------------------------------------
 
-    def submit(self, edge: Edge, pairs: np.ndarray) -> "asyncio.Future[np.ndarray]":
+    def submit(
+        self,
+        edge: Edge,
+        pairs: np.ndarray,
+        ctx: Optional[RequestContext] = None,
+    ) -> "asyncio.Future[np.ndarray]":
         """Enqueue pairs for one failed edge; resolves to a float64 array.
+
+        ``ctx``, when given, receives the request's share of the flush
+        timing (``queue``/``batch``/``compute`` stages) and any page
+        faults its flush triggers.
 
         Raises :class:`LoadShedError` when the queue is at capacity and
         ``RuntimeError`` after :meth:`close` (the server answers 503).
@@ -126,7 +148,7 @@ class MicroBatcher:
         future: "asyncio.Future[np.ndarray]" = (
             asyncio.get_running_loop().create_future()
         )
-        self._items.append(_Item(edge, pairs, future, self._clock()))
+        self._items.append(_Item(edge, pairs, future, self._clock(), ctx))
         self._pending_pairs += k
         self.registry.gauge("serve.queue.depth").set(self._pending_pairs)
         assert self._wake is not None
@@ -181,29 +203,81 @@ class MicroBatcher:
             groups.setdefault(item.edge, []).append(item)
         reg.histogram("serve.batch.groups", SIZE_EDGES).observe(len(groups))
 
+        # Everything a request spent waiting before this flush started is
+        # its "queue" stage; time inside the flush before *its* group's
+        # engine call is "batch"; the engine call itself is "compute".
+        # Both endpoints of each duration come from the batcher's clock,
+        # so the stages stay disjoint and well-defined.
+        flush_start = self._clock()
+        for it in items:
+            if it.ctx is not None:
+                it.ctx.add_stage("queue", flush_start - it.enqueued)
+                it.ctx.meta["flush_cause"] = cause
+                it.ctx.meta["flush_pairs"] = total
+                it.ctx.meta["flush_groups"] = len(groups)
+
+        span = self.tracer.span if self.tracer is not None else None
         t0 = time.perf_counter()
-        for edge, group in groups.items():
-            live = [it for it in group if not it.future.cancelled()]
-            if not live:
-                continue
-            stacked = (
-                live[0].pairs
-                if len(live) == 1
-                else np.concatenate([it.pairs for it in live])
-            )
-            try:
-                out = self.engine.batch_query(edge, stacked)
-            except Exception as exc:  # noqa: BLE001 - routed to callers
+        with span("serve.batch.flush") if span else _noop():
+            for edge, group in groups.items():
+                live = [it for it in group if not it.future.cancelled()]
+                if not live:
+                    continue
+                stacked = (
+                    live[0].pairs
+                    if len(live) == 1
+                    else np.concatenate([it.pairs for it in live])
+                )
+                ctxs = tuple(
+                    it.ctx for it in live if it.ctx is not None
+                )
+                group_start = self._clock()
+                for ctx in ctxs:
+                    ctx.add_stage("batch", group_start - flush_start)
+                try:
+                    with span("serve.batch.group") if span else _noop():
+                        if ctxs:
+                            with scope(*ctxs):
+                                out = self.engine.batch_query(edge, stacked)
+                        else:
+                            out = self.engine.batch_query(edge, stacked)
+                except Exception as exc:  # noqa: BLE001 - routed to callers
+                    for ctx in ctxs:
+                        ctx.add_stage("compute", self._clock() - group_start)
+                    for it in live:
+                        if not it.future.cancelled():
+                            it.future.set_exception(exc)
+                    continue
+                for ctx in ctxs:
+                    ctx.add_stage("compute", self._clock() - group_start)
+                pos = 0
                 for it in live:
+                    k = len(it.pairs)
                     if not it.future.cancelled():
-                        it.future.set_exception(exc)
-                continue
-            pos = 0
-            for it in live:
-                k = len(it.pairs)
-                if not it.future.cancelled():
-                    it.future.set_result(out[pos : pos + k])
-                pos += k
-        reg.histogram("serve.batch.flush_seconds").observe(
-            time.perf_counter() - t0
-        )
+                        it.future.set_result(out[pos : pos + k])
+                    pos += k
+        elapsed = time.perf_counter() - t0
+        reg.histogram("serve.batch.flush_seconds").observe(elapsed)
+
+        if self.events is not None:
+            trace_ids = [it.ctx.trace_id for it in items if it.ctx is not None]
+            if trace_ids:
+                self.events.record(
+                    {
+                        "event": "batch.flush",
+                        "cause": cause,
+                        "pairs": total,
+                        "items": len(items),
+                        "groups": len(groups),
+                        "seconds": round(elapsed, 6),
+                        "pages_faulted": sum(
+                            it.ctx.pages_faulted
+                            for it in items
+                            if it.ctx is not None
+                        ),
+                        "trace_ids": trace_ids,
+                    },
+                    sampled=any(
+                        self.events.sampled(tid) for tid in trace_ids
+                    ),
+                )

@@ -77,13 +77,19 @@ class ServeClient:
         path: str,
         body: Optional[bytes] = None,
         content_type: str = "application/json",
+        trace_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         """One request/response; returns (status, headers, body).
+
+        ``trace_id`` rides in an ``X-Trace-Id`` header; the server
+        echoes it back (generated otherwise) on every response.
 
         Retries once on a stale keep-alive connection (the server may
         have closed it between requests), never on anything else.
         """
         headers = {"Content-Type": content_type} if body is not None else {}
+        if trace_id is not None:
+            headers["X-Trace-Id"] = trace_id
         for attempt in (0, 1):
             try:
                 self._conn.request(method, path, body=body, headers=headers)
@@ -106,9 +112,17 @@ class ServeClient:
                     raise
         raise AssertionError("unreachable")
 
-    def _json(self, method: str, path: str, doc: Optional[dict] = None) -> dict:
+    def _json(
+        self,
+        method: str,
+        path: str,
+        doc: Optional[dict] = None,
+        trace_id: Optional[str] = None,
+    ) -> dict:
         body = None if doc is None else json.dumps(doc).encode()
-        status, headers, payload = self.request(method, path, body)
+        status, headers, payload = self.request(
+            method, path, body, trace_id=trace_id
+        )
         if status != 200:
             raise _extract_error(status, payload, headers.get("retry-after"))
         return json.loads(payload)
@@ -117,6 +131,14 @@ class ServeClient:
 
     def healthz(self) -> dict:
         return self._json("GET", "/healthz")
+
+    def debug_requests(self) -> dict:
+        """The ``/debug/requests`` document (in-flight + recent)."""
+        return self._json("GET", "/debug/requests")
+
+    def debug_slow(self) -> dict:
+        """The ``/debug/slow`` document (slowest-N requests)."""
+        return self._json("GET", "/debug/slow")
 
     def metrics_text(self) -> str:
         status, _headers, payload = self.request("GET", "/metrics")
@@ -128,31 +150,107 @@ class ServeClient:
         doc = self._json("GET", "/failures")
         return [(u, v) for u, v in doc["edges"]]
 
-    def distance(self, s: int, t: int, edge: Edge) -> float:
-        doc = self._json(
-            "POST", "/dist", {"s": s, "t": t, "edge": [edge[0], edge[1]]}
-        )
+    def distance(
+        self,
+        s: int,
+        t: int,
+        edge: Edge,
+        trace_id: Optional[str] = None,
+        debug: bool = False,
+    ) -> float:
+        doc = self.distance_ex(s, t, edge, trace_id=trace_id, debug=debug)
         return distance_from_json(doc["distance"])
 
-    def batch(self, edge: Edge, pairs: Sequence[Pair]) -> List[float]:
-        doc = self._json(
+    def distance_ex(
+        self,
+        s: int,
+        t: int,
+        edge: Edge,
+        trace_id: Optional[str] = None,
+        debug: bool = False,
+    ) -> dict:
+        """Full ``/dist`` response document (with ``debug`` when asked)."""
+        return self._json(
             "POST",
-            "/batch",
+            "/dist?debug=1" if debug else "/dist",
+            {"s": s, "t": t, "edge": [edge[0], edge[1]]},
+            trace_id=trace_id,
+        )
+
+    def batch(
+        self,
+        edge: Edge,
+        pairs: Sequence[Pair],
+        trace_id: Optional[str] = None,
+        debug: bool = False,
+    ) -> List[float]:
+        doc = self.batch_ex(edge, pairs, trace_id=trace_id, debug=debug)
+        return [distance_from_json(d) for d in doc["distances"]]
+
+    def batch_ex(
+        self,
+        edge: Edge,
+        pairs: Sequence[Pair],
+        trace_id: Optional[str] = None,
+        debug: bool = False,
+    ) -> dict:
+        """Full ``/batch`` response document (with ``debug`` when asked)."""
+        return self._json(
+            "POST",
+            "/batch?debug=1" if debug else "/batch",
             {
                 "edge": [edge[0], edge[1]],
                 "pairs": [[int(s), int(t)] for s, t in pairs],
             },
+            trace_id=trace_id,
         )
-        return [distance_from_json(d) for d in doc["distances"]]
 
-    def batch_binary(self, edge: Edge, pairs: Sequence[Pair]) -> np.ndarray:
-        frame = encode_batch_request(edge, pairs)
+    def batch_binary(
+        self,
+        edge: Edge,
+        pairs: Sequence[Pair],
+        trace_id: Optional[str] = None,
+        debug: bool = False,
+    ) -> np.ndarray:
+        distances, _headers = self.batch_binary_ex(
+            edge, pairs, trace_id=trace_id, debug=debug
+        )
+        return distances
+
+    def batch_binary_ex(
+        self,
+        edge: Edge,
+        pairs: Sequence[Pair],
+        trace_id: Optional[str] = None,
+        debug: bool = False,
+    ) -> Tuple[np.ndarray, Dict[str, str]]:
+        """Binary batch answer plus response headers.
+
+        A 32-hex-char ``trace_id`` travels in the frame trailer (the
+        strongest form — it survives proxies that strip headers); any
+        other valid token falls back to the ``X-Trace-Id`` header.  With
+        ``debug=True`` the stage decomposition comes back JSON-encoded
+        in the ``x-sief-debug`` response header.
+        """
+        frame_trace = header_trace = None
+        if trace_id is not None:
+            try:
+                frame_trace = trace_id if len(bytes.fromhex(trace_id)) == 16 else None
+            except ValueError:
+                frame_trace = None
+            if frame_trace is None:
+                header_trace = trace_id
+        frame = encode_batch_request(edge, pairs, trace_id=frame_trace)
         status, headers, payload = self.request(
-            "POST", "/batch.bin", frame, content_type="application/octet-stream"
+            "POST",
+            "/batch.bin?debug=1" if debug else "/batch.bin",
+            frame,
+            content_type="application/octet-stream",
+            trace_id=header_trace,
         )
         if status != 200:
             raise _extract_error(status, payload, headers.get("retry-after"))
-        return decode_batch_response(payload)
+        return decode_batch_response(payload), headers
 
 
 class AsyncServeClient:
@@ -191,16 +289,21 @@ class AsyncServeClient:
         path: str,
         body: Optional[bytes] = None,
         content_type: str = "application/json",
+        trace_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         if self._writer is None:
             await self.connect()
         assert self._reader is not None and self._writer is not None
         payload = body or b""
+        trace_header = (
+            f"X-Trace-Id: {trace_id}\r\n" if trace_id is not None else ""
+        )
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{trace_header}"
             "\r\n"
         ).encode("latin-1")
         self._writer.write(head + payload)

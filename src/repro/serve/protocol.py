@@ -14,6 +14,12 @@ Binary batch request (little-endian)::
     u, v    2 × u32   the failed edge
     count   u32       number of (s, t) pairs
     pairs   count × 2 × i32
+    trace   16 bytes, OPTIONAL — a 128-bit trace id
+
+The trace trailer keeps the format self-framing: a frame is either
+exactly the declared size or exactly 16 bytes longer, anything else is
+rejected.  Old clients (no trailer) and old servers (which rejected the
+longer frame as junk, never misread it) stay unambiguous.
 
 Binary batch response::
 
@@ -42,6 +48,9 @@ _RESP_HEADER = struct.Struct("<4sI")
 MAX_BINARY_PAIRS = 1 << 22
 """Upper bound on pairs per binary frame (sanity cap, ~4M)."""
 
+TRACE_TRAILER_BYTES = 16
+"""Size of the optional trace-id trailer on a binary batch request."""
+
 Pair = Tuple[int, int]
 Edge = Tuple[int, int]
 
@@ -50,15 +59,43 @@ class ProtocolError(ValueError):
     """A malformed frame or JSON document (the server answers 400)."""
 
 
-def encode_batch_request(edge: Edge, pairs: Sequence[Pair]) -> bytes:
-    """One binary batch-request frame."""
+def encode_batch_request(
+    edge: Edge, pairs: Sequence[Pair], trace_id: Optional[str] = None
+) -> bytes:
+    """One binary batch-request frame, optionally carrying a trace id.
+
+    ``trace_id`` must be 32 hex characters (128 bits) — the binary
+    trailer is fixed-width raw bytes, not a free-form token.  Clients
+    with opaque non-hex ids use the ``X-Trace-Id`` header instead.
+    """
     u, v = int(edge[0]), int(edge[1])
     arr = np.asarray(pairs, dtype=np.int32).reshape(-1, 2)
-    return _REQ_HEADER.pack(BINARY_MAGIC, u, v, len(arr)) + arr.tobytes()
+    frame = _REQ_HEADER.pack(BINARY_MAGIC, u, v, len(arr)) + arr.tobytes()
+    if trace_id is not None:
+        try:
+            trailer = bytes.fromhex(trace_id)
+        except ValueError:
+            raise ValueError(
+                f"binary trace id must be hex, got {trace_id!r}"
+            ) from None
+        if len(trailer) != TRACE_TRAILER_BYTES:
+            raise ValueError(
+                f"binary trace id must be {TRACE_TRAILER_BYTES * 2} hex "
+                f"chars, got {len(trace_id)}"
+            )
+        frame += trailer
+    return frame
 
 
-def decode_batch_request(data: bytes) -> Tuple[Edge, np.ndarray]:
-    """Inverse of :func:`encode_batch_request` (strict)."""
+def decode_batch_request(
+    data: bytes,
+) -> Tuple[Edge, np.ndarray, Optional[str]]:
+    """Inverse of :func:`encode_batch_request` (strict).
+
+    Returns ``(edge, pairs, trace_id)`` where ``trace_id`` is the
+    32-hex-char id from the optional trailer, or ``None`` for a plain
+    frame.
+    """
     if len(data) < _REQ_HEADER.size:
         raise ProtocolError(
             f"binary frame truncated: {len(data)} bytes, "
@@ -70,15 +107,19 @@ def decode_batch_request(data: bytes) -> Tuple[Edge, np.ndarray]:
     if count > MAX_BINARY_PAIRS:
         raise ProtocolError(f"frame declares {count} pairs (cap {MAX_BINARY_PAIRS})")
     expected = _REQ_HEADER.size + count * 8
-    if len(data) != expected:
+    trace_id: Optional[str] = None
+    if len(data) == expected + TRACE_TRAILER_BYTES:
+        trace_id = data[expected:].hex()
+    elif len(data) != expected:
         raise ProtocolError(
             f"binary frame length {len(data)} does not match declared "
-            f"count {count} (expected {expected} bytes)"
+            f"count {count} (expected {expected} bytes, optionally "
+            f"+{TRACE_TRAILER_BYTES} for a trace id)"
         )
     pairs = np.frombuffer(
         data, dtype=np.int32, count=count * 2, offset=_REQ_HEADER.size
     ).reshape(count, 2)
-    return (u, v), pairs
+    return (u, v), pairs, trace_id
 
 
 def encode_batch_response(distances: np.ndarray) -> bytes:

@@ -6,17 +6,32 @@ parsed by hand on top of ``asyncio.start_server`` — the container ships
 no third-party HTTP stack, and the five routes here need less than a
 framework brings:
 
-====================  ======================================================
-``GET  /healthz``     liveness + index shape (cases, vertices, draining)
-``GET  /metrics``     Prometheus text exposition of the server registry
-``GET  /failures``    the indexed failure cases (canonical edge list)
-``POST /dist``        one ``{s, t, edge}`` query, JSON in/out
-``POST /batch``       ``{edge, pairs}`` JSON batch
-``POST /batch.bin``   length-prefixed binary batch (:mod:`repro.serve.protocol`)
-====================  ======================================================
+=======================  ===================================================
+``GET  /healthz``        liveness + index shape (cases, vertices, draining)
+``GET  /metrics``        Prometheus text exposition of the server registry
+``GET  /failures``       the indexed failure cases (canonical edge list)
+``GET  /debug/requests`` tracez-style view: in-flight + recent requests
+``GET  /debug/slow``     the slowest-N requests seen by this process
+``POST /dist``           one ``{s, t, edge}`` query, JSON in/out
+``POST /batch``          ``{edge, pairs}`` JSON batch
+``POST /batch.bin``      length-prefixed binary batch (:mod:`repro.serve.protocol`)
+=======================  ===================================================
 
 Every query — single or batch, JSON or binary — goes through the
 micro-batcher, so concurrency turns into engine-side batch size.
+
+Every request carries a :class:`~repro.obs.context.RequestContext`: the
+trace id comes from a ``traceparent`` header, an ``X-Trace-Id`` header,
+or (for ``/batch.bin``, winning over both) the optional frame trailer —
+generated when absent — and is echoed back in an ``X-Trace-Id`` response
+header.  The context accumulates a stage decomposition (``parse``,
+``queue``, ``batch``, ``compute``, ``serialize``) plus the page faults
+its flush triggered; ``?debug=1`` on ``/dist`` and ``/batch`` returns it
+inline (a ``debug`` field in the JSON; an ``X-SIEF-Debug`` header for
+the fixed-format binary response), and the same decomposition feeds the
+``/debug/*`` rings and the sampled :class:`~repro.obs.events.EventLog`.
+None of this changes answer bytes: with ``?debug=1`` absent, response
+bodies are bit-identical to an untraced server.
 
 Failure mapping is total: malformed input is 400, an unknown failure
 case is 404, an oversized body is 413, a full queue is 429 with
@@ -29,20 +44,38 @@ seam that injects slow/raising handlers to prove exactly that.
 from __future__ import annotations
 
 import asyncio
+import heapq
 import inspect
 import json
 import math
 import signal
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Awaitable, Callable, Dict, Optional, Set, Tuple, Union
+from typing import (
+    Awaitable,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro.core.query import SIEFQueryEngine
 from repro.exceptions import FailureCaseNotIndexed
+from repro.obs.context import (
+    RequestContext,
+    parse_traceparent,
+    valid_trace_id,
+)
+from repro.obs.events import EventLog, peak_rss_bytes
 from repro.obs.export import to_prometheus_text
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import REQUEST_LATENCY_EDGES, MetricsRegistry
 from repro.serve.batcher import LoadShedError, MicroBatcher
 from repro.serve.protocol import (
     ProtocolError,
@@ -91,6 +124,11 @@ class ServeConfig:
     fault_hook: Optional[FaultHook] = None
     access_log: Optional[AccessLog] = None
     registry: Optional[MetricsRegistry] = field(default=None, repr=False)
+    events: Optional[EventLog] = field(default=None, repr=False)
+    tracer: object = field(default=None, repr=False)
+    debug_recent: int = 64
+    debug_slow: int = 32
+    slow_seconds: Optional[float] = None
 
 
 class _Conn:
@@ -116,13 +154,27 @@ class SIEFServer:
             if self.config.registry is not None
             else MetricsRegistry()
         )
+        self.events = self.config.events
+        self.slow_seconds = (
+            self.config.slow_seconds
+            if self.config.slow_seconds is not None
+            else (self.events.slow_seconds if self.events is not None else 0.5)
+        )
         self.batcher = MicroBatcher(
             engine,
             max_batch=self.config.max_batch,
             max_delay=self.config.max_delay,
             queue_limit=self.config.queue_limit,
             registry=self.registry,
+            events=self.events,
+            tracer=self.config.tracer,
         )
+        # tracez-style request surfaces: in-flight contexts, a ring of
+        # recently finished requests, and a min-heap keeping the slowest N.
+        self._inflight: Dict[int, RequestContext] = {}
+        self._recent: Deque[dict] = deque(maxlen=self.config.debug_recent)
+        self._slow: List[Tuple[float, int, dict]] = []
+        self._seq = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self._conns: Set[_Conn] = set()
         self._conn_tasks: Set[asyncio.Task] = set()
@@ -319,12 +371,36 @@ class SIEFServer:
 
     # -- dispatch ----------------------------------------------------------
 
+    def _make_context(
+        self, method: str, path: str, headers: Dict[str, str]
+    ) -> RequestContext:
+        """A context with the client's trace id, or a generated one.
+
+        ``traceparent`` (W3C) is preferred over the looser ``X-Trace-Id``
+        token; the binary frame trailer, when present, overrides both
+        later in :meth:`_batch_binary`.  A malformed header never fails
+        the request — the id is simply generated.
+        """
+        trace_id = parse_traceparent(headers.get("traceparent"))
+        if trace_id is None:
+            candidate = headers.get("x-trace-id")
+            if valid_trace_id(candidate):
+                trace_id = candidate
+        ctx = RequestContext(trace_id)
+        ctx.meta["method"] = method
+        ctx.meta["path"] = path
+        return ctx
+
     async def _dispatch(
         self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[int, bytes, str, Dict[str, str]]:
         reg = self.registry
         reg.counter("serve.requests").inc()
         reg.gauge("serve.requests_inflight").inc()
+        path, _, query = path.partition("?")
+        debug = "debug=1" in query.split("&") if query else False
+        ctx = self._make_context(method, path, headers)
+        self._inflight[id(ctx)] = ctx
         t0 = time.perf_counter()
         status = 500
         payload: bytes = b""
@@ -335,7 +411,7 @@ class SIEFServer:
                 status, payload = 413, _json_error("request body too large")
             else:
                 status, payload, content_type, extra = await asyncio.wait_for(
-                    self._route(method, path, body),
+                    self._route(method, path, body, ctx, debug),
                     timeout=self.config.request_timeout,
                 )
         except asyncio.TimeoutError:
@@ -366,25 +442,87 @@ class SIEFServer:
             reg.counter("serve.errors").inc()
         finally:
             seconds = time.perf_counter() - t0
+            self._inflight.pop(id(ctx), None)
             reg.gauge("serve.requests_inflight").dec()
             reg.counter(f"serve.http.{status}").inc()
-            reg.histogram("serve.request.seconds").observe(seconds)
-            log = self.config.access_log
-            if log is not None:
-                log(
-                    {
-                        "method": method,
-                        "path": path,
-                        "status": status,
-                        "seconds": round(seconds, 6),
-                        "bytes_in": 0 if body is _TOO_LARGE else len(body),
-                        "bytes_out": len(payload),
-                    }
-                )
+            reg.histogram(
+                "serve.request.seconds", REQUEST_LATENCY_EDGES
+            ).observe(seconds)
+            for stage, spent in ctx.stages.items():
+                reg.histogram(
+                    f"serve.stage.{stage}_seconds", REQUEST_LATENCY_EDGES
+                ).observe(spent)
+            if ctx.pages_faulted:
+                reg.counter("serve.pages_faulted").inc(ctx.pages_faulted)
+            extra["X-Trace-Id"] = ctx.trace_id
+            self._finish_request(
+                ctx, method, path, status, seconds,
+                bytes_in=0 if body is _TOO_LARGE else len(body),
+                bytes_out=len(payload),
+            )
         return status, payload, content_type, extra
 
+    def _finish_request(
+        self,
+        ctx: RequestContext,
+        method: str,
+        path: str,
+        status: int,
+        seconds: float,
+        bytes_in: int,
+        bytes_out: int,
+    ) -> None:
+        """Feed the debug rings, the event log, and the access log."""
+        entry = {
+            "trace_id": ctx.trace_id,
+            "method": method,
+            "path": path,
+            "status": status,
+            "seconds": round(seconds, 6),
+            "stages": {k: round(v, 6) for k, v in ctx.stages.items()},
+            "pages_faulted": ctx.pages_faulted,
+        }
+        self._recent.append(entry)
+        self._seq += 1
+        item = (seconds, self._seq, entry)
+        if len(self._slow) < self.config.debug_slow:
+            heapq.heappush(self._slow, item)
+        else:
+            heapq.heappushpop(self._slow, item)
+        ev = self.events
+        if ev is not None:
+            ev.record(
+                {
+                    "event": "request",
+                    **entry,
+                    "bytes_in": bytes_in,
+                    "bytes_out": bytes_out,
+                },
+                sampled=ev.sampled(ctx.trace_id),
+                slow=seconds >= self.slow_seconds,
+                error=status >= 500,
+            )
+        log = self.config.access_log
+        if log is not None:
+            log(
+                {
+                    "method": method,
+                    "path": path,
+                    "status": status,
+                    "seconds": round(seconds, 6),
+                    "bytes_in": bytes_in,
+                    "bytes_out": bytes_out,
+                    "trace_id": ctx.trace_id,
+                }
+            )
+
     async def _route(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        ctx: RequestContext,
+        debug: bool = False,
     ) -> Tuple[int, bytes, str, Dict[str, str]]:
         hook = self.config.fault_hook
         if hook is not None:
@@ -398,6 +536,7 @@ class SIEFServer:
         if path == "/metrics":
             if method != "GET":
                 return _method_not_allowed("GET")
+            self._refresh_gauges()
             return (
                 200,
                 to_prometheus_text(self.registry).encode(),
@@ -408,18 +547,26 @@ class SIEFServer:
             if method != "GET":
                 return _method_not_allowed("GET")
             return self._failures()
+        if path == "/debug/requests":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return self._debug_requests()
+        if path == "/debug/slow":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return self._debug_slow()
         if path == "/dist":
             if method != "POST":
                 return _method_not_allowed("POST")
-            return await self._dist(body)
+            return await self._dist(body, ctx, debug)
         if path == "/batch":
             if method != "POST":
                 return _method_not_allowed("POST")
-            return await self._batch_json(body)
+            return await self._batch_json(body, ctx, debug)
         if path == "/batch.bin":
             if method != "POST":
                 return _method_not_allowed("POST")
-            return await self._batch_binary(body)
+            return await self._batch_binary(body, ctx, debug)
         return 404, _json_error(f"no route for {path}"), "application/json", {}
 
     # -- handlers ----------------------------------------------------------
@@ -439,13 +586,53 @@ class SIEFServer:
         doc = {"count": len(edges), "edges": [[u, v] for u, v in edges]}
         return 200, json.dumps(doc).encode(), "application/json", {}
 
-    async def _dist(self, body: bytes) -> Tuple[int, bytes, str, Dict[str, str]]:
-        doc = _parse_json(body)
-        s = _require_int(doc, "s")
-        t = _require_int(doc, "t")
-        edge = _require_edge(doc)
-        pairs = np.array([[s, t]], dtype=np.int64)
-        out = await self.batcher.submit(edge, pairs)
+    def _refresh_gauges(self) -> None:
+        """Bring scrape-time gauges up to date before exposition."""
+        reg = self.registry
+        rss = peak_rss_bytes()
+        if rss is not None:
+            reg.gauge("process.peak_rss_bytes").set(rss)
+        if self.events is not None:
+            for key, value in self.events.stats().items():
+                reg.gauge(f"serve.events.{key}").set(value)
+
+    def _context_entry(self, ctx: RequestContext) -> dict:
+        return {
+            "trace_id": ctx.trace_id,
+            "method": ctx.meta.get("method"),
+            "path": ctx.meta.get("path"),
+            "seconds": round(ctx.elapsed(), 6),
+            "stages": {k: round(v, 6) for k, v in ctx.stages.items()},
+            "pages_faulted": ctx.pages_faulted,
+        }
+
+    def _debug_requests(self) -> Tuple[int, bytes, str, Dict[str, str]]:
+        doc = {
+            "inflight": [
+                self._context_entry(c) for c in self._inflight.values()
+            ],
+            "recent": list(self._recent),
+        }
+        return 200, json.dumps(doc).encode(), "application/json", {}
+
+    def _debug_slow(self) -> Tuple[int, bytes, str, Dict[str, str]]:
+        slowest = [
+            entry
+            for _, _, entry in sorted(self._slow, reverse=True)
+        ]
+        doc = {"slow_seconds": self.slow_seconds, "slowest": slowest}
+        return 200, json.dumps(doc).encode(), "application/json", {}
+
+    async def _dist(
+        self, body: bytes, ctx: RequestContext, debug: bool = False
+    ) -> Tuple[int, bytes, str, Dict[str, str]]:
+        with ctx.stage("parse"):
+            doc = _parse_json(body)
+            s = _require_int(doc, "s")
+            t = _require_int(doc, "t")
+            edge = _require_edge(doc)
+            pairs = np.array([[s, t]], dtype=np.int64)
+        out = await self.batcher.submit(edge, pairs, ctx)
         d = float(out[0])
         resp = {
             "s": s,
@@ -454,45 +641,65 @@ class SIEFServer:
             "distance": distance_to_json(d),
             "connected": not math.isinf(d),
         }
-        return 200, json.dumps(resp).encode(), "application/json", {}
+        with ctx.stage("serialize"):
+            payload = json.dumps(resp).encode()
+        if debug:
+            resp["debug"] = ctx.decomposition()
+            payload = json.dumps(resp).encode()
+        return 200, payload, "application/json", {}
 
     async def _batch_json(
-        self, body: bytes
+        self, body: bytes, ctx: RequestContext, debug: bool = False
     ) -> Tuple[int, bytes, str, Dict[str, str]]:
-        doc = _parse_json(body)
-        edge = _require_edge(doc)
-        raw_pairs = doc.get("pairs")
-        if not isinstance(raw_pairs, list):
-            raise ProtocolError('field "pairs" must be a list of [s, t]')
-        try:
-            pairs = np.asarray(raw_pairs, dtype=np.int64).reshape(-1, 2)
-        except (TypeError, ValueError):
-            raise ProtocolError(
-                '"pairs" entries must be [s, t] integer pairs'
-            ) from None
-        distances = await self._query(edge, pairs)
+        with ctx.stage("parse"):
+            doc = _parse_json(body)
+            edge = _require_edge(doc)
+            raw_pairs = doc.get("pairs")
+            if not isinstance(raw_pairs, list):
+                raise ProtocolError('field "pairs" must be a list of [s, t]')
+            try:
+                pairs = np.asarray(raw_pairs, dtype=np.int64).reshape(-1, 2)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    '"pairs" entries must be [s, t] integer pairs'
+                ) from None
+        distances = await self._query(edge, pairs, ctx)
         resp = {
             "edge": [edge[0], edge[1]],
             "distances": distances_to_json(distances),
         }
-        return 200, json.dumps(resp).encode(), "application/json", {}
+        with ctx.stage("serialize"):
+            payload = json.dumps(resp).encode()
+        if debug:
+            resp["debug"] = ctx.decomposition()
+            payload = json.dumps(resp).encode()
+        return 200, payload, "application/json", {}
 
     async def _batch_binary(
-        self, body: bytes
+        self, body: bytes, ctx: RequestContext, debug: bool = False
     ) -> Tuple[int, bytes, str, Dict[str, str]]:
-        edge, pairs = decode_batch_request(body)
-        distances = await self._query(edge, pairs.astype(np.int64))
-        return (
-            200,
-            encode_batch_response(distances),
-            "application/octet-stream",
-            {},
-        )
+        with ctx.stage("parse"):
+            edge, pairs, frame_trace = decode_batch_request(body)
+            if frame_trace is not None:
+                # The id travelling inside the frame is the client's
+                # strongest statement of intent; it beats any header.
+                ctx.trace_id = frame_trace
+        distances = await self._query(edge, pairs.astype(np.int64), ctx)
+        with ctx.stage("serialize"):
+            payload = encode_batch_response(distances)
+        extra: Dict[str, str] = {}
+        if debug:
+            # The binary body layout is fixed, so the decomposition rides
+            # in a header — the answer bytes stay bit-identical.
+            extra["X-SIEF-Debug"] = json.dumps(ctx.decomposition())
+        return 200, payload, "application/octet-stream", extra
 
-    async def _query(self, edge, pairs: np.ndarray) -> np.ndarray:
+    async def _query(
+        self, edge, pairs: np.ndarray, ctx: Optional[RequestContext] = None
+    ) -> np.ndarray:
         if len(pairs) == 0:
             return np.empty(0, dtype=np.float64)
-        return await self.batcher.submit(edge, pairs)
+        return await self.batcher.submit(edge, pairs, ctx)
 
     # -- response writing --------------------------------------------------
 

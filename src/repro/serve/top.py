@@ -1,0 +1,177 @@
+"""``sief top`` — a live terminal dashboard over a server's ``/metrics``.
+
+Pure pull: poll the Prometheus text endpoint on an interval, parse it
+with :func:`~repro.obs.export.parse_prometheus_text`, and derive rates
+from the difference between consecutive scrapes — the server keeps no
+extra state for this, and anything that can read ``/metrics`` (curl, a
+real Prometheus) sees the same numbers.
+
+Latency quantiles are *windowed*: p50/p99 come from the bucket-count
+delta between two scrapes, not the lifetime histogram, so the display
+answers "how slow is the service right now" rather than averaging over
+everything since boot.  Same for qps, batch size, shed and paging hit
+rates.
+
+Rendering is deliberately dumb terminal text — an ANSI home-and-clear
+per frame, or plain append-only frames with ``--plain`` (usable in a
+log file or a test).  No curses dependency.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.export import parse_prometheus_text, quantile_from_buckets
+
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+def _histogram_window(cur: Optional[dict], prev: Optional[dict]) -> Optional[dict]:
+    """The histogram of observations between two scrapes (cur - prev)."""
+    if cur is None:
+        return None
+    if prev is None or prev["edges"] != cur["edges"]:
+        return cur
+    return {
+        "edges": cur["edges"],
+        "counts": [c - p for c, p in zip(cur["counts"], prev["counts"])],
+        "sum": cur["sum"] - prev["sum"],
+        "count": cur["count"] - prev["count"],
+    }
+
+
+def _rate(cur: dict, prev: dict, name: str, dt: float) -> float:
+    if dt <= 0:
+        return 0.0
+    return (cur["counters"].get(name, 0.0) - prev["counters"].get(name, 0.0)) / dt
+
+
+def _fmt_seconds(value: float) -> str:
+    if math.isnan(value):
+        return "-"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _ratio(hits: float, misses: float) -> str:
+    total = hits + misses
+    if total <= 0:
+        return "-"
+    return f"{hits / total * 100:.1f}%"
+
+
+def render_frame(cur: dict, prev: dict, dt: float) -> str:
+    """One dashboard frame from two consecutive parsed scrapes."""
+    counters, gauges = cur["counters"], cur["gauges"]
+    qps = _rate(cur, prev, "serve_requests", dt)
+    shed = _rate(cur, prev, "serve_queue_shed", dt)
+    errors = _rate(cur, prev, "serve_errors", dt)
+    window = _histogram_window(
+        cur["histograms"].get("serve_request_seconds"),
+        prev["histograms"].get("serve_request_seconds"),
+    )
+    if window is not None and window["count"] > 0:
+        p50 = quantile_from_buckets(window, 0.50)
+        p99 = quantile_from_buckets(window, 0.99)
+    else:
+        p50 = p99 = math.nan
+    batch = _histogram_window(
+        cur["histograms"].get("serve_batch_size"),
+        prev["histograms"].get("serve_batch_size"),
+    )
+    mean_batch = (
+        batch["sum"] / batch["count"]
+        if batch is not None and batch["count"] > 0
+        else math.nan
+    )
+    hits = _rate(cur, prev, "sief_lazy_cache_hits", dt)
+    misses = _rate(cur, prev, "sief_lazy_cache_misses", dt)
+
+    lines: List[str] = []
+    lines.append(
+        f"qps {qps:10.1f}   p50 {_fmt_seconds(p50):>8}   "
+        f"p99 {_fmt_seconds(p99):>8}   "
+        f"err/s {errors:8.2f}"
+    )
+    lines.append(
+        f"batch {_fmt_nan(mean_batch):>8}   "
+        f"queue {gauges.get('serve_queue_depth', 0):8.0f}   "
+        f"inflight {gauges.get('serve_requests_inflight', 0):5.0f}   "
+        f"shed/s {shed:7.2f}"
+    )
+    lines.append(
+        f"conns {gauges.get('serve_connections', 0):8.0f}   "
+        f"paging hit {_ratio(hits, misses):>7}   "
+        f"resident {gauges.get('sief_lazy_cache_resident', 0):6.0f}   "
+        f"rss {gauges.get('process_peak_rss_bytes', 0) / 1e6:7.0f}MB"
+    )
+    emitted = counters.get("serve_events_emitted", gauges.get("serve_events_emitted"))
+    if emitted is not None:
+        lines.append(
+            f"events {gauges.get('serve_events_emitted', 0):7.0f}   "
+            f"sampled-out {gauges.get('serve_events_sampled_out', 0):6.0f}   "
+            f"dropped {gauges.get('serve_events_dropped', 0):5.0f}   "
+            f"slow {gauges.get('serve_events_slow_events', 0):5.0f}"
+        )
+    lines.append(
+        f"requests total {counters.get('serve_requests', 0):.0f}   "
+        f"up {gauges.get('serve_up', 0):.0f}"
+    )
+    return "\n".join(lines)
+
+
+def _fmt_nan(value: float) -> str:
+    return "-" if math.isnan(value) else f"{value:.1f}"
+
+
+def run_top(
+    fetch: Callable[[], str],
+    interval: float = 2.0,
+    count: Optional[int] = None,
+    plain: bool = False,
+    out=None,
+    clock=time.monotonic,
+    sleep=time.sleep,
+) -> int:
+    """Poll ``fetch()`` (the /metrics text) and render frames to ``out``.
+
+    ``count`` bounds the number of frames (None = until interrupted) —
+    tests drive this with an injected fetch/clock and ``count=2``.
+    Returns a process exit code.
+    """
+    if out is None:
+        out = sys.stdout
+    prev: Optional[dict] = None
+    prev_t = clock()
+    frames = 0
+    try:
+        while count is None or frames < count:
+            if frames:
+                sleep(interval)
+            try:
+                text = fetch()
+            except (OSError, ConnectionError) as exc:
+                print(f"sief top: scrape failed: {exc}", file=sys.stderr)
+                return 1
+            now = clock()
+            cur = parse_prometheus_text(text)
+            frame = render_frame(
+                cur, prev if prev is not None else cur, max(now - prev_t, 1e-9)
+            )
+            if not plain:
+                out.write(_CLEAR)
+            out.write(frame + "\n")
+            if plain:
+                out.write("---\n")
+            out.flush()
+            prev, prev_t = cur, now
+            frames += 1
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -604,14 +604,20 @@ class _ServeWorld:
         from repro.serve.inprocess import InProcessServer
         from repro.serve.server import ServeConfig
 
+        from repro.obs.events import EventLog
+
         self.tmp = tempfile.TemporaryDirectory(prefix="sief-serve-fuzz-")
         path = os.path.join(self.tmp.name, "index.npz")
         ctx.sief_index().freeze().save_npz(path)
         self.engine = SIEFQueryEngine(SIEFIndex.load(path, mmap_mode="r"))
         # Tight flush deadline: the adapter's requests are serial, so
         # every batch flushes on deadline — keep the fuzz loop fast.
+        # Tracing runs at full sample so the adapter can assert the
+        # observability contract (event lines, /debug entries) per case.
+        self.events = EventLog(capacity=4096, sample=1.0)
         self.server = InProcessServer(
-            self.engine, ServeConfig(max_batch=256, max_delay=0.0005)
+            self.engine,
+            ServeConfig(max_batch=256, max_delay=0.0005, events=self.events),
         )
         self.client = ServeClient(self.server.host, self.server.port)
 
@@ -641,6 +647,8 @@ class ServeConformanceAdapter(EngineAdapter):
         import math
         import weakref
 
+        from repro.obs.context import new_trace_id
+
         world = ctx._cache.get("serve_world")
         if world is None:
             world = _ServeWorld(ctx)
@@ -648,14 +656,36 @@ class ServeConformanceAdapter(EngineAdapter):
             weakref.finalize(ctx, world.close)
         edge = (failure[1], failure[2])
         pairs = [(int(s), int(t)) for s, t in pairs]
-        via_json = world.client.batch(edge, pairs)
-        via_bin = [float(d) for d in world.client.batch_binary(edge, pairs)]
+        # Client-supplied trace ids with debug on for both wire formats:
+        # tracing must never change answer bytes, and the id must come
+        # back correlated through the response, the event log, and the
+        # /debug/requests ring.
+        json_tid = new_trace_id()
+        bin_tid = new_trace_id()
+        via_json_doc = world.client.batch_ex(
+            edge, pairs, trace_id=json_tid, debug=True
+        )
+        via_json = [
+            math.inf if d is None else float(d)
+            for d in via_json_doc["distances"]
+        ]
+        via_bin_arr, bin_headers = world.client.batch_binary_ex(
+            edge, pairs, trace_id=bin_tid, debug=True
+        )
+        via_bin = [float(d) for d in via_bin_arr]
         direct = [float(d) for d in world.engine.batch_query(edge, pairs)]
         if via_json != via_bin or via_bin != direct:
             raise AssertionError(
                 f"{self.name}: JSON/binary/direct answers disagree "
                 f"({via_json!r} / {via_bin!r} / {direct!r})"
             )
+        plain = world.client.batch(edge, pairs)
+        if plain != via_json:
+            raise AssertionError(
+                f"{self.name}: debug/traced answers differ from plain "
+                f"({via_json!r} != {plain!r})"
+            )
+        self._check_tracing(world, json_tid, bin_tid, via_json_doc, bin_headers)
         s, t = pairs[0]
         single = world.client.distance(s, t, edge)
         first = via_bin[0]
@@ -665,6 +695,54 @@ class ServeConformanceAdapter(EngineAdapter):
                 f"batch answer {first!r} for pair {(s, t)}"
             )
         return via_bin
+
+    def _check_tracing(self, world, json_tid, bin_tid, json_doc, bin_headers):
+        """The request-observability contract, asserted per case."""
+        import json as _json
+
+        debug = json_doc.get("debug")
+        if not debug or debug.get("trace_id") != json_tid:
+            raise AssertionError(
+                f"{self.name}: /batch?debug=1 did not echo trace id "
+                f"{json_tid} (got {debug!r})"
+            )
+        if bin_headers.get("x-trace-id") != bin_tid:
+            raise AssertionError(
+                f"{self.name}: binary response header trace id "
+                f"{bin_headers.get('x-trace-id')!r} != frame id {bin_tid}"
+            )
+        bin_debug = _json.loads(bin_headers.get("x-sief-debug", "{}"))
+        for tid, decomposition in ((json_tid, debug), (bin_tid, bin_debug)):
+            stages = decomposition.get("stages", {})
+            for stage in ("parse", "queue", "batch", "compute", "serialize"):
+                if stage not in stages:
+                    raise AssertionError(
+                        f"{self.name}: stage {stage!r} missing from "
+                        f"decomposition of {tid}: {stages!r}"
+                    )
+            events = [
+                e
+                for e in world.events.recent()
+                if e.get("event") == "request" and e.get("trace_id") == tid
+            ]
+            if not events:
+                raise AssertionError(
+                    f"{self.name}: no event-log line for trace {tid}"
+                )
+            ev = events[-1]
+            if sum(ev["stages"].values()) > ev["seconds"] + 1e-9:
+                raise AssertionError(
+                    f"{self.name}: stage sum {ev['stages']} exceeds wall "
+                    f"time {ev['seconds']} for trace {tid}"
+                )
+        recent = world.client.debug_requests()["recent"]
+        seen = {e["trace_id"] for e in recent}
+        for tid in (json_tid, bin_tid):
+            if tid not in seen:
+                raise AssertionError(
+                    f"{self.name}: trace {tid} absent from /debug/requests "
+                    f"(saw {sorted(seen)[:8]!r}...)"
+                )
 
 
 class InstrumentedAdapter(EngineAdapter):

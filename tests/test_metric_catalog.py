@@ -1,0 +1,152 @@
+"""Lint: the metric catalog in docs/observability.md matches the code.
+
+Every metric the library registers must appear in the catalog tables,
+and every catalog row must correspond to a real registration site —
+both directions, so the docs can't silently drift as instrumentation
+is added or renamed.
+
+Names are compared in a canonical form where both the docs' ``<angle>``
+placeholders and the code's ``{fstring}`` placeholders become ``*``
+(one name segment), so ``serve.http.<status>`` pairs with
+``f"serve.http.{status}"`` and the documented literal
+``serve.batch.flush_size`` pairs with ``f"serve.batch.flush_{cause}"``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+DOC = REPO / "docs" / "observability.md"
+SRC = REPO / "src" / "repro"
+
+# | `name.one` / `name.two` | counter | meaning ... |
+_ROW_RE = re.compile(
+    r"^\|(?P<names>[^|]+)\|\s*(?P<type>counter|gauge|histogram)\s*\|"
+)
+# reg.counter("name") / reg.histogram(\n    "name", EDGES) / f-strings
+_REG_RE = re.compile(r'\b(counter|gauge|histogram)\(\s*f?"([^"]+)"')
+
+_PLACEHOLDER_SEGMENT = r"[A-Za-z0-9_]+"
+
+
+def _canonical(name: str) -> str:
+    name = re.sub(r"<[^<>]+>", "*", name)
+    name = re.sub(r"\{[^{}]*\}", "*", name)
+    return name
+
+
+def _covers(pattern: str, name: str) -> bool:
+    """Does canonical ``pattern`` describe canonical ``name``?
+
+    Either side may carry ``*`` placeholders; a literal on one side
+    must fit the other side's placeholders.
+    """
+    if pattern == name:
+        return True
+    regex = re.compile(
+        "^"
+        + _PLACEHOLDER_SEGMENT.join(re.escape(p) for p in pattern.split("*"))
+        + "$"
+    )
+    return regex.match(name.replace("*", "x")) is not None
+
+
+def _matches(a: str, b: str) -> bool:
+    return _covers(a, b) or _covers(b, a)
+
+
+def documented_metrics() -> dict:
+    """{canonical name: type} from the catalog tables."""
+    out = {}
+    for line in DOC.read_text(encoding="utf-8").splitlines():
+        m = _ROW_RE.match(line.strip())
+        if m is None:
+            continue
+        for span in re.findall(r"`([^`]+)`", m.group("names")):
+            out[_canonical(span)] = m.group("type")
+    return out
+
+
+def registered_metrics() -> dict:
+    """{canonical name: (type, file)} from every registration site."""
+    out = {}
+    for path in sorted(SRC.rglob("*.py")):
+        for kind, name in _REG_RE.findall(path.read_text(encoding="utf-8")):
+            out[_canonical(name)] = (kind, str(path.relative_to(REPO)))
+    return out
+
+
+@pytest.fixture(scope="module")
+def documented():
+    docs = documented_metrics()
+    assert len(docs) > 40, "catalog parser found suspiciously few rows"
+    return docs
+
+
+@pytest.fixture(scope="module")
+def registered():
+    regs = registered_metrics()
+    assert len(regs) > 40, "registration scanner found suspiciously few sites"
+    return regs
+
+
+def test_every_registered_metric_is_documented(documented, registered):
+    undocumented = {
+        name: site
+        for name, (kind, site) in registered.items()
+        if not any(_matches(doc, name) for doc in documented)
+    }
+    assert not undocumented, (
+        "metrics registered in code but missing from the catalog in "
+        f"docs/observability.md: {undocumented}"
+    )
+
+
+def test_every_documented_metric_exists_in_code(documented, registered):
+    stale = [
+        name
+        for name in documented
+        if not any(_matches(reg, name) for reg in registered)
+    ]
+    assert not stale, (
+        "catalog rows in docs/observability.md with no registration "
+        f"site in src/repro: {stale}"
+    )
+
+
+def test_documented_types_match_registrations(documented, registered):
+    mismatches = []
+    for doc_name, doc_type in documented.items():
+        if doc_name in registered:
+            # exact registration wins over wildcard families it happens
+            # to overlap (pll.build.seconds vs f"pll.build.{kind}")
+            matching = {doc_name: registered[doc_name]}
+        else:
+            matching = {
+                reg_name: info
+                for reg_name, info in registered.items()
+                if _matches(doc_name, reg_name)
+            }
+        for reg_name, (kind, site) in matching.items():
+            if kind != doc_type:
+                mismatches.append((doc_name, doc_type, reg_name, kind, site))
+    assert not mismatches, (
+        "catalog type column disagrees with the registration kind: "
+        f"{mismatches}"
+    )
+
+
+def test_serving_additions_are_catalogued(documented):
+    # The observability-path metrics this layer added must stay in the
+    # docs by their canonical names.
+    for name, kind in [
+        ("serve.stage.*_seconds", "histogram"),
+        ("serve.pages_faulted", "counter"),
+        ("serve.events.*", "gauge"),
+        ("process.peak_rss_bytes", "gauge"),
+    ]:
+        assert documented.get(name) == kind, (name, documented.get(name))

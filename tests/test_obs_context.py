@@ -1,0 +1,158 @@
+"""Unit tests for repro.obs.context: trace ids, stages, attribution scope."""
+
+import re
+
+import pytest
+
+from repro.obs.context import (
+    RequestContext,
+    attribute_page_fault,
+    current_contexts,
+    new_trace_id,
+    parse_traceparent,
+    scope,
+    valid_trace_id,
+)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+# -- trace ids ---------------------------------------------------------------
+
+
+def test_new_trace_id_is_32_hex_and_unique():
+    a, b = new_trace_id(), new_trace_id()
+    assert re.fullmatch(r"[0-9a-f]{32}", a)
+    assert re.fullmatch(r"[0-9a-f]{32}", b)
+    assert a != b
+
+
+def test_parse_traceparent_accepts_w3c_form():
+    tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+    assert parse_traceparent(f"00-{tid}-00f067aa0ba902b7-01") == tid
+    # surrounding whitespace is tolerated
+    assert parse_traceparent(f"  00-{tid}-00f067aa0ba902b7-01 ") == tid
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        "",
+        "garbage",
+        "00-abc-def-01",  # short fields
+        "00-" + "0" * 32 + "-00f067aa0ba902b7-01",  # all-zero trace id
+        "00-" + "G" * 32 + "-00f067aa0ba902b7-01",  # non-hex
+        "00-" + "A" * 32 + "-00f067aa0ba902b7-01",  # uppercase is invalid
+    ],
+)
+def test_parse_traceparent_rejects_malformed(value):
+    assert parse_traceparent(value) is None
+
+
+def test_valid_trace_id_bounds_and_charset():
+    assert valid_trace_id("abc-DEF_123")
+    assert valid_trace_id("a" * 64)
+    assert not valid_trace_id("a" * 65)
+    assert not valid_trace_id("")
+    assert not valid_trace_id(None)
+    assert not valid_trace_id("has space")
+    assert not valid_trace_id('quote"quote')
+
+
+# -- stage accounting --------------------------------------------------------
+
+
+def test_stages_accumulate_and_sum():
+    clock = FakeClock()
+    ctx = RequestContext("t1", clock=clock)
+    with ctx.stage("parse"):
+        clock.advance(0.5)
+    with ctx.stage("compute"):
+        clock.advance(2.0)
+    with ctx.stage("compute"):
+        clock.advance(1.0)
+    assert ctx.stages == {"parse": 0.5, "compute": 3.0}
+    assert ctx.stage_total() == pytest.approx(3.5)
+    assert ctx.elapsed() == pytest.approx(3.5)
+
+
+def test_stage_records_even_on_exception():
+    clock = FakeClock()
+    ctx = RequestContext("t1", clock=clock)
+    with pytest.raises(RuntimeError):
+        with ctx.stage("parse"):
+            clock.advance(0.25)
+            raise RuntimeError("boom")
+    assert ctx.stages["parse"] == pytest.approx(0.25)
+
+
+def test_negative_durations_clamped():
+    ctx = RequestContext("t1")
+    ctx.add_stage("queue", -1.0)
+    assert ctx.stages["queue"] == 0.0
+
+
+def test_decomposition_shape():
+    clock = FakeClock()
+    ctx = RequestContext("abc", clock=clock)
+    with ctx.stage("compute"):
+        clock.advance(0.125)
+    ctx.note_page_fault(3)
+    doc = ctx.decomposition()
+    assert doc == {
+        "trace_id": "abc",
+        "stages": {"compute": 0.125},
+        "pages_faulted": 3,
+    }
+
+
+def test_generated_trace_id_when_none_given():
+    ctx = RequestContext()
+    assert re.fullmatch(r"[0-9a-f]{32}", ctx.trace_id)
+
+
+# -- attribution scope -------------------------------------------------------
+
+
+def test_no_scope_no_attribution():
+    assert current_contexts() is None
+    attribute_page_fault()  # must be a no-op, not an error
+
+
+def test_scope_charges_every_context():
+    a, b = RequestContext("a"), RequestContext("b")
+    with scope(a, b):
+        assert current_contexts() == (a, b)
+        attribute_page_fault()
+        attribute_page_fault(2)
+    assert a.pages_faulted == 3
+    assert b.pages_faulted == 3
+    assert current_contexts() is None
+
+
+def test_scopes_nest_and_restore():
+    a, b = RequestContext("a"), RequestContext("b")
+    with scope(a):
+        with scope(b):
+            attribute_page_fault()
+        attribute_page_fault()
+    assert a.pages_faulted == 1
+    assert b.pages_faulted == 1
+
+
+def test_scope_restores_on_exception():
+    a = RequestContext("a")
+    with pytest.raises(ValueError):
+        with scope(a):
+            raise ValueError("boom")
+    assert current_contexts() is None

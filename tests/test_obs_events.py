@@ -1,0 +1,139 @@
+"""Unit tests for repro.obs.events: sampling, ring, sink, counters."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.context import new_trace_id
+from repro.obs.events import EventLog, peak_rss_bytes
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        EventLog(capacity=0)
+    with pytest.raises(ValueError):
+        EventLog(sample=1.5)
+    with pytest.raises(ValueError):
+        EventLog(sample=-0.1)
+    with pytest.raises(ValueError):
+        EventLog(slow_seconds=-1)
+
+
+def test_record_and_recent_order():
+    log = EventLog(capacity=8)
+    for i in range(3):
+        assert log.record({"event": "request", "trace_id": f"t{i}"})
+    ids = [e["trace_id"] for e in log.recent()]
+    assert ids == ["t0", "t1", "t2"]
+    assert [e["trace_id"] for e in log.recent(2)] == ["t1", "t2"]
+    assert len(log) == 3
+    assert log.emitted == 3
+
+
+def test_ring_overwrites_are_counted():
+    log = EventLog(capacity=2)
+    for i in range(5):
+        log.record({"trace_id": f"t{i}"})
+    assert [e["trace_id"] for e in log.recent()] == ["t3", "t4"]
+    assert log.dropped == 3
+    assert log.emitted == 5
+
+
+def test_events_are_timestamped_with_injected_clock():
+    log = EventLog(clock=lambda: 123.456789123)
+    log.record({"trace_id": "t"})
+    assert log.recent()[0]["ts"] == pytest.approx(123.456789)
+
+
+def test_sampling_is_deterministic_and_proportional():
+    log = EventLog(sample=0.25)
+    ids = [new_trace_id() for _ in range(2000)]
+    verdicts = [log.sampled(t) for t in ids]
+    # deterministic: same id, same verdict
+    assert verdicts == [log.sampled(t) for t in ids]
+    rate = sum(verdicts) / len(verdicts)
+    assert 0.18 < rate < 0.32  # crc32 is uniform enough at n=2000
+    assert EventLog(sample=1.0).sampled("anything")
+    assert not EventLog(sample=0.0).sampled("anything")
+
+
+def test_sampled_out_events_are_counted_not_stored():
+    log = EventLog(sample=0.0)
+    assert not log.record({"trace_id": "t"})
+    assert log.sampled_out == 1
+    assert len(log) == 0
+
+
+def test_slow_and_error_bypass_sampling():
+    log = EventLog(sample=0.0)
+    assert log.record({"trace_id": "s"}, slow=True)
+    assert log.record({"trace_id": "e"}, error=True)
+    assert log.slow_events == 1
+    assert log.error_events == 1
+    assert len(log) == 2
+
+
+def test_explicit_sampled_verdict_overrides():
+    log = EventLog(sample=0.0)
+    assert log.record({"trace_id": "t"}, sampled=True)
+    log2 = EventLog(sample=1.0)
+    assert not log2.record({"trace_id": "t"}, sampled=False)
+    assert log2.sampled_out == 1
+
+
+def test_file_sink_appends_json_lines(tmp_path):
+    path = tmp_path / "events" / "log.jsonl"
+    log = EventLog(sink=path)
+    log.record({"event": "request", "trace_id": "t0", "status": 200})
+    log.record({"event": "request", "trace_id": "t1", "status": 200})
+    log.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    docs = [json.loads(line) for line in lines]
+    assert docs[0]["trace_id"] == "t0"
+    assert all("ts" in d for d in docs)
+    # append-only across reopen
+    log2 = EventLog(sink=path)
+    log2.record({"trace_id": "t2"})
+    log2.close()
+    assert len(path.read_text().splitlines()) == 3
+
+
+def test_sink_failure_disables_sink_not_serving():
+    sink = io.StringIO()
+    log = EventLog(sink=sink)
+    log.record({"trace_id": "a"})
+    sink.close()
+    assert log.record({"trace_id": "b"})  # ring still records
+    assert log.sink_errors == 1
+    assert log.record({"trace_id": "c"})  # sink not retried
+    assert log.sink_errors == 1
+    assert [e["trace_id"] for e in log.recent()] == ["a", "b", "c"]
+
+
+def test_stats_payload():
+    log = EventLog(sample=0.0, capacity=1)
+    log.record({"trace_id": "x"})
+    log.record({"trace_id": "y"}, slow=True)
+    log.record({"trace_id": "z"}, error=True)
+    assert log.stats() == {
+        "emitted": 2,
+        "sampled_out": 1,
+        "dropped": 1,
+        "slow_events": 1,
+        "error_events": 1,
+        "sink_errors": 0,
+    }
+
+
+def test_peak_rss_bytes_positive_on_linux():
+    rss = peak_rss_bytes()
+    assert rss is not None
+    assert rss > 1024 * 1024  # a python process is at least a MB
+
+
+def test_bench_history_reexports_peak_rss():
+    from repro.bench.history import peak_rss_bytes as from_bench
+
+    assert from_bench is peak_rss_bytes

@@ -4,14 +4,22 @@ from __future__ import annotations
 
 import json
 
+import math
+
+import pytest
+
 from repro.obs import (
     MetricsRegistry,
     TraceRecorder,
+    escape_label_value,
+    parse_prometheus_text,
+    quantile_from_buckets,
     read_json_lines,
     registry_from_json_lines,
     sanitize_name,
     to_json_lines,
     to_prometheus_text,
+    unescape_label_value,
     write_json_lines,
     write_prometheus_text,
 )
@@ -178,6 +186,143 @@ class TestPrometheusText:
         rec.sync_registry(reg)
         text = to_prometheus_text(reg, rec)
         assert text.count("# TYPE trace_dropped_spans counter") == 1
+
+
+class TestPrometheusSpecials:
+    """IEEE specials must use the exposition spellings, not Python's."""
+
+    def test_nan_and_infinities_in_gauges(self):
+        reg = MetricsRegistry()
+        reg.gauge("g.nan").set(float("nan"))
+        reg.gauge("g.posinf").set(float("inf"))
+        reg.gauge("g.neginf").set(float("-inf"))
+        text = to_prometheus_text(reg)
+        values = {
+            line.split()[0]: line.split()[1]
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        }
+        assert values["g_nan"] == "NaN"
+        assert values["g_posinf"] == "+Inf"
+        assert values["g_neginf"] == "-Inf"
+
+    def test_specials_survive_a_parse(self):
+        reg = MetricsRegistry()
+        reg.gauge("g.nan").set(float("nan"))
+        reg.gauge("g.posinf").set(float("inf"))
+        parsed = parse_prometheus_text(to_prometheus_text(reg))
+        assert math.isnan(parsed["gauges"]["g_nan"])
+        assert parsed["gauges"]["g_posinf"] == math.inf
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize(
+        "raw,escaped",
+        [
+            ("plain", "plain"),
+            ('say "hi"', 'say \\"hi\\"'),
+            ("back\\slash", "back\\\\slash"),
+            ("two\nlines", "two\\nlines"),
+            ('all\\of "it"\n', 'all\\\\of \\"it\\"\\n'),
+        ],
+    )
+    def test_escape_and_inverse(self, raw, escaped):
+        assert escape_label_value(raw) == escaped
+        assert unescape_label_value(escaped) == raw
+
+    def test_escaped_value_fits_on_one_exposition_line(self):
+        assert "\n" not in escape_label_value("a\nb\nc")
+
+    def test_unescape_tolerates_lone_trailing_backslash(self):
+        assert unescape_label_value("oops\\") == "oops\\"
+
+
+def _registry_from_parsed(parsed: dict) -> MetricsRegistry:
+    """Rebuild a registry from a parse_prometheus_text result."""
+    reg = MetricsRegistry()
+    for name, value in parsed["counters"].items():
+        reg.counter(name).inc(value)
+    for name, value in parsed["gauges"].items():
+        reg.gauge(name).set(value)
+    for name, data in parsed["histograms"].items():
+        h = reg.histogram(name, tuple(data["edges"]))
+        for i, c in enumerate(data["counts"]):
+            h.counts[i] += c
+        h.sum += data["sum"]
+        h.count += data["count"]
+    return reg
+
+
+class TestParsePrometheusText:
+    def test_parse_inverts_render(self):
+        parsed = parse_prometheus_text(
+            to_prometheus_text(_populated_registry())
+        )
+        assert parsed["counters"] == {"sief_build_cases": 3}
+        assert parsed["gauges"] == {"pll_last_build_vertices": 100}
+        hist = parsed["histograms"]["sief_query_batch_size"]
+        assert hist["edges"] == [1.0, 10.0, 100.0]
+        assert hist["counts"] == [0, 2, 0, 1]  # de-cumulated
+        assert hist["count"] == 3
+        assert hist["sum"] == 5015
+
+    def test_render_parse_render_is_identity(self):
+        # The fixed point the `sief top` dashboard relies on: whatever
+        # we expose parses back into the same exposition.
+        first = to_prometheus_text(_populated_registry())
+        second = to_prometheus_text(
+            _registry_from_parsed(parse_prometheus_text(first))
+        )
+        assert second == first
+
+    def test_empty_text_parses_to_empty_snapshot(self):
+        assert parse_prometheus_text("") == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("{not a metric}")
+
+    def test_untyped_sample_defaults_to_counter(self):
+        parsed = parse_prometheus_text("orphan_total 7\n")
+        assert parsed["counters"] == {"orphan_total": 7}
+
+
+class TestQuantileFromBuckets:
+    HIST = {"edges": [0.1, 0.5, 1.0], "counts": [10, 0, 10, 0], "count": 20}
+
+    def test_interpolates_within_bucket(self):
+        # rank 10 sits exactly at the first bucket's top edge
+        assert quantile_from_buckets(self.HIST, 0.5) == pytest.approx(0.1)
+        # rank 15 is halfway through the (0.5, 1.0] bucket
+        assert quantile_from_buckets(self.HIST, 0.75) == pytest.approx(0.75)
+        assert quantile_from_buckets(self.HIST, 1.0) == pytest.approx(1.0)
+
+    def test_overflow_bucket_returns_top_edge(self):
+        hist = {"edges": [0.1, 1.0], "counts": [0, 0, 5]}
+        assert quantile_from_buckets(hist, 0.99) == 1.0
+
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(
+            quantile_from_buckets({"edges": [1.0], "counts": [0, 0]}, 0.5)
+        )
+        assert math.isnan(quantile_from_buckets({"edges": [], "counts": []}, 0.5))
+
+    def test_out_of_range_quantile_raises(self):
+        with pytest.raises(ValueError):
+            quantile_from_buckets(self.HIST, 1.5)
+
+    def test_quantile_of_parsed_serving_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", edges=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.002, 0.005, 0.05):
+            h.observe(v)
+        parsed = parse_prometheus_text(to_prometheus_text(reg))
+        p50 = quantile_from_buckets(parsed["histograms"]["lat"], 0.5)
+        assert 0.001 <= p50 <= 0.01
 
 
 class TestRoundTrip:

@@ -11,13 +11,17 @@ from __future__ import annotations
 
 import asyncio
 import math
+import os
 import random
+from pathlib import Path
 
 import pytest
 
 from repro.core.builder import SIEFBuilder
 from repro.core.query import SIEFQueryEngine
 from repro.graph import generators
+from repro.obs.events import EventLog
+from repro.obs.trace import TraceRecorder
 from repro.serve.client import AsyncServeClient
 from repro.serve.inprocess import InProcessServer
 from repro.serve.server import ServeConfig
@@ -84,7 +88,20 @@ async def run_client(host, port, steps, use_binary: bool):
 def test_interleaved_clients_match_serial_answers(engine):
     num_clients, per_client = 16, 12
     scripts = make_workload(engine, num_clients, per_client, seed=5)
-    config = ServeConfig(max_batch=256, max_delay=0.003)
+    # SIEF_SERVE_ARTIFACTS=<dir> additionally dumps the run's structured
+    # event log and a Chrome trace of the batcher spans — CI uploads
+    # them so a red run comes with its own observability attached.
+    artifacts = os.environ.get("SIEF_SERVE_ARTIFACTS")
+    events = tracer = None
+    if artifacts:
+        out = Path(artifacts)
+        events = EventLog(
+            capacity=16384, sample=1.0, sink=out / "serve_events.jsonl"
+        )
+        tracer = TraceRecorder(capacity=65536)
+    config = ServeConfig(
+        max_batch=256, max_delay=0.003, events=events, tracer=tracer
+    )
     with InProcessServer(engine, config) as srv:
 
         async def main():
@@ -95,6 +112,11 @@ def test_interleaved_clients_match_serial_answers(engine):
             return await asyncio.gather(*tasks)
 
         results = asyncio.run(main())
+    if artifacts:
+        from repro.obs.chrometrace import write_chrome_trace
+
+        events.close()
+        write_chrome_trace(tracer, Path(artifacts) / "serve_trace.json")
     flat = [m for per in results for m in per]
     assert flat == [], f"{len(flat)} interleaved answers differ from serial"
 

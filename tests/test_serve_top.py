@@ -1,0 +1,138 @@
+"""Tests for the ``sief top`` dashboard: windowed rates and the CLI."""
+
+from __future__ import annotations
+
+import io
+import math
+
+from repro.cli import main
+from repro.obs.export import parse_prometheus_text, to_prometheus_text
+from repro.obs.metrics import MetricsRegistry, REQUEST_LATENCY_EDGES
+from repro.serve.top import _histogram_window, render_frame, run_top
+
+
+def _scrape(requests: int, latencies=(), batch_pairs=()) -> str:
+    reg = MetricsRegistry()
+    reg.counter("serve.requests").inc(requests)
+    reg.gauge("serve.up").set(1)
+    reg.gauge("serve.queue.depth").set(0)
+    reg.gauge("serve.requests_inflight").set(1)
+    reg.gauge("serve.connections").set(3)
+    reg.gauge("process.peak_rss_bytes").set(256e6)
+    reg.gauge("serve.events.emitted").set(requests)
+    h = reg.histogram("serve.request.seconds", REQUEST_LATENCY_EDGES)
+    for v in latencies:
+        h.observe(v)
+    b = reg.histogram("serve.batch.size", edges=(1, 10, 100))
+    for v in batch_pairs:
+        b.observe(v)
+    return to_prometheus_text(reg)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+
+def test_histogram_window_is_a_delta():
+    prev = {"edges": [1.0], "counts": [2, 0], "sum": 1.0, "count": 2}
+    cur = {"edges": [1.0], "counts": [5, 1], "sum": 4.0, "count": 6}
+    window = _histogram_window(cur, prev)
+    assert window == {"edges": [1.0], "counts": [3, 1], "sum": 3.0, "count": 4}
+    # changed edges (server restarted with different buckets): fall back
+    assert _histogram_window(cur, {"edges": [9.9], "counts": [0, 0]}) == cur
+    assert _histogram_window(None, prev) is None
+
+
+def test_render_frame_shows_windowed_rates():
+    prev = parse_prometheus_text(_scrape(100, latencies=[0.002] * 10))
+    cur = parse_prometheus_text(
+        _scrape(300, latencies=[0.002] * 10 + [0.004] * 100, batch_pairs=[8])
+    )
+    frame = render_frame(cur, prev, dt=2.0)
+    assert "qps      100.0" in frame  # (300-100)/2
+    # windowed p50 sits in the (0.0025, 0.005] bucket, not the lifetime one
+    assert "p50" in frame and "ms" in frame
+    assert "requests total 300" in frame
+    assert "events" in frame
+    assert "rss     256MB" in frame
+
+
+def test_render_frame_first_scrape_has_zero_rates():
+    cur = parse_prometheus_text(_scrape(500))
+    frame = render_frame(cur, cur, dt=2.0)
+    assert "qps        0.0" in frame
+    assert "p50        -" in frame  # no window yet
+    assert "requests total 500" in frame
+
+
+def test_run_top_polls_and_renders_count_frames():
+    scrapes = iter([_scrape(100), _scrape(300)])
+    out = io.StringIO()
+    sleeps = []
+    clock = FakeClock()
+
+    def sleep(dt):
+        sleeps.append(dt)
+        clock.t += dt
+
+    rc = run_top(
+        fetch=lambda: next(scrapes),
+        interval=2.0,
+        count=2,
+        plain=True,
+        out=out,
+        clock=clock,
+        sleep=sleep,
+    )
+    assert rc == 0
+    assert sleeps == [2.0]  # no sleep before the first frame
+    frames = out.getvalue().split("---\n")
+    assert len([f for f in frames if f.strip()]) == 2
+    assert "qps        0.0" in frames[0]
+    assert "qps      100.0" in frames[1]
+    assert "\x1b" not in out.getvalue()  # --plain never emits ANSI
+
+
+def test_run_top_clears_screen_without_plain():
+    out = io.StringIO()
+    rc = run_top(
+        fetch=lambda: _scrape(1),
+        count=1,
+        plain=False,
+        out=out,
+        clock=FakeClock(),
+        sleep=lambda dt: None,
+    )
+    assert rc == 0
+    assert out.getvalue().startswith("\x1b[H\x1b[2J")
+
+
+def test_run_top_scrape_failure_exits_nonzero(capsys):
+    def failing_fetch():
+        raise ConnectionError("nobody home")
+
+    rc = run_top(fetch=failing_fetch, count=3, plain=True, out=io.StringIO())
+    assert rc == 1
+    assert "scrape failed" in capsys.readouterr().err
+
+
+def test_run_top_stops_cleanly_on_interrupt():
+    def interrupted_fetch():
+        raise KeyboardInterrupt
+
+    assert run_top(fetch=interrupted_fetch, plain=True, out=io.StringIO()) == 0
+
+
+def test_cli_top_rejects_bad_target(capsys):
+    assert main(["top", "no-port-here"]) == 2
+    assert "HOST:PORT" in capsys.readouterr().err
+
+
+def test_cli_top_unreachable_server_exits_one(capsys):
+    # port 1 is privileged and unbound in the test container
+    assert main(["top", "127.0.0.1:1", "--count", "1", "--plain"]) == 1
+    assert "scrape failed" in capsys.readouterr().err
